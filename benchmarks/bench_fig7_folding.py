@@ -1,0 +1,30 @@
+"""Figure 7 / Table 5 — folding-in the update topics M15, M16.
+
+Regenerates: the folded coordinates and the invariance of the original
+14 topics' positions.  Times the Eq. 7 fold of the two documents.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.corpus.med import MED_UPDATE_TOPICS, UPDATE_COLUMNS
+from repro.updating import fold_in_documents
+
+
+def test_fig7_folding_in(benchmark, med_model):
+    folded = benchmark(
+        fold_in_documents, med_model, UPDATE_COLUMNS, ["M15", "M16"]
+    )
+
+    dc = folded.doc_coordinates()
+    rows = [f"topics folded in: {list(MED_UPDATE_TOPICS)}"]
+    for j, d in enumerate(folded.doc_ids):
+        marker = "  <- new" if d in MED_UPDATE_TOPICS else ""
+        rows.append(f"  {d:<4s} ({dc[j, 0]:+.3f}, {dc[j, 1]:+.3f}){marker}")
+    emit("Figure 7 — folded-in medical topics", rows)
+
+    # "the coordinates of the original topics stay fixed"
+    assert np.array_equal(folded.V[:14], med_model.V)
+    assert np.array_equal(folded.U, med_model.U)
+    assert np.array_equal(folded.s, med_model.s)
+    assert folded.doc_ids[-2:] == ["M15", "M16"]

@@ -1,0 +1,97 @@
+"""§5.3 — information filtering with standing interest profiles.
+
+Regenerates: Foltz's 12-23% LSI advantage over keyword matching for
+filtering, and Dumais & Foltz's finding that profiles built from known
+relevant documents beat query-only profiles.  The collection is split
+into an indexed sample and a stream (documents shuffled so every
+interest appears on both sides); stream average precision is the metric
+and the query set is shared across all methods.  Times the LSI
+relevant-docs-profile run.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.core import fit_lsi
+from repro.corpus import SyntheticSpec, topic_collection
+from repro.evaluation import percent_improvement
+from repro.evaluation.metrics import average_precision
+from repro.retrieval import (
+    FilteringProfile,
+    KeywordRetrieval,
+    stream_filter,
+)
+
+
+def _setup():
+    col = topic_collection(
+        SyntheticSpec(
+            n_topics=6, docs_per_topic=24, doc_length=40,
+            concepts_per_topic=12, synonyms_per_concept=4,
+            queries_per_topic=1, query_length=2, query_synonym_shift=0.9,
+            polysemy=0.25, background_vocab=30, background_rate=0.2,
+            shuffle_documents=True,
+        ),
+        seed=31,
+    )
+    head, tail_docs, tail_rel = col.split_documents(col.n_documents // 2)
+    model = fit_lsi(head.documents, k=12, scheme="log_entropy", seed=0)
+    usable = [
+        qi for qi in range(col.n_queries)
+        if head.relevant(qi) and tail_rel[qi]
+    ]
+    return col, head, tail_docs, tail_rel, model, usable
+
+
+def test_filtering_profiles(benchmark):
+    col, head, tail_docs, tail_rel, model, usable = _setup()
+    assert usable, "shuffled split must leave every interest on both sides"
+
+    def ap_stream(ranked, rel):
+        return average_precision([i for i, _ in ranked], rel)
+
+    def run_relevant_profiles():
+        scores = []
+        for qi in usable:
+            profile = FilteringProfile.from_relevant_documents(
+                model, sorted(head.relevant(qi))[:3]
+            )
+            scores.append(
+                ap_stream(stream_filter(profile, tail_docs), tail_rel[qi])
+            )
+        return float(np.mean(scores))
+
+    lsi_docs_profile = benchmark(run_relevant_profiles)
+
+    # Query-only LSI profile, same queries.
+    q_scores = []
+    for qi in usable:
+        profile = FilteringProfile.from_query(model, col.queries[qi])
+        q_scores.append(
+            ap_stream(stream_filter(profile, tail_docs), tail_rel[qi])
+        )
+    lsi_query_profile = float(np.mean(q_scores))
+
+    # Keyword baseline: score the stream against the raw query vector.
+    kw = KeywordRetrieval.from_texts(tail_docs, scheme="log_entropy")
+    kw_scores = [
+        ap_stream(kw.search(col.queries[qi]), tail_rel[qi]) for qi in usable
+    ]
+    kw_query = float(np.mean(kw_scores))
+
+    rows = [
+        f"interests evaluated: {len(usable)}; stream length {len(tail_docs)}",
+        f"{'method':<36s}{'stream AP':>10s}",
+        f"{'keyword, query profile':<36s}{kw_query:>10.3f}",
+        f"{'LSI, query profile':<36s}{lsi_query_profile:>10.3f}",
+        f"{'LSI, known-relevant-docs profile':<36s}{lsi_docs_profile:>10.3f}",
+        f"LSI query vs keyword: "
+        f"{percent_improvement(lsi_query_profile, kw_query):+.1f}% "
+        "(paper: +12-23% under richer queries; synonym-heavy streams "
+        "widen it)",
+        "paper: relevant-document profiles are the most effective",
+    ]
+    emit("§5.3 — information filtering", rows)
+
+    assert lsi_query_profile > kw_query
+    assert lsi_docs_profile >= lsi_query_profile

@@ -1,0 +1,57 @@
+"""Shared fixtures and report helpers for the benchmark suite.
+
+Every bench both *times* its core computation (pytest-benchmark fixture)
+and *prints* the rows/series of the paper artifact it regenerates, so a
+``pytest benchmarks/ --benchmark-only -s`` run shows the reproduction
+next to the timing table.  Shape claims (who wins, direction of effects)
+are asserted, so a silent regression fails the suite rather than merely
+changing printed numbers.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.core import fit_lsi_from_tdm
+from repro.corpus import SyntheticSpec, med_matrix, topic_collection
+
+
+def emit(title: str, lines) -> None:
+    """Print a labelled block to real stdout (visible under -s)."""
+    print(f"\n=== {title} ===", file=sys.stderr)
+    for line in lines:
+        print(line, file=sys.stderr)
+
+
+@pytest.fixture(scope="session")
+def med_tdm():
+    return med_matrix()
+
+
+@pytest.fixture(scope="session")
+def med_model(med_tdm):
+    return fit_lsi_from_tdm(med_tdm, 2)
+
+
+@pytest.fixture(scope="session")
+def synonymy_collection():
+    """The §5.1 evaluation collection: short queries, strong synonymy."""
+    return topic_collection(
+        SyntheticSpec(
+            n_topics=8,
+            docs_per_topic=20,
+            doc_length=40,
+            concepts_per_topic=15,
+            synonyms_per_concept=4,
+            queries_per_topic=3,
+            query_length=2,
+            query_synonym_shift=0.9,
+            polysemy=0.25,
+            background_vocab=40,
+            background_rate=0.25,
+        ),
+        seed=7,
+        name="synthetic-MED-like",
+    )

@@ -1,0 +1,69 @@
+"""Choosing the number of factors (§5.2).
+
+Run:  python examples/choosing_k.py
+
+Reproduces the paper's performance-vs-k experiment on a synthetic
+collection and shows the automatic selectors: the spectrum-only
+heuristics (energy fraction, spectral gap) against the judged sweep.
+"""
+
+import numpy as np
+
+from repro.core import (
+    choose_k_by_energy,
+    choose_k_by_gap,
+    choose_k_by_sweep,
+    fit_lsi,
+)
+from repro.corpus import SyntheticSpec, topic_collection
+from repro.evaluation.metrics import three_point_average_precision
+from repro.retrieval import KeywordRetrieval, LSIRetrieval
+
+
+def main() -> None:
+    col = topic_collection(
+        SyntheticSpec(
+            n_topics=8, docs_per_topic=15, doc_length=40,
+            concepts_per_topic=12, synonyms_per_concept=4,
+            queries_per_topic=2, query_length=2, query_synonym_shift=0.9,
+            polysemy=0.3, background_vocab=40, background_rate=0.3,
+        ),
+        seed=23,
+    )
+    kmax = 48
+    model = fit_lsi(col.documents, k=kmax, scheme="log_entropy",
+                    method="dense", seed=0)
+
+    def metric(m):
+        eng = LSIRetrieval(m)
+        vals = []
+        for qi, q in enumerate(col.queries):
+            ranked = [j for j, _ in eng.search(q)]
+            vals.append(three_point_average_precision(ranked, col.relevant(qi)))
+        return float(np.mean(vals))
+
+    print("performance vs k (the §5.2 curve):")
+    for k in (1, 2, 4, 8, 16, 32, 48):
+        bar = "#" * int(40 * metric(model.truncated(k)))
+        print(f"  k={k:<3d} {metric(model.truncated(k)):.3f} {bar}")
+    kw = KeywordRetrieval.from_texts(col.documents, scheme="log_entropy")
+    kw_vals = []
+    for qi, q in enumerate(col.queries):
+        ranked = [j for j, _ in kw.search(q)]
+        kw_vals.append(three_point_average_precision(ranked, col.relevant(qi)))
+    print(f"  keyword-vector baseline: {np.mean(kw_vals):.3f}")
+
+    sweep = choose_k_by_sweep(model, metric, candidates=[1, 2, 4, 8, 16, 32, 48])
+    energy = choose_k_by_energy(model.s, target=0.7)
+    gap = choose_k_by_gap(model.s, min_k=2)
+    print("\nautomatic selectors:")
+    print(f"  sweep (judged reference): k={sweep.k}")
+    print(f"  70% Frobenius energy    : k={energy.k}")
+    print(f"  largest spectral gap    : k={gap.k}")
+    print("\n(the paper: performance 'peaks between 70 and 100 dimensions'"
+          " on real MED abstracts — smaller synthetic collections peak"
+          " proportionally earlier)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Information filtering (§5.3): standing profiles over a news stream.
+
+Run:  python examples/filtering_stream.py
+
+A user has a long-term interest; new documents stream past.  The example
+compares the two profile representations of Dumais & Foltz — the user's
+query vs the centroid of documents they marked relevant — and shows the
+stream recommendation loop with a cosine threshold.
+"""
+
+import numpy as np
+
+from repro.core import fit_lsi
+from repro.corpus import SyntheticSpec, topic_collection
+from repro.evaluation.metrics import average_precision
+from repro.retrieval import FilteringProfile, stream_filter
+
+
+def main() -> None:
+    # "Netnews": 6 interest areas, 24 articles each.
+    col = topic_collection(
+        SyntheticSpec(
+            n_topics=6, docs_per_topic=24, doc_length=40,
+            concepts_per_topic=12, synonyms_per_concept=4,
+            queries_per_topic=1, query_length=2, query_synonym_shift=0.9,
+        ),
+        seed=31,
+    )
+    # Index an initial sample; the rest arrives as a stream.
+    head, stream_docs, stream_rel = col.split_documents(col.n_documents // 2)
+    model = fit_lsi(head.documents, k=12, scheme="log_entropy", seed=0)
+    print(f"indexed sample: {model}; stream length: {len(stream_docs)}")
+
+    user_topic = 0
+    query = col.queries[user_topic]
+    train_relevant = sorted(head.relevant(user_topic))[:3]
+    print(f"\nuser interest (query): {query!r}")
+    print(f"documents the user marked relevant: {train_relevant}")
+
+    profile_q = FilteringProfile.from_query(model, query)
+    profile_d = FilteringProfile.from_relevant_documents(
+        model, train_relevant
+    )
+
+    for name, profile in (("query profile", profile_q),
+                          ("relevant-docs profile", profile_d)):
+        ranked = stream_filter(profile, stream_docs)
+        ap = average_precision([i for i, _ in ranked], stream_rel[user_topic])
+        recommended = stream_filter(profile, stream_docs, threshold=0.5)
+        hits = sum(1 for i, _ in recommended if i in stream_rel[user_topic])
+        print(f"\n{name}:")
+        print(f"  stream average precision: {ap:.3f}")
+        print(f"  recommended at cos ≥ 0.5: {len(recommended)} docs, "
+              f"{hits} relevant")
+
+    print("\n(the paper: profiles built from known relevant documents "
+          "were the most effective representation)")
+
+
+if __name__ == "__main__":
+    main()

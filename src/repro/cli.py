@@ -1,0 +1,205 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The paper's toolchain was a set of command-line utilities ("a number of
+software tools have been developed to perform operations such as parsing
+document texts, creating a term by document matrix, computing the
+truncated SVD ..., matching user queries to documents, and adding new
+terms or documents").  This CLI is the same toolbox over this library:
+
+``index``
+    Build an LSI database from a directory of ``.txt`` files (or a
+    single file with one document per line) and save it.
+``query``
+    Load a database and rank documents for a query string.
+``add``
+    Fold new documents into a saved database (Eq. 7) or SVD-update it
+    (``--method update``), saving the result.
+``info``
+    Print a database's dimensions, weighting, and provenance.
+``terms``
+    Nearest-term (thesaurus) lookup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Sequence
+
+from repro.core.build import fit_lsi
+from repro.core.persistence import load_model, save_model
+from repro.core.query import project_query
+from repro.core.similarity import nearest_terms, rank_documents
+from repro.errors import ReproError
+from repro.text.parser import ParsingRules
+
+__all__ = ["main", "build_parser"]
+
+
+def _read_documents(path: pathlib.Path) -> tuple[list[str], list[str]]:
+    """Directory of .txt files → one document each; file → one per line."""
+    if path.is_dir():
+        files = sorted(path.glob("*.txt"))
+        if not files:
+            raise ReproError(f"no .txt files under {path}")
+        return [f.read_text(encoding="utf-8") for f in files], [
+            f.stem for f in files
+        ]
+    if path.is_file():
+        lines = [
+            line.strip()
+            for line in path.read_text(encoding="utf-8").splitlines()
+            if line.strip()
+        ]
+        if not lines:
+            raise ReproError(f"{path} contains no documents")
+        return lines, [f"L{i + 1}" for i in range(len(lines))]
+    raise ReproError(f"{path} does not exist")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for the toolbox (see module doc)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Latent Semantic Indexing toolbox (Berry/Dumais/"
+                    "Letsche SC'95 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_index = sub.add_parser("index", help="build an LSI database")
+    p_index.add_argument("source", type=pathlib.Path,
+                         help=".txt directory or one-doc-per-line file")
+    p_index.add_argument("output", type=pathlib.Path, help=".npz database")
+    p_index.add_argument("-k", "--factors", type=int, default=100)
+    p_index.add_argument("--scheme", default="log_entropy",
+                         help="weighting scheme, e.g. log_entropy, raw_none")
+    p_index.add_argument("--min-doc-freq", type=int, default=1)
+
+    p_query = sub.add_parser("query", help="rank documents for a query")
+    p_query.add_argument("database", type=pathlib.Path)
+    p_query.add_argument("text", nargs="+", help="query words")
+    p_query.add_argument("-n", "--top", type=int, default=10)
+    p_query.add_argument("--threshold", type=float, default=None)
+
+    p_add = sub.add_parser("add", help="add documents to a database")
+    p_add.add_argument("database", type=pathlib.Path)
+    p_add.add_argument("source", type=pathlib.Path)
+    p_add.add_argument("--method", choices=["fold", "update"],
+                       default="fold")
+    p_add.add_argument("--output", type=pathlib.Path, default=None,
+                       help="write here instead of overwriting")
+
+    p_info = sub.add_parser("info", help="describe a database")
+    p_info.add_argument("database", type=pathlib.Path)
+
+    p_terms = sub.add_parser("terms", help="nearest terms (thesaurus)")
+    p_terms.add_argument("database", type=pathlib.Path)
+    p_terms.add_argument("term")
+    p_terms.add_argument("-n", "--top", type=int, default=10)
+
+    return parser
+
+
+def _cmd_index(args, out) -> int:
+    docs, ids = _read_documents(args.source)
+    k = min(args.factors, len(docs), 10**9)
+    model = fit_lsi(
+        docs, max(1, min(k, len(docs))),
+        scheme=args.scheme,
+        rules=ParsingRules(min_doc_freq=args.min_doc_freq),
+        doc_ids=ids,
+    )
+    save_model(model, args.output)
+    print(
+        f"indexed {model.n_documents} documents, {model.n_terms} terms, "
+        f"k={model.k} → {args.output}",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_query(args, out) -> int:
+    model = load_model(args.database)
+    query = " ".join(args.text)
+    qhat = project_query(model, query)
+    ranked = rank_documents(model, qhat)
+    if args.threshold is not None:
+        ranked = [(d, c) for d, c in ranked if c >= args.threshold]
+    for doc_id, cosine in ranked[: args.top]:
+        print(f"{cosine:.4f}  {doc_id}", file=out)
+    return 0
+
+
+def _cmd_add(args, out) -> int:
+    from repro.text.tdm import count_vector
+    from repro.text.tokenizer import tokenize
+    import numpy as np
+
+    model = load_model(args.database)
+    docs, ids = _read_documents(args.source)
+    if args.method == "fold":
+        from repro.updating.folding import fold_in_texts
+
+        model = fold_in_texts(model, docs, doc_ids=ids)
+    else:
+        from repro.updating.svd_update import update_documents
+
+        counts = np.stack(
+            [count_vector(tokenize(t), model.vocabulary) for t in docs],
+            axis=1,
+        )
+        model = update_documents(model, counts, ids, exact=True)
+    target = args.output or args.database
+    save_model(model, target)
+    print(
+        f"{args.method}: +{len(docs)} documents → {target} "
+        f"(now {model.n_documents} documents, provenance "
+        f"{model.provenance})",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_info(args, out) -> int:
+    model = load_model(args.database)
+    print(f"documents : {model.n_documents}", file=out)
+    print(f"terms     : {model.n_terms}", file=out)
+    print(f"factors   : {model.k}", file=out)
+    print(f"weighting : {model.scheme.name}", file=out)
+    print(f"provenance: {model.provenance}", file=out)
+    print(f"sigma     : {model.s[:8].round(4).tolist()}"
+          + ("..." if model.k > 8 else ""), file=out)
+    return 0
+
+
+def _cmd_terms(args, out) -> int:
+    model = load_model(args.database)
+    for term, cosine in nearest_terms(model, args.term, top=args.top):
+        print(f"{cosine:.4f}  {term}", file=out)
+    return 0
+
+
+_COMMANDS = {
+    "index": _cmd_index,
+    "query": _cmd_query,
+    "add": _cmd_add,
+    "info": _cmd_info,
+    "terms": _cmd_terms,
+}
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """Entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

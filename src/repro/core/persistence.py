@@ -1,0 +1,67 @@
+"""Model persistence: the "LSI database of singular values and vectors".
+
+The paper's toolchain stores a retrieval database of ``U_k``, ``Σ_k``,
+``V_k`` plus the labellings; ours serializes to a single ``.npz`` with the
+arrays and JSON-encoded metadata (vocabulary, doc ids, scheme) so a model
+round-trips bit-exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.core.model import LSIModel
+from repro.errors import ModelStateError
+from repro.text.vocabulary import Vocabulary
+from repro.weighting.schemes import WeightingScheme
+
+__all__ = ["save_model", "load_model"]
+
+_FORMAT_VERSION = 1
+
+
+def save_model(model: LSIModel, path: Union[str, os.PathLike]) -> None:
+    """Serialize ``model`` to ``path`` (``.npz``)."""
+    meta = {
+        "version": _FORMAT_VERSION,
+        "vocabulary": model.vocabulary.to_list(),
+        "doc_ids": list(model.doc_ids),
+        "scheme_local": model.scheme.local,
+        "scheme_global": model.scheme.global_,
+        "provenance": model.provenance,
+    }
+    np.savez(
+        path,
+        U=model.U,
+        s=model.s,
+        V=model.V,
+        global_weights=model.global_weights,
+        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+    )
+
+
+def load_model(path: Union[str, os.PathLike]) -> LSIModel:
+    """Load a model previously written by :func:`save_model`."""
+    with np.load(path) as data:
+        try:
+            meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+        except Exception as exc:  # malformed file
+            raise ModelStateError(f"cannot parse model metadata: {exc}") from exc
+        if meta.get("version") != _FORMAT_VERSION:
+            raise ModelStateError(
+                f"unsupported model format version {meta.get('version')}"
+            )
+        return LSIModel(
+            U=data["U"],
+            s=data["s"],
+            V=data["V"],
+            vocabulary=Vocabulary(meta["vocabulary"]).freeze(),
+            doc_ids=list(meta["doc_ids"]),
+            scheme=WeightingScheme(meta["scheme_local"], meta["scheme_global"]),
+            global_weights=data["global_weights"],
+            provenance=meta.get("provenance", "svd"),
+        )

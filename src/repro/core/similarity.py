@@ -1,0 +1,130 @@
+"""Cosine similarity and ranking in the semantic space (§2.2, §3.1).
+
+"The query vector can then be compared to all existing document vectors,
+and the documents ranked by their similarity (nearness) to the query. ...
+Typically the z closest documents or all documents exceeding some cosine
+threshold are returned to the user."
+
+Comparison convention
+---------------------
+Document positions in the figures are ``V_k Σ_k`` (Fig. 4 uses the columns
+of ``V₂`` scaled by the singular values), so the default comparison space
+scales both query and documents by ``Σ_k`` ("scaled" mode).  The unscaled
+alternative — cosine between ``q̂`` and raw rows of ``V_k`` — is exposed as
+``mode="factors"`` for completeness; the paper itself notes the cosine "is
+merely used to rank-order documents and its numerical value is not always
+an adequate measure of relevance".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import LSIModel
+from repro.errors import ShapeError
+
+__all__ = [
+    "cosine_similarities",
+    "rank_documents",
+    "retrieve",
+    "term_term_similarities",
+    "doc_doc_similarities",
+    "nearest_terms",
+]
+
+
+def _cosine_rows(M: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Cosine of each row of ``M`` with vector ``v`` (0 for zero rows)."""
+    norms = np.sqrt(np.sum(M * M, axis=1))
+    vnorm = np.sqrt(np.dot(v, v))
+    denom = norms * vnorm
+    out = np.zeros(M.shape[0])
+    ok = denom > 0
+    out[ok] = (M[ok] @ v) / denom[ok]
+    return out
+
+
+def cosine_similarities(
+    model: LSIModel, qhat: np.ndarray, *, mode: str = "scaled"
+) -> np.ndarray:
+    """Cosine of the query pseudo-vector with every document (length n)."""
+    qhat = np.asarray(qhat, dtype=np.float64).ravel()
+    if qhat.size != model.k:
+        raise ShapeError(f"query vector has {qhat.size} dims for k={model.k}")
+    if mode == "scaled":
+        return _cosine_rows(model.V * model.s, qhat * model.s)
+    if mode == "factors":
+        return _cosine_rows(model.V, qhat)
+    raise ValueError(f"unknown similarity mode {mode!r}")
+
+
+def rank_documents(
+    model: LSIModel, qhat: np.ndarray, *, mode: str = "scaled"
+) -> list[tuple[str, float]]:
+    """All documents ranked by descending cosine: ``[(doc_id, cos), ...]``."""
+    cos = cosine_similarities(model, qhat, mode=mode)
+    order = np.argsort(-cos, kind="stable")
+    return [(model.doc_ids[j], float(cos[j])) for j in order]
+
+
+def retrieve(
+    model: LSIModel,
+    qhat: np.ndarray,
+    *,
+    threshold: float | None = None,
+    top: int | None = None,
+    mode: str = "scaled",
+) -> list[tuple[str, float]]:
+    """Documents above a cosine threshold and/or the top-z closest.
+
+    Mirrors §3.1: "the z closest documents or all documents exceeding some
+    cosine threshold are returned".  Both filters may be combined.
+    """
+    if threshold is None and top is None:
+        raise ValueError("retrieve() needs a threshold, a top count, or both")
+    ranked = rank_documents(model, qhat, mode=mode)
+    if threshold is not None:
+        ranked = [(d, c) for d, c in ranked if c >= threshold]
+    if top is not None:
+        ranked = ranked[:top]
+    return ranked
+
+
+# --------------------------------------------------------------------- #
+# term-term and document-document structure (thesaurus, synonym test,
+# clustering claims of Figures 4/7/8/9)
+# --------------------------------------------------------------------- #
+def term_term_similarities(model: LSIModel, term: str) -> np.ndarray:
+    """Cosine of one term against every term, in scaled term space.
+
+    Term comparisons use rows of ``U_k Σ_k`` — "terms which occur in
+    similar documents ... will be near each other in the k-dimensional
+    factor space even if they never co-occur".
+    """
+    coords = model.term_coordinates()
+    return _cosine_rows(coords, coords[model.vocabulary.id_of(term)])
+
+
+def doc_doc_similarities(model: LSIModel, doc_id: str) -> np.ndarray:
+    """Cosine of one document against every document (scaled space)."""
+    coords = model.doc_coordinates()
+    return _cosine_rows(coords, coords[model.doc_index(doc_id)])
+
+
+def nearest_terms(
+    model: LSIModel, term: str, *, top: int = 10, skip_self: bool = True
+) -> list[tuple[str, float]]:
+    """The ``top`` terms nearest to ``term`` — the online-thesaurus
+    application of §5.4 ("there is no reason that similar terms could not
+    be returned")."""
+    cos = term_term_similarities(model, term)
+    order = np.argsort(-cos, kind="stable")
+    out = []
+    self_id = model.vocabulary.id_of(term)
+    for idx in order:
+        if skip_self and idx == self_id:
+            continue
+        out.append((model.vocabulary[int(idx)], float(cos[idx])))
+        if len(out) >= top:
+            break
+    return out

@@ -1,0 +1,137 @@
+"""Paired dual-language corpora for cross-language LSI (§5.4).
+
+Landauer & Littman trained LSI on French-English "combined abstracts" —
+each training document is the concatenation of the two language versions —
+then folded in monolingual documents and matched queries across languages.
+The crucial property is that the two languages express the *same latent
+concepts with disjoint surface vocabularies*; this generator provides
+exactly that: every concept ``c`` of topic ``t`` has an English form
+``ent{t}c{c}`` and a French form ``frt{t}c{c}``, and a document is a
+concept sequence rendered in one language (or both, for training pairs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.collection import TestCollection
+from repro.util.rng import ensure_rng
+
+__all__ = ["CrossLanguageSpec", "CrossLanguageCorpus", "crosslang_collection"]
+
+
+@dataclass(frozen=True)
+class CrossLanguageSpec:
+    """Parameters of the dual-language generator."""
+
+    n_topics: int = 6
+    concepts_per_topic: int = 15
+    training_pairs: int = 40
+    test_docs_per_language: int = 30
+    doc_length: int = 40
+    query_length: int = 5
+
+    def __post_init__(self):
+        if min(self.n_topics, self.concepts_per_topic) < 1:
+            raise ValueError("topics and concepts must be >= 1")
+        if self.training_pairs < 2:
+            raise ValueError("need at least 2 training pairs")
+
+
+@dataclass
+class CrossLanguageCorpus:
+    """The generated cross-language evaluation material.
+
+    Attributes
+    ----------
+    combined:
+        Training documents — each the concatenation of an English and a
+        French rendering of the same concept sequence.
+    english, french:
+        Monolingual *mate* documents: ``english[i]`` and ``french[i]``
+        render the same concept sequence (different sampling of concepts
+        than any training document).
+    doc_topic:
+        Topic of each mate pair.
+    queries_en, queries_fr:
+        Short monolingual queries; ``query_topic[i]`` gives the relevant
+        topic.
+    """
+
+    combined: list[str]
+    english: list[str]
+    french: list[str]
+    doc_topic: list[int]
+    queries_en: list[str]
+    queries_fr: list[str]
+    query_topic: list[int]
+
+    def monolingual_collection(self, language: str) -> TestCollection:
+        """English-only (or French-only) collection for baseline runs."""
+        if language not in ("en", "fr"):
+            raise ValueError("language must be 'en' or 'fr'")
+        docs = self.english if language == "en" else self.french
+        queries = self.queries_en if language == "en" else self.queries_fr
+        rel = [
+            {j for j, t in enumerate(self.doc_topic) if t == qt}
+            for qt in self.query_topic
+        ]
+        return TestCollection(
+            documents=list(docs),
+            queries=list(queries),
+            relevance=rel,
+            name=f"crosslang-{language}",
+        )
+
+
+def _render(concepts, topic, language, rng) -> str:
+    prefix = {"en": "en", "fr": "fr"}[language]
+    return " ".join(f"{prefix}t{topic}c{int(c)}" for c in concepts)
+
+
+def crosslang_collection(
+    spec: CrossLanguageSpec | None = None, *, seed=0
+) -> CrossLanguageCorpus:
+    """Generate the combined-training + monolingual-test corpus."""
+    spec = spec or CrossLanguageSpec()
+    rng = ensure_rng(seed)
+
+    def concept_seq(topic: int, length: int) -> np.ndarray:
+        probs = np.arange(1, spec.concepts_per_topic + 1, dtype=float) ** -1.0
+        probs /= probs.sum()
+        return rng.choice(spec.concepts_per_topic, size=length, p=probs)
+
+    combined: list[str] = []
+    for i in range(spec.training_pairs):
+        t = i % spec.n_topics
+        seq = concept_seq(t, spec.doc_length)
+        combined.append(
+            _render(seq, t, "en", rng) + " " + _render(seq, t, "fr", rng)
+        )
+
+    english, french, doc_topic = [], [], []
+    for i in range(spec.test_docs_per_language):
+        t = i % spec.n_topics
+        seq = concept_seq(t, spec.doc_length)
+        english.append(_render(seq, t, "en", rng))
+        french.append(_render(seq, t, "fr", rng))
+        doc_topic.append(t)
+
+    queries_en, queries_fr, query_topic = [], [], []
+    for t in range(spec.n_topics):
+        seq = concept_seq(t, spec.query_length)
+        queries_en.append(_render(seq, t, "en", rng))
+        queries_fr.append(_render(seq, t, "fr", rng))
+        query_topic.append(t)
+
+    return CrossLanguageCorpus(
+        combined=combined,
+        english=english,
+        french=french,
+        doc_topic=doc_topic,
+        queries_en=queries_en,
+        queries_fr=queries_fr,
+        query_topic=query_topic,
+    )

@@ -1,0 +1,96 @@
+"""Morphological-family corpus — the "doctor/doctors/doctoral" claim.
+
+§5.4 (Cross-Language Retrieval) explains why LSI needs no stemming:
+
+    "If words with the same stem are used in similar documents they will
+    have similar vectors in the truncated SVD; otherwise, they will not.
+    (For example, in analyzing an encyclopedia, *doctor* is quite near
+    *doctors* but not as similar to *doctoral*.)"
+
+This generator produces word families with exactly that usage split:
+each family has a base form, an *inflectional* variant used
+interchangeably with the base in the same contexts (doctor/doctors),
+and a *derivational* variant used in a systematically different context
+(doctoral — academia rather than medicine).  The claim then becomes a
+measurable inequality: cos(base, inflection) > cos(base, derivation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import ensure_rng
+
+__all__ = ["MorphologyCorpus", "morphology_corpus"]
+
+
+@dataclass
+class MorphologyCorpus:
+    """Generated documents plus the word families to test.
+
+    Attributes
+    ----------
+    documents:
+        The corpus texts.
+    families:
+        ``(base, inflection, derivation)`` triples, e.g. conceptually
+        (doctor, doctors, doctoral).
+    """
+
+    documents: list[str]
+    families: list[tuple[str, str, str]]
+
+
+def morphology_corpus(
+    *,
+    n_families: int = 8,
+    docs_per_context: int = 15,
+    doc_length: int = 30,
+    context_vocab: int = 12,
+    seed=0,
+) -> MorphologyCorpus:
+    """Generate the corpus.
+
+    For each family ``f``:
+
+    * a *primary context* (shared vocabulary ``ctxA_f_*``) hosts both the
+      base form ``basef`` and its inflection ``basefs`` — each document
+      picks one of the two forms (so they share contexts but, like real
+      inflections, tend not to co-occur);
+    * a *secondary context* (vocabulary ``ctxB_f_*``) hosts the
+      derivation ``basefal`` exclusively.
+    """
+    rng = ensure_rng(seed)
+    documents: list[str] = []
+    families: list[tuple[str, str, str]] = []
+    for f in range(n_families):
+        base = f"base{f}"
+        inflection = f"base{f}s"
+        derivation = f"base{f}al"
+        families.append((base, inflection, derivation))
+        ctx_a = [f"ctxa{f}w{i}" for i in range(context_vocab)]
+        ctx_b = [f"ctxb{f}w{i}" for i in range(context_vocab)]
+        # Primary context: base or inflection, per document.
+        for d in range(docs_per_context):
+            form = base if d % 2 == 0 else inflection
+            tokens = []
+            for _ in range(doc_length):
+                if rng.random() < 0.25:
+                    tokens.append(form)
+                else:
+                    tokens.append(ctx_a[int(rng.integers(context_vocab))])
+            documents.append(" ".join(tokens))
+        # Secondary context: the derivation only.
+        for _d in range(docs_per_context):
+            tokens = []
+            for _ in range(doc_length):
+                if rng.random() < 0.25:
+                    tokens.append(derivation)
+                else:
+                    tokens.append(ctx_b[int(rng.integers(context_vocab))])
+            documents.append(" ".join(tokens))
+    order = rng.permutation(len(documents))
+    documents = [documents[int(i)] for i in order]
+    return MorphologyCorpus(documents, families)

@@ -1,0 +1,159 @@
+"""NETLIB-like corpus: routine descriptions for fuzzy code search.
+
+§5.4: "LSI has been incorporated as a fuzzy search option in NETLIB for
+retrieving algorithms, code descriptions, and short articles from the
+NA-Digest electronic newsletter."
+
+The generator emits a catalogue of numerical "routines": a cryptic name
+(the dgesvd/saxpy naming tradition), a one-line description using
+domain jargon, and a longer digest-style entry.  Queries are the way
+users actually ask — by *task*, in words that rarely match the routine
+name and only partly match the description — so exact-name lookup fails
+and lexical matching is weak, which is what made LSI the "fuzzy"
+option.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.corpus.collection import TestCollection
+from repro.util.rng import ensure_rng
+
+__all__ = ["NetlibCatalogue", "netlib_catalogue"]
+
+#: Task families: (name stem, jargon vocabulary, user-query vocabulary).
+#: Jargon and user wording deliberately overlap only partially — the
+#: synonymy gap that motivates fuzzy search.
+_FAMILIES = [
+    ("gesvd", ["singular", "value", "decomposition", "bidiagonal",
+               "orthogonal", "factorization"],
+     ["svd", "factorize", "matrix", "spectrum", "decompose"]),
+    ("gels", ["least", "squares", "overdetermined", "residual",
+              "minimum", "norm"],
+     ["regression", "fit", "line", "best", "approximation"]),
+    ("getrf", ["lu", "factorization", "pivoting", "gaussian",
+               "elimination", "triangular"],
+     ["solve", "linear", "system", "equations", "inverse"]),
+    ("geev", ["eigenvalue", "eigenvector", "hessenberg", "schur",
+              "spectrum", "balancing"],
+     ["modes", "stability", "vibration", "characteristic", "roots"]),
+    ("fftpk", ["fourier", "transform", "discrete", "radix",
+               "frequency", "convolution"],
+     ["spectrum", "signal", "periodic", "filter", "frequencies"]),
+    ("odepk", ["ordinary", "differential", "runge", "kutta",
+               "stiff", "integrator"],
+     ["simulate", "dynamics", "trajectory", "time", "stepping"]),
+    ("quadp", ["quadrature", "adaptive", "integrand", "gauss",
+               "panel", "tolerance"],
+     ["integrate", "area", "curve", "numeric", "integral"]),
+    ("sparsk", ["sparse", "compressed", "row", "storage",
+                "iterative", "preconditioner"],
+     ["large", "matrix", "memory", "efficient", "solver"]),
+]
+
+
+@dataclass
+class NetlibCatalogue:
+    """The generated catalogue.
+
+    Attributes
+    ----------
+    names:
+        Routine names (e.g. ``dgesvd3``), one per entry.
+    descriptions:
+        The routine texts (name + jargon description).
+    entry_family:
+        Family index of each routine entry.
+    digests:
+        NA-Digest-style articles: user-phrased discussion that mentions
+        routine names and jargon.  These are what lets LSI bridge user
+        wording to catalogue jargon — in the real NETLIB, the newsletter
+        articles play exactly this role.
+    queries:
+        Task-phrased user queries.
+    query_family:
+        Family index each query targets.
+    """
+
+    names: list[str]
+    descriptions: list[str]
+    entry_family: list[int]
+    queries: list[str]
+    query_family: list[int]
+    digests: list[str] = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.digests is None:
+            self.digests = []
+
+    def collection(self) -> TestCollection:
+        """As a test collection: relevant = same-family routines."""
+        rel = [
+            {j for j, fam in enumerate(self.entry_family) if fam == qf}
+            for qf in self.query_family
+        ]
+        return TestCollection(
+            documents=list(self.descriptions),
+            queries=list(self.queries),
+            relevance=rel,
+            doc_ids=list(self.names),
+            name="netlib-like",
+        )
+
+
+def netlib_catalogue(
+    *,
+    variants_per_family: int = 5,
+    queries_per_family: int = 2,
+    description_length: int = 25,
+    digests_per_family: int = 6,
+    digest_length: int = 40,
+    query_length: int = 3,
+    seed=0,
+) -> NetlibCatalogue:
+    """Generate the catalogue (precisions: d/s prefixes, version digits).
+
+    Digest articles mix user wording with the family's jargon and
+    routine names — the co-occurrence bridge fuzzy search exploits.
+    """
+    rng = ensure_rng(seed)
+    names, descriptions, entry_family = [], [], []
+    for fam_idx, (stem, jargon, _user) in enumerate(_FAMILIES):
+        for v in range(variants_per_family):
+            prefix = "ds"[int(rng.integers(2))]
+            name = f"{prefix}{stem}{v}"
+            tokens = [name]
+            for _ in range(description_length):
+                tokens.append(jargon[int(rng.integers(len(jargon)))])
+            names.append(name)
+            descriptions.append(" ".join(tokens))
+            entry_family.append(fam_idx)
+
+    digests: list[str] = []
+    for fam_idx, (stem, jargon, user) in enumerate(_FAMILIES):
+        fam_names = [
+            n for n, f in zip(names, entry_family) if f == fam_idx
+        ]
+        for _d in range(digests_per_family):
+            tokens = [fam_names[int(rng.integers(len(fam_names)))]]
+            for _ in range(digest_length):
+                pool = user if rng.random() < 0.5 else jargon
+                tokens.append(pool[int(rng.integers(len(pool)))])
+            digests.append(" ".join(tokens))
+
+    queries, query_family = [], []
+    for fam_idx, (_stem, jargon, user) in enumerate(_FAMILIES):
+        for _q in range(queries_per_family):
+            tokens = []
+            for _ in range(query_length):
+                # Mostly user wording, occasionally a jargon word — the
+                # partial overlap real users produce.
+                pool = user if rng.random() < 0.75 else jargon
+                tokens.append(pool[int(rng.integers(len(pool)))])
+            queries.append(" ".join(tokens))
+            query_family.append(fam_idx)
+
+    return NetlibCatalogue(
+        names, descriptions, entry_family, queries, query_family, digests
+    )

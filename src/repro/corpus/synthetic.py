@@ -1,0 +1,217 @@
+"""Seeded generative topic model with controllable synonymy and polysemy.
+
+The paper's quantitative retrieval claims (§5.1-§5.3) were measured on
+MED/CISI-style test collections that exhibit two linguistic phenomena LSI
+exploits:
+
+* **synonymy** — "there are usually many ways to express a given concept",
+  so relevant documents may share *no* literal terms with the query;
+* **polysemy** — "most words have multiple meanings", so literal matches
+  hit irrelevant documents.
+
+This generator makes both phenomena explicit and tunable.  Text is
+generated from latent *concepts*: each topic owns a set of concepts, each
+concept is expressible by several *surface forms* (synonyms), and each
+document commits to a per-document preferred form for every concept (so
+synonyms share contexts but rarely co-occur — exactly the statistical
+structure LSI's truncated SVD recovers).  Polysemous forms are shared
+verbatim between concepts of *different* topics.  Queries are generated
+from a topic's concepts with an independent choice of surface forms,
+controlled by ``query_synonym_shift``: at 1.0 the query prefers forms the
+relevant documents *avoided* — the regime where the paper observed LSI's
+largest advantage ("when the queries and relevant documents do not share
+many words").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.collection import TestCollection
+from repro.util.rng import ensure_rng
+
+__all__ = ["SyntheticSpec", "topic_collection"]
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Parameters of the generative topic model.
+
+    Attributes
+    ----------
+    n_topics:
+        Number of latent topics; each query targets one topic and its
+        documents are the relevant set.
+    concepts_per_topic:
+        Latent concepts owned by each topic.
+    synonyms_per_concept:
+        Surface forms per concept.  1 disables synonymy entirely (the
+        lexical baseline then matches LSI's inputs word-for-word).
+    docs_per_topic:
+        Documents generated for each topic.
+    doc_length:
+        Tokens per document.
+    queries_per_topic:
+        Queries generated per topic.
+    query_length:
+        Tokens per query (the paper's interactive queries are 1-2 words;
+        TREC queries are 50+).
+    query_synonym_shift:
+        Probability that a query token uses a surface form *other than*
+        the one its relevant documents prefer (the synonymy gap).
+    polysemy:
+        Fraction of concepts whose primary surface form is shared with a
+        concept of another topic (homograph collisions).
+    background_vocab:
+        Number of shared background words (function-word noise).
+    background_rate:
+        Probability a document token is background noise.
+    noise_burst:
+        Maximum run length of a background word: each noise emission
+        repeats the word ``1..noise_burst`` times.  Values > 1 mimic the
+        bursty high-frequency noise of natural text that raw term
+        weighting is vulnerable to (the §5.1 weighting experiment).
+    shuffle_documents:
+        Randomly permute document order.  By default documents are laid
+        out topic-by-topic; experiments that *split* the collection
+        (train-then-stream filtering, sample-then-fold) need every topic
+        on both sides of the split and should enable this.
+    """
+
+    n_topics: int = 8
+    concepts_per_topic: int = 20
+    synonyms_per_concept: int = 3
+    docs_per_topic: int = 25
+    doc_length: int = 60
+    queries_per_topic: int = 2
+    query_length: int = 6
+    query_synonym_shift: float = 0.8
+    polysemy: float = 0.2
+    background_vocab: int = 30
+    background_rate: float = 0.15
+    noise_burst: int = 1
+    shuffle_documents: bool = False
+
+    def __post_init__(self):
+        if self.n_topics < 1 or self.concepts_per_topic < 1:
+            raise ValueError("n_topics and concepts_per_topic must be >= 1")
+        if self.synonyms_per_concept < 1:
+            raise ValueError("synonyms_per_concept must be >= 1")
+        if not 0.0 <= self.query_synonym_shift <= 1.0:
+            raise ValueError("query_synonym_shift must be in [0, 1]")
+        if not 0.0 <= self.polysemy <= 1.0:
+            raise ValueError("polysemy must be in [0, 1]")
+        if not 0.0 <= self.background_rate < 1.0:
+            raise ValueError("background_rate must be in [0, 1)")
+        if self.noise_burst < 1:
+            raise ValueError("noise_burst must be >= 1")
+
+
+def _surface_forms(spec: SyntheticSpec, rng: np.random.Generator) -> list[list[list[str]]]:
+    """forms[t][c] = list of surface forms for concept c of topic t."""
+    forms: list[list[list[str]]] = []
+    for t in range(spec.n_topics):
+        topic_forms = []
+        for c in range(spec.concepts_per_topic):
+            topic_forms.append(
+                [f"t{t}c{c}s{s}" for s in range(spec.synonyms_per_concept)]
+            )
+        forms.append(topic_forms)
+    # Polysemy: overwrite the primary form of selected concepts with the
+    # primary form of a concept from a different topic — the same string
+    # then means different things in different topics.
+    if spec.n_topics > 1 and spec.polysemy > 0:
+        for t in range(spec.n_topics):
+            for c in range(spec.concepts_per_topic):
+                if rng.random() < spec.polysemy:
+                    other_t = int(rng.integers(spec.n_topics - 1))
+                    if other_t >= t:
+                        other_t += 1
+                    other_c = int(rng.integers(spec.concepts_per_topic))
+                    forms[t][c][0] = forms[other_t][other_c][0]
+    return forms
+
+
+def _zipf_probs(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Zipf-like concept popularity within a topic, randomly permuted."""
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    p = 1.0 / ranks
+    rng.shuffle(p)
+    return p / p.sum()
+
+
+def topic_collection(
+    spec: SyntheticSpec | None = None, *, seed=0, name: str | None = None
+) -> TestCollection:
+    """Generate a :class:`TestCollection` from the topic model."""
+    spec = spec or SyntheticSpec()
+    rng = ensure_rng(seed)
+    forms = _surface_forms(spec, rng)
+    background = [f"bg{w}" for w in range(spec.background_vocab)]
+
+    documents: list[str] = []
+    doc_topic: list[int] = []
+    for t in range(spec.n_topics):
+        concept_probs = _zipf_probs(spec.concepts_per_topic, rng)
+        for _d in range(spec.docs_per_topic):
+            # Per-document preferred surface form of each concept: this is
+            # what makes synonyms co-occur with shared context words while
+            # (almost) never co-occurring with each other.
+            preferred = rng.integers(
+                spec.synonyms_per_concept, size=spec.concepts_per_topic
+            )
+            tokens: list[str] = []
+            while len(tokens) < spec.doc_length:
+                if spec.background_vocab and rng.random() < spec.background_rate:
+                    word = background[int(rng.integers(len(background)))]
+                    run = int(rng.integers(1, spec.noise_burst + 1))
+                    tokens.extend([word] * run)
+                    continue
+                c = int(rng.choice(spec.concepts_per_topic, p=concept_probs))
+                tokens.append(forms[t][c][int(preferred[c])])
+            del tokens[spec.doc_length:]
+            documents.append(" ".join(tokens))
+            doc_topic.append(t)
+
+    if spec.shuffle_documents and documents:
+        perm = rng.permutation(len(documents))
+        documents = [documents[int(i)] for i in perm]
+        doc_topic = [doc_topic[int(i)] for i in perm]
+
+    queries: list[str] = []
+    relevance: list[set[int]] = []
+    rel_by_topic: list[set[int]] = [
+        {j for j, dt in enumerate(doc_topic) if dt == t}
+        for t in range(spec.n_topics)
+    ]
+    for t in range(spec.n_topics):
+        for _q in range(spec.queries_per_topic):
+            tokens = []
+            concepts = rng.choice(
+                spec.concepts_per_topic,
+                size=min(spec.query_length, spec.concepts_per_topic),
+                replace=spec.query_length > spec.concepts_per_topic,
+            )
+            for c in np.atleast_1d(concepts):
+                c = int(c)
+                if (
+                    spec.synonyms_per_concept > 1
+                    and rng.random() < spec.query_synonym_shift
+                ):
+                    # Use a non-primary synonym: typically absent from many
+                    # relevant documents (each doc prefers a random form).
+                    s = 1 + int(rng.integers(spec.synonyms_per_concept - 1))
+                else:
+                    s = 0
+                tokens.append(forms[t][c][s])
+            queries.append(" ".join(tokens))
+            relevance.append(set(rel_by_topic[t]))
+
+    return TestCollection(
+        documents=documents,
+        queries=queries,
+        relevance=relevance,
+        name=name or f"synthetic-{spec.n_topics}x{spec.docs_per_topic}",
+    )

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch one base class.  The hierarchy
+mirrors the subsystem layout: shape/format problems raised by the sparse
+substrate, convergence problems raised by the iterative linear algebra,
+and corpus/model misuse raised by the LSI layers.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ShapeError",
+    "SparseFormatError",
+    "ConvergenceError",
+    "VocabularyError",
+    "ModelStateError",
+    "EvaluationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """Operand dimensions are incompatible for the requested operation."""
+
+
+class SparseFormatError(ReproError, ValueError):
+    """A sparse matrix's internal arrays violate the format invariants."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative method (e.g. Lanczos) failed to converge.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    achieved:
+        Number of singular triplets (or eigenpairs) that *did* converge.
+    """
+
+    def __init__(self, message: str, *, iterations: int = 0, achieved: int = 0):
+        super().__init__(message)
+        self.iterations = iterations
+        self.achieved = achieved
+
+
+class VocabularyError(ReproError, KeyError):
+    """A term is missing from, or duplicated in, a vocabulary."""
+
+
+class ModelStateError(ReproError, RuntimeError):
+    """An LSI model was used before fitting or after invalidation."""
+
+
+class EvaluationError(ReproError, ValueError):
+    """Inconsistent relevance judgments or malformed retrieval runs."""

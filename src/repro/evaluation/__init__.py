@@ -1,0 +1,55 @@
+"""Retrieval evaluation in the paper's idiom (§5.1 and footnotes 1-2).
+
+"Two measures, precision and recall, are used to summarize retrieval
+performance. ... Average precision across several levels of recall can
+then be used as a summary measure"; the paper's §5.2 footnote pins the
+specific summary: "Performance is average precision over recall levels of
+0.25, 0.50 and 0.75."
+"""
+
+from repro.evaluation.metrics import (
+    average_precision,
+    eleven_point_average_precision,
+    interpolated_precision_at,
+    precision_at,
+    precision_recall_curve,
+    recall_at,
+    three_point_average_precision,
+)
+from repro.evaluation.harness import (
+    EngineComparison,
+    RetrievalRun,
+    compare_engines,
+    evaluate_run,
+    percent_improvement,
+    run_engine,
+)
+from repro.evaluation.pooling import pooled_judgments
+from repro.evaluation.significance import (
+    PairedTestResult,
+    randomization_test,
+    sign_test,
+)
+from repro.evaluation.report import comparison_table, recall_precision_table
+
+__all__ = [
+    "precision_at",
+    "recall_at",
+    "precision_recall_curve",
+    "interpolated_precision_at",
+    "three_point_average_precision",
+    "eleven_point_average_precision",
+    "average_precision",
+    "RetrievalRun",
+    "run_engine",
+    "evaluate_run",
+    "compare_engines",
+    "EngineComparison",
+    "percent_improvement",
+    "pooled_judgments",
+    "PairedTestResult",
+    "sign_test",
+    "randomization_test",
+    "recall_precision_table",
+    "comparison_table",
+]

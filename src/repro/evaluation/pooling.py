@@ -1,0 +1,64 @@
+"""Pooled relevance judgments (the paper's footnote 1).
+
+"For large collections a pooling method is used.  Relevance judgements
+are made on the pooled set of the top-ranked documents returned by
+several different retrieval systems for the same set of queries."
+
+:func:`pooled_judgments` simulates the TREC protocol against a collection
+with known ground truth: the pooled judgment set for each query is the
+intersection of the true relevance with the union of the engines' top-z
+returns — documents outside every pool are (possibly wrongly) treated as
+non-relevant, which is exactly the bias the footnote warns new systems
+about.  The TREC-like bench uses this to show the pooling effect.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.corpus.collection import TestCollection
+from repro.errors import EvaluationError
+from repro.evaluation.harness import RetrievalRun
+
+__all__ = ["pooled_judgments"]
+
+
+def pooled_judgments(
+    runs: Sequence[RetrievalRun],
+    collection: TestCollection,
+    *,
+    depth: int = 50,
+) -> TestCollection:
+    """Build a pooled-judgment variant of ``collection``.
+
+    Parameters
+    ----------
+    runs:
+        Runs from the systems contributing to the pool.
+    depth:
+        Pool depth — top-``depth`` documents of each run enter the pool.
+    """
+    if depth < 1:
+        raise EvaluationError("pool depth must be >= 1")
+    if not runs:
+        raise EvaluationError("pooling needs at least one run")
+    for run in runs:
+        if run.n_queries != collection.n_queries:
+            raise EvaluationError(
+                f"run {run.engine_name} has {run.n_queries} queries for a "
+                f"{collection.n_queries}-query collection"
+            )
+    pooled: list[set[int]] = []
+    for q in range(collection.n_queries):
+        pool: set[int] = set()
+        for run in runs:
+            pool.update(run.rankings[q][:depth])
+        pooled.append(collection.relevant(q) & pool)
+    return TestCollection(
+        documents=list(collection.documents),
+        queries=list(collection.queries),
+        relevance=pooled,
+        doc_ids=list(collection.doc_ids),
+        query_ids=list(collection.query_ids),
+        name=f"{collection.name}-pooled{depth}",
+    )

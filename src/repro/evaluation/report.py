@@ -1,0 +1,86 @@
+"""Classic IR report formatting.
+
+The era's papers summarize runs as recall-precision tables and
+percent-improvement grids; these helpers render them as fixed-width text
+so benches, examples, and the CLI print comparable artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.corpus.collection import TestCollection
+from repro.errors import EvaluationError
+from repro.evaluation.harness import RetrievalRun, percent_improvement
+from repro.evaluation.metrics import (
+    ELEVEN_POINT_LEVELS,
+    interpolated_precision_at,
+)
+
+__all__ = ["recall_precision_table", "comparison_table"]
+
+
+def recall_precision_table(
+    runs: Sequence[RetrievalRun],
+    collection: TestCollection,
+    *,
+    levels: Sequence[float] = ELEVEN_POINT_LEVELS,
+) -> str:
+    """The classic 11-point table: one column per run, one row per
+    recall level, entries = mean interpolated precision."""
+    if not runs:
+        raise EvaluationError("need at least one run")
+    for run in runs:
+        if run.n_queries != collection.n_queries:
+            raise EvaluationError(
+                f"run {run.engine_name} has {run.n_queries} queries for "
+                f"a {collection.n_queries}-query collection"
+            )
+    names = [run.engine_name for run in runs]
+    width = max(12, max(len(n) for n in names) + 2)
+    header = "recall".rjust(8) + "".join(n.rjust(width) for n in names)
+    lines = [header]
+    means = {n: [] for n in names}
+    for level in levels:
+        cells = []
+        for run in runs:
+            vals = [
+                interpolated_precision_at(
+                    ranking, collection.relevant(q), level
+                )
+                for q, ranking in enumerate(run.rankings)
+            ]
+            mean = float(np.mean(vals)) if vals else 0.0
+            means[run.engine_name].append(mean)
+            cells.append(f"{mean:.4f}".rjust(width))
+        lines.append(f"{level:8.2f}" + "".join(cells))
+    lines.append(
+        "avg".rjust(8)
+        + "".join(
+            f"{float(np.mean(means[n])):.4f}".rjust(width) for n in names
+        )
+    )
+    return "\n".join(lines)
+
+
+def comparison_table(
+    results: dict[str, float], *, baseline: str
+) -> str:
+    """Percent-improvement grid vs a named baseline.
+
+    ``results`` maps system name → summary metric.
+    """
+    if baseline not in results:
+        raise EvaluationError(f"baseline {baseline!r} not among results")
+    base = results[baseline]
+    width = max(len(n) for n in results) + 2
+    lines = [f"{'system'.ljust(width)}{'metric':>9s}{'vs base':>10s}"]
+    for name, value in sorted(results.items(), key=lambda kv: -kv[1]):
+        delta = percent_improvement(value, base)
+        marker = "  (baseline)" if name == baseline else ""
+        lines.append(
+            f"{name.ljust(width)}{value:>9.4f}{delta:>+9.1f}%{marker}"
+        )
+    return "\n".join(lines)

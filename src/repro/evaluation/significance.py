@@ -1,0 +1,108 @@
+"""Statistical significance of engine comparisons.
+
+The paper reports mean percent improvements without significance
+machinery (standard for its venue and era); a production evaluation
+harness needs one.  Two distribution-free paired tests over per-query
+metric values are provided:
+
+* the **sign test** (exact binomial on the direction of per-query
+  differences) — robust, assumption-free, low power;
+* the **paired randomization test** (Fisher permutation on signed
+  differences) — the modern IR-community standard.
+
+Both operate on the ``per_query`` vectors produced by
+:func:`repro.evaluation.harness.evaluate_run`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.util.rng import ensure_rng
+
+__all__ = ["PairedTestResult", "sign_test", "randomization_test"]
+
+
+@dataclass(frozen=True)
+class PairedTestResult:
+    """Outcome of one paired test.
+
+    Attributes
+    ----------
+    statistic:
+        Test-specific statistic (sign test: #positive differences;
+        randomization: observed mean difference).
+    p_value:
+        Two-sided p-value.
+    n:
+        Number of informative pairs (ties dropped for the sign test).
+    """
+
+    test: str
+    statistic: float
+    p_value: float
+    n: int
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """True when the two-sided p-value is below ``alpha``."""
+        return self.p_value < alpha
+
+
+def _paired(a: Sequence[float], b: Sequence[float]) -> np.ndarray:
+    a = np.asarray(list(a), dtype=np.float64)
+    b = np.asarray(list(b), dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise EvaluationError(
+            f"paired tests need equal-length 1-D score lists, got "
+            f"{a.shape} vs {b.shape}"
+        )
+    if a.size == 0:
+        raise EvaluationError("no query scores to compare")
+    return a - b
+
+
+def sign_test(a: Sequence[float], b: Sequence[float]) -> PairedTestResult:
+    """Exact two-sided sign test on per-query differences ``a - b``."""
+    diff = _paired(a, b)
+    pos = int(np.sum(diff > 0))
+    neg = int(np.sum(diff < 0))
+    n = pos + neg
+    if n == 0:
+        return PairedTestResult("sign", 0.0, 1.0, 0)
+    # Two-sided exact binomial tail around n/2.
+    k = max(pos, neg)
+    tail = sum(comb(n, i) for i in range(k, n + 1)) / 2.0**n
+    p = min(1.0, 2.0 * tail)
+    return PairedTestResult("sign", float(pos), p, n)
+
+
+def randomization_test(
+    a: Sequence[float],
+    b: Sequence[float],
+    *,
+    rounds: int = 10_000,
+    seed=0,
+) -> PairedTestResult:
+    """Paired randomization (permutation) test on the mean difference.
+
+    Under the null the sign of each per-query difference is arbitrary;
+    the p-value is the fraction of random sign assignments whose |mean
+    difference| is at least the observed one (with the +1 smoothing that
+    keeps the estimate valid).
+    """
+    if rounds < 1:
+        raise EvaluationError("rounds must be >= 1")
+    diff = _paired(a, b)
+    observed = abs(float(diff.mean()))
+    rng = ensure_rng(seed)
+    signs = rng.choice([-1.0, 1.0], size=(rounds, diff.size))
+    means = np.abs((signs * diff).mean(axis=1))
+    p = (1.0 + float(np.sum(means >= observed - 1e-15))) / (rounds + 1.0)
+    return PairedTestResult(
+        "randomization", float(diff.mean()), min(1.0, p), int(diff.size)
+    )

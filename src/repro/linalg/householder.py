@@ -1,0 +1,97 @@
+"""Householder QR factorization.
+
+Used by the updating algebra (orthonormal completions when appending
+document/term blocks) and by tests as an independent orthogonalization
+reference.  The implementation is the standard column-by-column Householder
+reduction with the reflector applied as a rank-1 update — O(mn²) flops,
+numerically backward stable, no pivoting (our uses never need it: inputs
+are either random or already well-conditioned residual blocks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.util.rng import ensure_rng
+
+__all__ = ["householder_qr", "orthonormal_columns"]
+
+
+def householder_qr(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Thin QR factorization ``A = Q R`` via Householder reflections.
+
+    Parameters
+    ----------
+    a:
+        Dense ``(m, n)`` array with ``m >= n``.
+
+    Returns
+    -------
+    (Q, R):
+        ``Q`` is ``(m, n)`` with orthonormal columns; ``R`` is ``(n, n)``
+        upper triangular with non-negative diagonal.
+    """
+    A = np.array(a, dtype=np.float64, copy=True)
+    if A.ndim != 2:
+        raise ShapeError(f"householder_qr expects a matrix, got ndim={A.ndim}")
+    m, n = A.shape
+    if m < n:
+        raise ShapeError(f"householder_qr requires m >= n, got shape {A.shape}")
+    # reflectors[j] = (v, beta) with H_j = I - beta v vᵀ acting on rows j:.
+    reflectors: list[tuple[np.ndarray, float] | None] = [None] * n
+    for j in range(n):
+        x = A[j:, j]
+        # Column scaling guards against under/overflow for subnormal or
+        # huge inputs: the reflector is invariant to scaling of x.
+        scale = np.max(np.abs(x))
+        if scale == 0.0 or not np.isfinite(scale):
+            if not np.isfinite(scale):
+                raise ShapeError("householder_qr input contains non-finite values")
+            continue
+        xs = x / scale
+        normxs = np.sqrt(np.dot(xs, xs))
+        if normxs == 0.0:
+            continue
+        alpha_s = -normxs if xs[0] >= 0 else normxs
+        v = xs.copy()
+        v[0] -= alpha_s
+        vnorm2 = np.dot(v, v)
+        if vnorm2 == 0.0:
+            continue
+        beta = 2.0 / vnorm2
+        w = beta * (v @ A[j:, j:])
+        A[j:, j:] -= np.outer(v, w)
+        A[j, j] = alpha_s * scale
+        A[j + 1 :, j] = 0.0
+        reflectors[j] = (v, beta)
+    R = np.triu(A[:n, :n]).copy()
+    # Form Q by applying reflectors to the first n identity columns, in
+    # reverse order.
+    Q = np.zeros((m, n))
+    Q[np.arange(n), np.arange(n)] = 1.0
+    for j in range(n - 1, -1, -1):
+        if reflectors[j] is None:
+            continue
+        v, beta = reflectors[j]
+        w = beta * (v @ Q[j:, :])
+        Q[j:, :] -= np.outer(v, w)
+    # Fix signs so R has a non-negative diagonal (unique thin QR for
+    # full-rank input).
+    signs = np.where(np.diag(R) < 0, -1.0, 1.0)
+    Q *= signs
+    R *= signs[:, None]
+    return Q, R
+
+
+def orthonormal_columns(m: int, k: int, *, seed=None) -> np.ndarray:
+    """Random ``(m, k)`` matrix with orthonormal columns (QR of Gaussian).
+
+    Used for orthonormal completions and as reproducible test fixtures.
+    """
+    if k > m:
+        raise ShapeError(f"cannot build {k} orthonormal columns in dimension {m}")
+    rng = ensure_rng(seed)
+    g = rng.standard_normal((m, k))
+    q, _ = householder_qr(g)
+    return q

@@ -1,0 +1,154 @@
+"""Unified truncated-SVD front-end.
+
+:func:`truncated_svd` is the single entry point the LSI layers call.  It
+selects among four from-scratch backends:
+
+``"dense"``
+    One-sided Jacobi on the densified matrix — exact, used for small
+    problems and as the inner solve of the SVD-updating phases.
+``"lanczos"``
+    Gram-side symmetric Lanczos (:mod:`repro.linalg.lanczos`) — the
+    SVDPACKC-style sparse path the paper describes.
+``"gkl"``
+    Golub-Kahan-Lanczos bidiagonalization followed by a dense SVD of the
+    small bidiagonal — the non-squaring alternative.
+``"block-lanczos"``
+    Block Lanczos (the SVDPACKC ``bls2`` analogue) — resolves clustered
+    spectra a block at a time; see :mod:`repro.linalg.block_lanczos`.
+``"auto"``
+    Dense below :data:`DENSE_CUTOFF` on the small side (or when ``k`` is a
+    large fraction of it), Lanczos otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.linalg.bidiag import bidiagonal_dense, golub_kahan_bidiag
+from repro.linalg.jacobi_svd import jacobi_svd
+from repro.linalg.block_lanczos import block_lanczos_svd
+from repro.linalg.lanczos import LanczosStats, lanczos_svd
+
+__all__ = ["SVDResult", "truncated_svd", "DENSE_CUTOFF"]
+
+#: Small-side size below which the dense Jacobi backend is used by "auto".
+DENSE_CUTOFF = 220
+
+
+@dataclass
+class SVDResult:
+    """A truncated singular value decomposition ``A ≈ U diag(s) Vᵀ``.
+
+    Attributes
+    ----------
+    U:
+        ``(m, k)`` left singular vectors (term vectors in LSI).
+    s:
+        ``(k,)`` singular values, descending.
+    V:
+        ``(n, k)`` right singular vectors (document vectors in LSI).
+    stats:
+        Lanczos instrumentation when an iterative backend produced this
+        result, else ``None``.
+    """
+
+    U: np.ndarray
+    s: np.ndarray
+    V: np.ndarray
+    stats: Optional[LanczosStats] = None
+    method: str = "dense"
+
+    @property
+    def k(self) -> int:
+        """Number of retained factors."""
+        return int(self.s.size)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Shape of the matrix this decomposition approximates."""
+        return (self.U.shape[0], self.V.shape[0])
+
+    @property
+    def Vt(self) -> np.ndarray:
+        """``Vᵀ`` as an ``(k, n)`` array (convenience view)."""
+        return self.V.T
+
+    def truncate(self, k: int) -> "SVDResult":
+        """Drop trailing factors, returning a rank-``k`` decomposition."""
+        if not 1 <= k <= self.k:
+            raise ShapeError(f"cannot truncate rank-{self.k} SVD to k={k}")
+        return SVDResult(
+            self.U[:, :k].copy(), self.s[:k].copy(), self.V[:, :k].copy(),
+            stats=self.stats, method=self.method,
+        )
+
+    def reconstruct(self) -> np.ndarray:
+        """Materialize the dense rank-``k`` approximation ``A_k``."""
+        return (self.U * self.s) @ self.V.T
+
+    def frobenius(self) -> float:
+        """``‖A_k‖_F = sqrt(Σ σᵢ²)`` (Theorem 2.1, norm property)."""
+        return float(np.sqrt(np.dot(self.s, self.s)))
+
+
+def _densify(a) -> np.ndarray:
+    if isinstance(a, np.ndarray):
+        return a
+    if hasattr(a, "to_dense"):
+        return a.to_dense()
+    return np.asarray(a, dtype=np.float64)
+
+
+def truncated_svd(
+    a,
+    k: int,
+    *,
+    method: str = "auto",
+    tol: float = 1e-10,
+    max_iter: int | None = None,
+    seed=0,
+) -> SVDResult:
+    """Compute the ``k`` largest singular triplets of ``a``.
+
+    See module docstring for backend semantics.  ``a`` may be dense or any
+    :mod:`repro.sparse` format.
+    """
+    m, n = a.shape
+    dim = min(m, n)
+    if not 1 <= k <= dim:
+        raise ShapeError(f"k={k} must be in [1, min(m, n)={dim}]")
+
+    if method == "auto":
+        method = "dense" if (dim <= DENSE_CUTOFF or k > 0.5 * dim) else "lanczos"
+
+    if method == "dense":
+        U, s, V = jacobi_svd(_densify(a))
+        return SVDResult(U[:, :k].copy(), s[:k].copy(), V[:, :k].copy(), method="dense")
+
+    if method == "lanczos":
+        U, s, V, stats = lanczos_svd(
+            a, k, tol=tol, max_iter=max_iter, seed=seed
+        )
+        return SVDResult(U, s, V, stats=stats, method="lanczos")
+
+    if method == "block-lanczos":
+        U, s, V, stats = block_lanczos_svd(a, k, seed=seed, tol=tol)
+        return SVDResult(U, s, V, stats=stats, method="block-lanczos")
+
+    if method == "gkl":
+        steps = dim if max_iter is None else min(max_iter, dim)
+        if max_iter is None:
+            steps = min(dim, max(2 * k + 16, 32))
+        Ub, Vb, alphas, betas = golub_kahan_bidiag(a, steps, seed=seed)
+        B = bidiagonal_dense(alphas, betas)
+        P, s, Q = jacobi_svd(B)
+        kk = min(k, s.size)
+        return SVDResult(
+            Ub @ P[:, :kk], s[:kk].copy(), Vb @ Q[:, :kk], method="gkl"
+        )
+
+    raise ValueError(f"unknown SVD method {method!r}")

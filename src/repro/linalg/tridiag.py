@@ -1,0 +1,107 @@
+"""Symmetric tridiagonal eigensolver (implicit-shift QL, "tql2").
+
+This is the inner solve of the Lanczos SVD: each outer iteration reduces
+the Gram operator to a small symmetric tridiagonal matrix whose eigenpairs
+are the Ritz approximations.  The algorithm is the classic EISPACK ``tql2``
+implicit-shift QL iteration with Wilkinson shifts, O(n²) per eigenvalue
+including eigenvector accumulation, unconditionally convergent in practice
+(a safeguard iteration cap raises :class:`~repro.errors.ConvergenceError`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConvergenceError, ShapeError
+
+__all__ = ["tridiag_eigh"]
+
+_MAX_QL_SWEEPS = 50
+
+
+def tridiag_eigh(
+    diag: np.ndarray, offdiag: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Eigenvalues and eigenvectors of a symmetric tridiagonal matrix.
+
+    Parameters
+    ----------
+    diag:
+        Main diagonal, length ``n``.
+    offdiag:
+        Sub/super-diagonal, length ``n - 1`` (or ``n`` with a trailing
+        ignored element, as produced by in-place Lanczos buffers).
+
+    Returns
+    -------
+    (w, Z):
+        ``w`` — eigenvalues in ascending order, shape ``(n,)``.
+        ``Z`` — orthonormal eigenvectors as columns, shape ``(n, n)``,
+        with ``T @ Z[:, i] == w[i] * Z[:, i]``.
+    """
+    d = np.array(diag, dtype=np.float64, copy=True).ravel()
+    n = d.size
+    if n == 0:
+        return np.empty(0), np.empty((0, 0))
+    e_in = np.asarray(offdiag, dtype=np.float64).ravel()
+    if e_in.size not in (max(n - 1, 0), n):
+        raise ShapeError(
+            f"offdiag must have length n-1={n - 1} (or n), got {e_in.size}"
+        )
+    # Working copy with the EISPACK convention: e[0] unused after the shift.
+    e = np.zeros(n)
+    e[: n - 1] = e_in[: n - 1]
+    z = np.eye(n)
+    if n == 1:
+        return d, z
+
+    for l in range(n):
+        for sweep in range(_MAX_QL_SWEEPS + 1):
+            # Find a small off-diagonal element to split the problem.
+            m = l
+            while m < n - 1:
+                dd = abs(d[m]) + abs(d[m + 1])
+                if abs(e[m]) <= np.finfo(float).eps * dd:
+                    break
+                m += 1
+            if m == l:
+                break
+            if sweep == _MAX_QL_SWEEPS:
+                raise ConvergenceError(
+                    f"tql2 failed to converge for eigenvalue {l}",
+                    iterations=sweep,
+                    achieved=l,
+                )
+            # Wilkinson shift from the 2x2 leading block.
+            g = (d[l + 1] - d[l]) / (2.0 * e[l])
+            r = np.hypot(g, 1.0)
+            g = d[m] - d[l] + e[l] / (g + (r if g >= 0 else -r))
+            s, c = 1.0, 1.0
+            p = 0.0
+            for i in range(m - 1, l - 1, -1):
+                f = s * e[i]
+                b = c * e[i]
+                r = np.hypot(f, g)
+                e[i + 1] = r
+                if r == 0.0:
+                    d[i + 1] -= p
+                    e[m] = 0.0
+                    break
+                s = f / r
+                c = g / r
+                g = d[i + 1] - p
+                r = (d[i] - g) * s + 2.0 * c * b
+                p = s * r
+                d[i + 1] = g + p
+                g = c * r - b
+                # Accumulate the rotation into the eigenvector matrix.
+                col_i1 = z[:, i + 1].copy()
+                z[:, i + 1] = s * z[:, i] + c * col_i1
+                z[:, i] = c * z[:, i] - s * col_i1
+            else:
+                d[l] -= p
+                e[l] = g
+                e[m] = 0.0
+    # Sort ascending, reorder eigenvectors to match.
+    order = np.argsort(d, kind="stable")
+    return d[order], z[:, order]

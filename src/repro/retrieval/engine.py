@@ -1,0 +1,119 @@
+"""The LSI retrieval engine and the engine protocol.
+
+Both engines (LSI here, keyword in :mod:`repro.retrieval.keyword`) expose
+the same surface — ``scores(query)`` and ``search(query, top=, threshold=)``
+returning ``(doc_index, score)`` pairs — so the evaluation harness and the
+benchmark suite treat them interchangeably.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.core.build import fit_lsi
+from repro.core.model import LSIModel
+from repro.core.query import project_query
+from repro.core.similarity import cosine_similarities
+from repro.text.parser import ParsingRules
+from repro.weighting.schemes import WeightingScheme
+
+__all__ = ["RetrievalEngine", "LSIRetrieval"]
+
+
+@runtime_checkable
+class RetrievalEngine(Protocol):
+    """What the evaluation harness needs from an engine."""
+
+    name: str
+
+    @property
+    def n_documents(self) -> int:
+        """Documents the engine can return."""
+        ...
+
+    def scores(self, query) -> np.ndarray:
+        """Score every document for ``query`` (length n)."""
+        ...
+
+    def search(self, query, *, top=None, threshold=None):
+        """Ranked, optionally filtered ``(doc_index, score)`` pairs."""
+        ...
+
+
+class LSIRetrieval:
+    """Retrieval through a fitted LSI model (Eq. 6 + cosine ranking)."""
+
+    name = "lsi"
+
+    def __init__(self, model: LSIModel, *, mode: str = "scaled"):
+        self.model = model
+        self.mode = mode
+
+    @classmethod
+    def from_texts(
+        cls,
+        texts: Sequence[str],
+        k: int,
+        *,
+        scheme: WeightingScheme | str | None = None,
+        rules: ParsingRules | None = None,
+        doc_ids: Sequence[str] | None = None,
+        method: str = "auto",
+        seed=0,
+        mode: str = "scaled",
+    ) -> "LSIRetrieval":
+        model = fit_lsi(
+            texts, k, scheme=scheme, rules=rules, doc_ids=doc_ids,
+            method=method, seed=seed,
+        )
+        return cls(model, mode=mode)
+
+    @property
+    def n_documents(self) -> int:
+        """Documents in the underlying model."""
+        return self.model.n_documents
+
+    @property
+    def k(self) -> int:
+        """Number of factors in the underlying model."""
+        return self.model.k
+
+    # ------------------------------------------------------------------ #
+    def query_vector(self, query) -> np.ndarray:
+        """The query's k-space pseudo-document (Eq. 6)."""
+        return project_query(self.model, query)
+
+    def scores(self, query) -> np.ndarray:
+        """Cosine of the query against every document (length n)."""
+        qhat = self.query_vector(query)
+        if not np.any(qhat):
+            return np.zeros(self.n_documents)
+        return cosine_similarities(self.model, qhat, mode=self.mode)
+
+    def scores_for_vector(self, qhat: np.ndarray) -> np.ndarray:
+        """Scores for an externally supplied k-space vector (feedback)."""
+        return cosine_similarities(self.model, qhat, mode=self.mode)
+
+    def search(
+        self,
+        query,
+        *,
+        top: int | None = None,
+        threshold: float | None = None,
+    ) -> list[tuple[int, float]]:
+        """Ranked ``(doc_index, score)`` pairs, filtered per §3.1."""
+        s = self.scores(query)
+        order = np.argsort(-s, kind="stable")
+        out = [(int(j), float(s[j])) for j in order]
+        if threshold is not None:
+            out = [(j, c) for j, c in out if c >= threshold]
+        if top is not None:
+            out = out[:top]
+        return out
+
+    def with_k(self, k: int) -> "LSIRetrieval":
+        """Engine over the same model truncated to ``k`` factors (for the
+        §5.2 choosing-k sweeps — one decomposition, many k values)."""
+        return LSIRetrieval(self.model.truncated(k), mode=self.mode)

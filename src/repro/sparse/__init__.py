@@ -1,0 +1,57 @@
+"""From-scratch sparse matrix substrate.
+
+The paper's entire pipeline runs on large sparse term-document matrices
+("containing only .001-.002% non-zero entries" for TREC).  This subpackage
+implements the three classic storage schemes — coordinate (COO), compressed
+sparse row (CSR) and compressed sparse column (CSC) — with pure-NumPy
+vectorized kernels: no Python-level loops over nonzeros on any hot path.
+
+Format roles
+------------
+* :class:`COOMatrix` — assembly format; cheap to build, converts to the
+  compressed formats.
+* :class:`CSRMatrix` — row-major compute format; fast ``A @ x`` and row
+  scaling (local weighting applies per cell, global weighting per row/term).
+* :class:`CSCMatrix` — column-major compute format; fast ``Aᵀ @ x`` and
+  column (document) extraction for fold-in.
+
+All formats store ``float64`` data and ``int64`` indices, are immutable
+after construction, and validate their invariants eagerly (see
+:class:`repro.errors.SparseFormatError`).
+"""
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.build import MatrixBuilder, from_dense, from_triples
+from repro.sparse.ops import (
+    csc_matvec,
+    csr_matmat,
+    csr_matvec,
+    csr_rmatvec,
+    frobenius_norm,
+    hstack_csc,
+    vstack_csr,
+)
+from repro.sparse.io import load_coordinate_text, save_coordinate_text
+from repro.sparse.diagnostics import MatrixProfile, matrix_profile
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "CSCMatrix",
+    "MatrixBuilder",
+    "from_dense",
+    "from_triples",
+    "csr_matvec",
+    "csr_rmatvec",
+    "csc_matvec",
+    "csr_matmat",
+    "frobenius_norm",
+    "hstack_csc",
+    "vstack_csr",
+    "load_coordinate_text",
+    "save_coordinate_text",
+    "MatrixProfile",
+    "matrix_profile",
+]

@@ -1,0 +1,240 @@
+"""Compressed sparse row (CSR) format — the row-major compute format.
+
+CSR stores a matrix as ``(indptr, indices, data)`` where row ``i`` occupies
+the slice ``indptr[i]:indptr[i+1]`` of ``indices`` (column ids) and ``data``
+(values).  In LSI the rows are *terms*: global term weights scale CSR rows
+in O(nnz), and the Lanczos operator ``x ↦ A(Aᵀx)`` alternates CSR matvec and
+CSR transposed matvec.
+
+The kernels live in :mod:`repro.sparse.ops`; this class caches the expanded
+per-nonzero row-index array the kernels need, computing it lazily once.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import ShapeError, SparseFormatError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sparse.coo import COOMatrix
+    from repro.sparse.csc import CSCMatrix
+
+__all__ = ["CSRMatrix"]
+
+
+class CSRMatrix:
+    """Immutable CSR sparse matrix with vectorized linear-algebra hooks."""
+
+    __slots__ = ("shape", "indptr", "indices", "data", "_row_cache")
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+    ):
+        m, n = int(shape[0]), int(shape[1])
+        indptr = np.asarray(indptr, dtype=np.int64).ravel()
+        indices = np.asarray(indices, dtype=np.int64).ravel()
+        data = np.asarray(data, dtype=np.float64).ravel()
+        if indptr.size != m + 1:
+            raise SparseFormatError(f"indptr must have length m+1={m + 1}, got {indptr.size}")
+        if indptr[0] != 0 or indptr[-1] != indices.size:
+            raise SparseFormatError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(indptr) < 0):
+            raise SparseFormatError("indptr must be non-decreasing")
+        if indices.size != data.size:
+            raise SparseFormatError("indices and data must have equal length")
+        if indices.size and (indices.min() < 0 or indices.max() >= n):
+            raise SparseFormatError("column index out of bounds")
+        object.__setattr__(self, "shape", (m, n))
+        object.__setattr__(self, "indptr", indptr)
+        object.__setattr__(self, "indices", indices)
+        object.__setattr__(self, "data", data)
+        object.__setattr__(self, "_row_cache", None)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("CSRMatrix is immutable")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.data.size)
+
+    @property
+    def density(self) -> float:
+        """Stored fraction ``nnz / (m·n)``."""
+        m, n = self.shape
+        return self.nnz / (m * n) if m and n else 0.0
+
+    def __repr__(self) -> str:
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"
+
+    def row_nnz(self) -> np.ndarray:
+        """Per-row stored-entry counts (length m)."""
+        return np.diff(self.indptr)
+
+    def expanded_rows(self) -> np.ndarray:
+        """Per-nonzero row index (length nnz), cached after first use.
+
+        This is the scatter target for the bincount-based matvec kernel; it
+        costs one ``np.repeat`` and is reused across Lanczos iterations.
+        """
+        if self._row_cache is None:
+            rows = np.repeat(
+                np.arange(self.shape[0], dtype=np.int64), np.diff(self.indptr)
+            )
+            object.__setattr__(self, "_row_cache", rows)
+        return self._row_cache
+
+    # ------------------------------------------------------------------ #
+    # linear algebra (delegates to the shared kernels)
+    # ------------------------------------------------------------------ #
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``A @ x`` for a dense vector ``x``."""
+        from repro.sparse.ops import csr_matvec
+
+        return csr_matvec(self, x)
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        """Compute ``Aᵀ @ y`` for a dense vector ``y``."""
+        from repro.sparse.ops import csr_rmatvec
+
+        return csr_rmatvec(self, y)
+
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        """Compute ``A @ X`` for a dense matrix ``X`` (chunked over columns)."""
+        from repro.sparse.ops import csr_matmat
+
+        return csr_matmat(self, X)
+
+    def rmatmat(self, Y: np.ndarray) -> np.ndarray:
+        """Compute ``Aᵀ @ Y`` for a dense matrix ``Y``."""
+        from repro.sparse.ops import csr_rmatmat
+
+        return csr_rmatmat(self, Y)
+
+    def __matmul__(self, other):
+        other = np.asarray(other, dtype=np.float64)
+        if other.ndim == 1:
+            return self.matvec(other)
+        if other.ndim == 2:
+            return self.matmat(other)
+        raise ShapeError("CSRMatrix @ operand must be 1-D or 2-D")
+
+    # ------------------------------------------------------------------ #
+    # scaling / reductions used by the weighting subsystem
+    # ------------------------------------------------------------------ #
+    def scale_rows(self, s: np.ndarray) -> "CSRMatrix":
+        """Return ``diag(s) @ A`` — multiply row ``i`` by ``s[i]`` (O(nnz))."""
+        s = np.asarray(s, dtype=np.float64).ravel()
+        if s.size != self.shape[0]:
+            raise ShapeError(f"scale vector length {s.size} != m={self.shape[0]}")
+        return CSRMatrix(
+            self.shape, self.indptr, self.indices, self.data * s[self.expanded_rows()]
+        )
+
+    def scale_cols(self, s: np.ndarray) -> "CSRMatrix":
+        """Return ``A @ diag(s)`` — multiply column ``j`` by ``s[j]`` (O(nnz))."""
+        s = np.asarray(s, dtype=np.float64).ravel()
+        if s.size != self.shape[1]:
+            raise ShapeError(f"scale vector length {s.size} != n={self.shape[1]}")
+        return CSRMatrix(self.shape, self.indptr, self.indices, self.data * s[self.indices])
+
+    def map_data(self, fn) -> "CSRMatrix":
+        """Apply ``fn`` to stored values only (``fn`` must map 0 → 0)."""
+        new = np.asarray(fn(self.data), dtype=np.float64)
+        if new.shape != self.data.shape:
+            raise SparseFormatError("map_data callback changed the data length")
+        return CSRMatrix(self.shape, self.indptr, self.indices, new)
+
+    def row_sums(self) -> np.ndarray:
+        """Vector of row sums, length m."""
+        return np.bincount(self.expanded_rows(), weights=self.data, minlength=self.shape[0])
+
+    def col_sums(self) -> np.ndarray:
+        """Vector of column sums, length n."""
+        return np.bincount(self.indices, weights=self.data, minlength=self.shape[1])
+
+    def row_slice(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(column ids, values)`` of row ``i`` as views."""
+        if not 0 <= i < self.shape[0]:
+            raise ShapeError(f"row {i} out of range for m={self.shape[0]}")
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def select_rows(self, rows: np.ndarray) -> "CSRMatrix":
+        """Return the submatrix of the given rows, in the given order."""
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        if rows.size and (rows.min() < 0 or rows.max() >= self.shape[0]):
+            raise ShapeError("row selection out of bounds")
+        counts = np.diff(self.indptr)[rows]
+        new_indptr = np.zeros(rows.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=new_indptr[1:])
+        # Gather each selected row's nnz range via a flat index expansion.
+        starts = self.indptr[rows]
+        gather = _ranges(starts, counts)
+        return CSRMatrix(
+            (rows.size, self.shape[1]), new_indptr, self.indices[gather], self.data[gather]
+        )
+
+    # ------------------------------------------------------------------ #
+    # conversions
+    # ------------------------------------------------------------------ #
+    def to_coo(self) -> "COOMatrix":
+        """Convert to coordinate format."""
+        from repro.sparse.coo import COOMatrix
+
+        return COOMatrix(
+            self.shape, self.expanded_rows(), self.indices, self.data,
+            sum_duplicates=False,
+        )
+
+    def to_csc(self) -> "CSCMatrix":
+        """Convert to compressed sparse column format."""
+        return self.to_coo().to_csc()
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense float64 array."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        out[self.expanded_rows(), self.indices] = self.data
+        return out
+
+    def transpose(self) -> "CSCMatrix":
+        """O(1) transpose: reinterpret the CSR arrays as CSC of Aᵀ."""
+        from repro.sparse.csc import CSCMatrix
+
+        m, n = self.shape
+        return CSCMatrix((n, m), self.indptr, self.indices, self.data)
+
+    @property
+    def T(self) -> "CSCMatrix":
+        """The O(1) transpose (see :meth:`transpose`)."""
+        return self.transpose()
+
+
+def _ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Vectorized concatenation of ``[arange(s, s+c) for s, c in zip(...)]``.
+
+    Builds the output as a cumulative sum of unit steps, with a corrective
+    jump at the first position of each nonempty range.
+    """
+    starts = np.asarray(starts, dtype=np.int64).ravel()
+    counts = np.asarray(counts, dtype=np.int64).ravel()
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    nonempty = counts > 0
+    st = starts[nonempty]
+    ct = counts[nonempty]
+    deltas = np.ones(total, dtype=np.int64)
+    first_pos = np.zeros(ct.size, dtype=np.int64)
+    np.cumsum(ct[:-1], out=first_pos[1:])
+    deltas[0] = st[0]
+    deltas[first_pos[1:]] = st[1:] - st[:-1] - ct[:-1] + 1
+    return np.cumsum(deltas)

@@ -1,0 +1,87 @@
+"""Collection/matrix diagnostics.
+
+The paper characterizes its matrices by exactly these statistics — "Such
+term by document matrices are quite sparse, containing only .001-.002%
+non-zero entries" — and the SVD backend choice (dense vs Lanczos) as
+well as the Table 7 cost model consume them.  :func:`matrix_profile`
+computes the profile once; `repro.corpus` generators and the benches
+print it so every experiment records the substrate it ran on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MatrixProfile", "matrix_profile"]
+
+
+@dataclass(frozen=True)
+class MatrixProfile:
+    """Shape/sparsity/occupancy statistics of a term-document matrix.
+
+    Attributes
+    ----------
+    shape:
+        ``(m, n)``.
+    nnz:
+        Stored entries.
+    density_pct:
+        ``100 · nnz / (m·n)`` — the paper's percentage convention.
+    row_nnz_mean / row_nnz_max:
+        Occupancy of term rows (documents per term).
+    col_nnz_mean / col_nnz_max:
+        Occupancy of document columns (distinct terms per document).
+    value_mean / value_max:
+        Stored-value statistics (term frequencies before weighting).
+    """
+
+    shape: tuple[int, int]
+    nnz: int
+    density_pct: float
+    row_nnz_mean: float
+    row_nnz_max: int
+    col_nnz_mean: float
+    col_nnz_max: int
+    value_mean: float
+    value_max: float
+
+    def summary(self) -> str:
+        """One-line profile in the paper's density-percentage idiom."""
+        m, n = self.shape
+        return (
+            f"{m}×{n}, nnz={self.nnz} ({self.density_pct:.4f}% non-zero), "
+            f"terms/doc mean {self.col_nnz_mean:.1f} max {self.col_nnz_max}, "
+            f"docs/term mean {self.row_nnz_mean:.1f} max {self.row_nnz_max}"
+        )
+
+
+def matrix_profile(matrix) -> MatrixProfile:
+    """Profile any :mod:`repro.sparse` matrix (COO, CSR or CSC)."""
+    m, n = matrix.shape
+    nnz = matrix.nnz
+    if hasattr(matrix, "expanded_rows"):       # CSR
+        rows = matrix.expanded_rows()
+        cols = matrix.indices
+    elif hasattr(matrix, "expanded_cols"):     # CSC
+        rows = matrix.indices
+        cols = matrix.expanded_cols()
+    else:                                      # COO
+        rows = matrix.row
+        cols = matrix.col
+    row_counts = np.bincount(rows, minlength=m) if nnz else np.zeros(m, int)
+    col_counts = np.bincount(cols, minlength=n) if nnz else np.zeros(n, int)
+    values = matrix.data
+    cells = m * n
+    return MatrixProfile(
+        shape=(m, n),
+        nnz=int(nnz),
+        density_pct=100.0 * nnz / cells if cells else 0.0,
+        row_nnz_mean=float(row_counts.mean()) if m else 0.0,
+        row_nnz_max=int(row_counts.max(initial=0)),
+        col_nnz_mean=float(col_counts.mean()) if n else 0.0,
+        col_nnz_max=int(col_counts.max(initial=0)),
+        value_mean=float(values.mean()) if nnz else 0.0,
+        value_max=float(values.max(initial=0.0)) if nnz else 0.0,
+    )

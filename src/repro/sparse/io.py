@@ -1,0 +1,62 @@
+"""Plain-text coordinate-format persistence for sparse matrices.
+
+The format is the 1990s-era exchange style the paper's software ecosystem
+(SVDPACKC, Harwell–Boeing tooling) grew out of, simplified to the
+MatrixMarket-like coordinate layout::
+
+    %%repro coordinate
+    <m> <n> <nnz>
+    <row> <col> <value>     (1-based indices, one entry per line)
+
+Round-trips exactly for float64 values (written with repr precision).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.errors import SparseFormatError
+from repro.sparse.coo import COOMatrix
+
+__all__ = ["save_coordinate_text", "load_coordinate_text"]
+
+_HEADER = "%%repro coordinate"
+
+
+def save_coordinate_text(path: Union[str, os.PathLike], matrix) -> None:
+    """Write any of the three sparse formats to ``path``.
+
+    The matrix is converted to COO first; entries are written row-major.
+    """
+    coo = matrix if isinstance(matrix, COOMatrix) else matrix.to_coo()
+    m, n = coo.shape
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write(f"{_HEADER}\n{m} {n} {coo.nnz}\n")
+        for i, j, v in zip(coo.row.tolist(), coo.col.tolist(), coo.data.tolist()):
+            fh.write(f"{i + 1} {j + 1} {v!r}\n")
+
+
+def load_coordinate_text(path: Union[str, os.PathLike]) -> COOMatrix:
+    """Read a matrix previously written by :func:`save_coordinate_text`."""
+    with open(path, "r", encoding="ascii") as fh:
+        header = fh.readline().strip()
+        if header != _HEADER:
+            raise SparseFormatError(f"unrecognized header {header!r} in {path}")
+        dims = fh.readline().split()
+        if len(dims) != 3:
+            raise SparseFormatError("malformed dimension line")
+        m, n, nnz = (int(d) for d in dims)
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.empty(nnz, dtype=np.float64)
+        for k in range(nnz):
+            parts = fh.readline().split()
+            if len(parts) != 3:
+                raise SparseFormatError(f"malformed entry line {k + 3} in {path}")
+            rows[k] = int(parts[0]) - 1
+            cols[k] = int(parts[1]) - 1
+            vals[k] = float(parts[2])
+    return COOMatrix((m, n), rows, cols, vals, sum_duplicates=False)

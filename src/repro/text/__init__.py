@@ -1,0 +1,39 @@
+"""Text processing: tokenization, parsing rules, vocabularies, matrices.
+
+Implements the paper's document-preparation pipeline (§2.1, §5.4):
+
+* words are identified "by looking for white spaces and punctuation in
+  ASCII text" — :mod:`repro.text.tokenizer`;
+* **no stemming** is applied (the paper is explicit that LSI handles
+  morphological variants through co-occurrence, e.g. *doctor* ends up near
+  *doctors* but not *doctoral*);
+* stop words are removed — :mod:`repro.text.stopwords`;
+* indexing keywords must satisfy a parsing rule, e.g. "keywords appear in
+  more than one topic" for the Table 2 example — :mod:`repro.text.parser`;
+* the term-document matrix of raw frequencies (Eq. 4) is assembled in CSC
+  form — :mod:`repro.text.tdm`.
+"""
+
+from repro.text.tokenizer import tokenize
+from repro.text.stopwords import DEFAULT_STOPWORDS, is_stopword
+from repro.text.vocabulary import Vocabulary
+from repro.text.parser import ParsingRules, parse_corpus
+from repro.text.tdm import TermDocumentMatrix, build_tdm
+from repro.text.ngrams import char_ngrams, word_ngram_profile
+from repro.text.phrases import PhraseRules, build_phrase_tdm, extract_phrases
+
+__all__ = [
+    "tokenize",
+    "DEFAULT_STOPWORDS",
+    "is_stopword",
+    "Vocabulary",
+    "ParsingRules",
+    "parse_corpus",
+    "TermDocumentMatrix",
+    "build_tdm",
+    "char_ngrams",
+    "word_ngram_profile",
+    "PhraseRules",
+    "build_phrase_tdm",
+    "extract_phrases",
+]

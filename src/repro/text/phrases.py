@@ -1,0 +1,121 @@
+"""Phrase indexing (§5.4): n-gram rows in the descriptor-object matrix.
+
+"We typically use only single terms to describe documents, but phrases
+or n-grams could also be included as rows in the matrix."  This module
+extracts word n-grams (default: bigrams) that recur across documents and
+emits them as additional pseudo-terms, so the standard pipeline —
+weighting, SVD, queries — indexes phrases with zero further changes.
+
+A phrase token is encoded as ``word1_word2`` (the tokenizer never
+produces underscores, so phrase rows cannot collide with word rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ShapeError
+from repro.text.parser import ParsingRules, parse_corpus
+from repro.text.tdm import TermDocumentMatrix, tdm_from_parsed
+from repro.text.tokenizer import tokenize
+
+__all__ = ["PhraseRules", "extract_phrases", "build_phrase_tdm"]
+
+PHRASE_JOINER = "_"
+
+
+@dataclass(frozen=True)
+class PhraseRules:
+    """Which word n-grams qualify as indexed phrases.
+
+    Attributes
+    ----------
+    n:
+        Phrase length in words (2 = bigrams).
+    min_doc_freq:
+        A phrase must occur in at least this many documents.
+    max_phrases:
+        Keep only the most document-frequent phrases (None = all).
+    """
+
+    n: int = 2
+    min_doc_freq: int = 2
+    max_phrases: int | None = None
+
+    def __post_init__(self):
+        if self.n < 2:
+            raise ShapeError("phrases need n >= 2 words")
+        if self.min_doc_freq < 1:
+            raise ShapeError("min_doc_freq must be >= 1")
+        if self.max_phrases is not None and self.max_phrases < 1:
+            raise ShapeError("max_phrases must be >= 1 when set")
+
+
+def _doc_phrases(tokens: list[str], n: int) -> list[str]:
+    return [
+        PHRASE_JOINER.join(tokens[i : i + n])
+        for i in range(len(tokens) - n + 1)
+    ]
+
+
+def extract_phrases(
+    texts: Sequence[str], rules: PhraseRules | None = None
+) -> list[str]:
+    """The qualifying phrases of a corpus, most document-frequent first."""
+    rules = rules or PhraseRules()
+    df: dict[str, int] = {}
+    for text in texts:
+        toks = tokenize(text)
+        for ph in set(_doc_phrases(toks, rules.n)):
+            df[ph] = df.get(ph, 0) + 1
+    qualified = [
+        (ph, count) for ph, count in df.items()
+        if count >= rules.min_doc_freq
+    ]
+    qualified.sort(key=lambda pc: (-pc[1], pc[0]))
+    if rules.max_phrases is not None:
+        qualified = qualified[: rules.max_phrases]
+    return [ph for ph, _ in qualified]
+
+
+def build_phrase_tdm(
+    texts: Sequence[str],
+    word_rules: ParsingRules | None = None,
+    phrase_rules: PhraseRules | None = None,
+    *,
+    doc_ids: Sequence[str] | None = None,
+) -> TermDocumentMatrix:
+    """Term-document matrix whose rows are words *and* phrases.
+
+    Word rows follow ``word_rules`` exactly as in :func:`build_tdm`;
+    phrase rows are appended for every qualifying n-gram, counted per
+    occurrence.  Queries against the resulting model match phrases
+    whenever the query text contains them contiguously (tokenize the
+    query and append its phrases the same way before counting).
+    """
+    phrase_rules = phrase_rules or PhraseRules()
+    phrases = set(extract_phrases(texts, phrase_rules))
+    # The phrase pseudo-tokens contain underscores, which the tokenizer
+    # splits — so parse the word part normally and inject phrases into
+    # the parsed token lists directly.
+    parsed = parse_corpus(list(texts), word_rules)
+    for j, text in enumerate(texts):
+        toks = tokenize(text)
+        parsed.tokens[j] = parsed.tokens[j] + [
+            ph for ph in _doc_phrases(toks, phrase_rules.n) if ph in phrases
+        ]
+    for ph in sorted(phrases):
+        parsed.vocabulary.add(ph)
+    return tdm_from_parsed(parsed, doc_ids=doc_ids)
+
+
+def query_with_phrases(
+    query: str, vocabulary, n: int = 2
+) -> list[str]:
+    """Tokenize a query and append any vocabulary phrases it contains."""
+    toks = tokenize(query)
+    phrases = [
+        ph for ph in _doc_phrases(toks, n) if ph in vocabulary
+    ]
+    return toks + phrases

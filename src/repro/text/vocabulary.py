@@ -1,0 +1,97 @@
+"""Bidirectional term ↔ integer-id mapping.
+
+Row ``i`` of the term-document matrix is the term ``vocabulary[i]``; all
+LSI components share one :class:`Vocabulary` so that query terms, folded-in
+documents and weight corrections address the same rows.  The mapping is
+append-only: term ids are stable once assigned (SVD-updating appends new
+term *rows*, it never renumbers existing ones).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import VocabularyError
+
+__all__ = ["Vocabulary"]
+
+
+class Vocabulary:
+    """Ordered collection of unique terms with O(1) lookups both ways."""
+
+    __slots__ = ("_terms", "_index", "_frozen")
+
+    def __init__(self, terms: Iterable[str] = ()):
+        self._terms: list[str] = []
+        self._index: dict[str, int] = {}
+        self._frozen = False
+        for t in terms:
+            self.add(t)
+
+    # ------------------------------------------------------------------ #
+    def add(self, term: str) -> int:
+        """Insert ``term`` if new; return its id either way."""
+        existing = self._index.get(term)
+        if existing is not None:
+            return existing
+        if self._frozen:
+            raise VocabularyError(f"vocabulary is frozen; cannot add {term!r}")
+        idx = len(self._terms)
+        self._terms.append(term)
+        self._index[term] = idx
+        return idx
+
+    def extend(self, terms: Iterable[str]) -> list[int]:
+        """Add many terms; returns their ids."""
+        return [self.add(t) for t in terms]
+
+    def freeze(self) -> "Vocabulary":
+        """Disallow further additions (used once a model is fitted)."""
+        self._frozen = True
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        """Whether additions are disallowed."""
+        return self._frozen
+
+    # ------------------------------------------------------------------ #
+    def id_of(self, term: str) -> int:
+        """Id of ``term``; raises :class:`VocabularyError` if absent."""
+        try:
+            return self._index[term]
+        except KeyError:
+            raise VocabularyError(f"term {term!r} not in vocabulary") from None
+
+    def get(self, term: str, default: int | None = None) -> int | None:
+        """Id of ``term`` or ``default``."""
+        return self._index.get(term, default)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._index
+
+    def __getitem__(self, idx: int) -> str:
+        return self._terms[idx]
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._terms)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Vocabulary) and self._terms == other._terms
+
+    def __repr__(self) -> str:
+        preview = ", ".join(self._terms[:5])
+        suffix = ", ..." if len(self._terms) > 5 else ""
+        return f"Vocabulary({len(self._terms)} terms: [{preview}{suffix}])"
+
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "Vocabulary":
+        """Unfrozen deep copy (SVD-updating derives an extended vocabulary)."""
+        return Vocabulary(self._terms)
+
+    def to_list(self) -> list[str]:
+        """The terms in id order."""
+        return list(self._terms)

@@ -1,0 +1,64 @@
+"""Updating an existing LSI database (paper §2.3 and §4).
+
+Three ways to incorporate new terms/documents, in increasing cost and
+fidelity:
+
+* **Folding-in** (:mod:`repro.updating.folding`) — Eq. 7/8: project new
+  items onto the *existing* latent structure.  Cheap (``2mkp`` flops for
+  p documents), but pre-existing representations are untouched and the
+  appended vectors corrupt the orthogonality of the singular-vector
+  matrices (§4.3).
+* **SVD-updating** (:mod:`repro.updating.svd_update`) — Eq. 10-12: exact
+  SVDs of ``(A_k | D)``, ``[A_k ; T]`` and ``A_k + Y_j Z_jᵀ`` computed
+  through small dense SVDs.  More expensive — the paper attributes the
+  cost to the ``O(2k²m + 2k²n)`` dense multiplications — but maintains a
+  true rank-k factorization.
+* **Recomputing** (:mod:`repro.updating.recompute`) — not an updating
+  method: decompose the reconstructed matrix from scratch; the accuracy
+  yardstick the others are compared against.
+
+:mod:`repro.updating.cost_model` implements the Table 7 flop formulas and
+:mod:`repro.updating.planner` picks the cheapest adequate method.
+"""
+
+from repro.updating.folding import fold_in_documents, fold_in_terms, fold_in_texts
+from repro.updating.svd_update import (
+    update_documents,
+    update_terms,
+    update_weights,
+)
+from repro.updating.recompute import recompute_with_documents, recompute_model
+from repro.updating.orthogonality import OrthogonalityReport, drift_report
+from repro.updating.cost_model import (
+    fold_documents_flops,
+    fold_terms_flops,
+    recompute_flops,
+    svd_update_correction_flops,
+    svd_update_documents_flops,
+    svd_update_terms_flops,
+)
+from repro.updating.planner import UpdatePlan, plan_update
+from repro.updating.manager import IndexEvent, LSIIndexManager
+
+__all__ = [
+    "fold_in_documents",
+    "fold_in_terms",
+    "fold_in_texts",
+    "update_documents",
+    "update_terms",
+    "update_weights",
+    "recompute_with_documents",
+    "recompute_model",
+    "OrthogonalityReport",
+    "drift_report",
+    "fold_documents_flops",
+    "fold_terms_flops",
+    "recompute_flops",
+    "svd_update_documents_flops",
+    "svd_update_terms_flops",
+    "svd_update_correction_flops",
+    "UpdatePlan",
+    "plan_update",
+    "IndexEvent",
+    "LSIIndexManager",
+]

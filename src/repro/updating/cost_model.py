@@ -1,0 +1,146 @@
+"""Table 7 — flop-count models of the updating methods.
+
+The paper compares methods by required floating-point operations.  Two
+entries are printed unambiguously:
+
+* folding-in ``p`` documents: ``2mkp``
+* folding-in ``q`` terms: ``2nkq``
+
+and the text pins the dominant SVD-updating term: "The expense in
+SVD-updating can be attributed to the O(2k²m + 2k²n) flops associated
+with the dense matrix multiplications involving U_k and V_k in Equation
+(13)."  The iterative part of every SVD-based entry follows the paper's
+general sparse-SVD cost ``I × cost(GᵀGx) + trp × cost(Gx)`` with
+``cost(Gx) = 2·nnz(G)``.
+
+The detailed per-phase coefficients in the printed Table 7 are damaged in
+the available text; the reconstructions below keep the printed structure
+(an ``I``-proportional Lanczos term over the small update matrix, a
+``trp``-proportional extraction term, and the ``(2k² − k)(m+n)`` dense
+rotation term) and are validated *empirically* against measured matvec
+and flop counts in ``benchmarks/bench_table7_complexity.py`` — the
+reproduction target is the crossover structure (who is cheaper when),
+which these formulas determine, not the garbled constant factors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "fold_documents_flops",
+    "fold_terms_flops",
+    "svd_update_documents_flops",
+    "svd_update_terms_flops",
+    "svd_update_correction_flops",
+    "recompute_flops",
+    "default_iterations",
+]
+
+
+def default_iterations(k: int) -> int:
+    """Rule-of-thumb Lanczos iteration count for k accepted triplets.
+
+    Full-reorthogonalization Lanczos typically needs a small multiple of
+    ``k`` iterations; the benches also measure the real count.
+    """
+    return max(2 * k, k + 16)
+
+
+def fold_documents_flops(m: int, k: int, p: int) -> int:
+    """Table 7, "Folding-in documents": ``2mkp``.
+
+    One dense product ``Dᵀ U_k`` (2·m·k per column) dominates; the
+    ``Σ_k⁻¹`` scaling is lower order and ignored, as in the paper.
+    """
+    return 2 * m * k * p
+
+
+def fold_terms_flops(n: int, k: int, q: int) -> int:
+    """Table 7, "Folding-in terms": ``2nkq``."""
+    return 2 * n * k * q
+
+
+def _dense_rotation_flops(m: int, n: int, k: int) -> int:
+    """The ``(2k² − k)(m + n)`` term shared by all SVD-updating phases —
+    rotating ``U_k`` and ``V_k`` by the small SVD's factors (Eq. 13)."""
+    return (2 * k * k - k) * (m + n)
+
+
+def svd_update_documents_flops(
+    m: int, n: int, k: int, p: int, nnz_d: int,
+    *, iterations: int | None = None, trp: int | None = None,
+) -> int:
+    """Table 7, "SVD-updating documents" (reconstructed; see module doc).
+
+    Three components:
+
+    * one-time projection ``U_kᵀ D`` — ``2·nnz(D)·k`` flops;
+    * the SVD of the small core ``F = (Σ_k | U_kᵀD)``, ``k × (k+p)``:
+      ``I`` Gram products at ``4·k·(k+p)`` each plus ``trp`` extractions
+      at ``2·k·(k+p)``;
+    * the dense rotations of ``U_k`` and ``V_k`` (Eq. 13) —
+      ``(2k² − k)(m + n + p)``, the term the paper singles out as the
+      expense of SVD-updating.
+    """
+    i = default_iterations(k) if iterations is None else iterations
+    t = k if trp is None else trp
+    core = k * (k + p)
+    return (
+        2 * nnz_d * k
+        + i * 4 * core
+        + t * 2 * core
+        + _dense_rotation_flops(m, n + p, k)
+    )
+
+
+def svd_update_terms_flops(
+    m: int, n: int, k: int, q: int, nnz_t: int,
+    *, iterations: int | None = None, trp: int | None = None,
+) -> int:
+    """Table 7, "SVD-updating terms" (reconstructed): projection
+    ``T V_k`` once, small-core SVD of ``H = [Σ_k ; T V_k]``, rotations."""
+    i = default_iterations(k) if iterations is None else iterations
+    t = k if trp is None else trp
+    core = k * (k + q)
+    return (
+        2 * nnz_t * k
+        + i * 4 * core
+        + t * 2 * core
+        + _dense_rotation_flops(m + q, n, k)
+    )
+
+
+def svd_update_correction_flops(
+    m: int, n: int, k: int, j: int, nnz_z: int,
+    *, iterations: int | None = None, trp: int | None = None,
+) -> int:
+    """Table 7, "SVD-updating correction step" (reconstructed).
+
+    Forming ``Q = Σ_k + (U_kᵀY_j)(Z_jᵀV_k)`` costs ``2mj·[selection] +
+    2·nnz(Z)·k [projection] + 2k²j [small product]``; then the k×k core
+    SVD and the dense rotations.
+    """
+    i = default_iterations(k) if iterations is None else iterations
+    t = k if trp is None else trp
+    core = k * k
+    return (
+        2 * m * j
+        + 2 * nnz_z * k
+        + 2 * k * k * j
+        + i * 4 * core
+        + t * 2 * core
+        + _dense_rotation_flops(m, n, k)
+    )
+
+
+def recompute_flops(
+    nnz_total: int, k: int,
+    *, iterations: int | None = None, trp: int | None = None,
+) -> int:
+    """Table 7, "Recomputing the SVD": the paper's general sparse cost
+    over the *whole* reconstructed ``(m+q) × (n+p)`` matrix::
+
+        I × 4·nnz(Ã)  +  trp × 2·nnz(Ã)
+    """
+    i = default_iterations(k) if iterations is None else iterations
+    t = k if trp is None else trp
+    return i * 4 * nnz_total + t * 2 * nnz_total

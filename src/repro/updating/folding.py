@@ -1,0 +1,136 @@
+"""Folding-in new documents and terms (Eq. 7 and 8).
+
+"Folding-in documents is essentially the process described in Section 2.2
+for query representation": a new document column ``d`` becomes::
+
+    d̂ = dᵀ U_k Σ_k⁻¹                                            (Eq. 7)
+
+appended to the rows of ``V_k``; a new term row ``t`` becomes::
+
+    t̂ = t V_k Σ_k⁻¹                                             (Eq. 8)
+
+appended to the rows of ``U_k``.  "The coordinates of the original topics
+stay fixed, and hence the new data has no effect on the clustering of
+existing terms or documents" — our implementation appends and never
+mutates, so that property holds bit-exactly (asserted in tests).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.model import LSIModel
+from repro.errors import ShapeError
+from repro.text.tdm import count_vector
+from repro.text.tokenizer import tokenize
+from repro.weighting.local import NEEDS_COL_MAX, local_weight
+
+__all__ = ["fold_in_documents", "fold_in_terms", "fold_in_texts"]
+
+
+def _weight_columns(model: LSIModel, counts: np.ndarray) -> np.ndarray:
+    """Apply the model's weighting to raw count columns ``(m, p)``.
+
+    New items must be weighted like the training cells: the local
+    transform uses each new document's own counts, the global weights are
+    the model's stored ``G(i)`` (they are *not* recomputed — that drift is
+    what the Eq. 12 correction step later repairs).
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.ndim == 1:
+        counts = counts[:, None]
+    if counts.shape[0] != model.n_terms:
+        raise ShapeError(
+            f"document block has {counts.shape[0]} rows for m={model.n_terms}"
+        )
+    if model.scheme.local in NEEDS_COL_MAX:
+        cmax = np.maximum(counts.max(axis=0, keepdims=True), 1.0)
+        local = local_weight(
+            model.scheme.local, counts, np.broadcast_to(cmax, counts.shape)
+        )
+    else:
+        local = local_weight(model.scheme.local, counts)
+    return local * model.global_weights[:, None]
+
+
+def fold_in_documents(
+    model: LSIModel,
+    counts: np.ndarray,
+    doc_ids: Sequence[str],
+) -> LSIModel:
+    """Fold ``p`` new documents (raw count columns) into the model.
+
+    Returns a new model with ``p`` extra document vectors; existing
+    coordinates are shared (not copied), so the no-effect property of
+    §3.3 is structural.
+    """
+    weighted = _weight_columns(model, counts)
+    p = weighted.shape[1]
+    if len(doc_ids) != p:
+        raise ShapeError(f"{len(doc_ids)} ids for {p} documents")
+    # d̂ = dᵀ U_k Σ_k⁻¹ for every column at once.
+    V_new = (weighted.T @ model.U) / model.s
+    return model.with_documents(V_new, list(doc_ids), provenance="fold-in")
+
+
+def fold_in_texts(
+    model: LSIModel,
+    texts: Sequence[str],
+    doc_ids: Sequence[str] | None = None,
+) -> LSIModel:
+    """Fold raw texts in: tokenize against the model vocabulary first.
+
+    Out-of-vocabulary words are dropped (the existing latent structure has
+    no rows for them — adding *terms* requires Eq. 8 or an SVD update).
+    """
+    if doc_ids is None:
+        start = model.n_documents + 1
+        doc_ids = [f"D{start + i}" for i in range(len(texts))]
+    counts = np.stack(
+        [count_vector(tokenize(t), model.vocabulary) for t in texts], axis=1
+    )
+    return fold_in_documents(model, counts, doc_ids)
+
+
+def fold_in_terms(
+    model: LSIModel,
+    counts: np.ndarray,
+    terms: Sequence[str],
+    global_weights: np.ndarray | None = None,
+) -> LSIModel:
+    """Fold ``q`` new terms (raw count rows over the n documents) in.
+
+    Each row ``t`` is weighted with the local transform (global weight
+    defaults to 1 for a brand-new term) and projected by Eq. 8.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.ndim == 1:
+        counts = counts[None, :]
+    q, n = counts.shape
+    if n != model.n_documents:
+        raise ShapeError(
+            f"term block has {n} columns for n={model.n_documents}"
+        )
+    if len(terms) != q:
+        raise ShapeError(f"{len(terms)} names for {q} terms")
+    if model.scheme.local in NEEDS_COL_MAX:
+        # Per-document max is a property of the whole column; a lone new
+        # term row cannot recompute it, so fall back to its own counts.
+        cmax = np.maximum(counts.max(axis=1, keepdims=True), 1.0)
+        local = local_weight(
+            model.scheme.local, counts, np.broadcast_to(cmax, counts.shape)
+        )
+    else:
+        local = local_weight(model.scheme.local, counts)
+    if global_weights is not None:
+        gw = np.asarray(global_weights, dtype=np.float64).ravel()
+        if gw.size != q:
+            raise ShapeError("global_weights must have one entry per term")
+        local = local * gw[:, None]
+    else:
+        gw = np.ones(q)
+    # t̂ = t V_k Σ_k⁻¹ for every row at once.
+    U_new = (local @ model.V) / model.s
+    return model.with_terms(U_new, list(terms), gw, provenance="fold-in")

@@ -1,0 +1,62 @@
+"""Lightweight wall-clock instrumentation for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "format_seconds"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    Example
+    -------
+    >>> sw = Stopwatch()
+    >>> with sw.lap("svd"):
+    ...     pass
+    >>> "svd" in sw.laps
+    True
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+
+    class _Lap:
+        def __init__(self, owner: "Stopwatch", name: str):
+            self._owner = owner
+            self._name = name
+            self._t0 = 0.0
+
+        def __enter__(self) -> "Stopwatch._Lap":
+            self._t0 = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc) -> None:
+            elapsed = time.perf_counter() - self._t0
+            self._owner.laps[self._name] = self._owner.laps.get(self._name, 0.0) + elapsed
+
+    def lap(self, name: str) -> "Stopwatch._Lap":
+        """Context manager that adds elapsed time to the named lap."""
+        return Stopwatch._Lap(self, name)
+
+    def total(self) -> float:
+        """Sum of all laps, in seconds."""
+        return sum(self.laps.values())
+
+    def report(self) -> str:
+        """Human-readable one-line-per-lap summary, slowest first."""
+        rows = sorted(self.laps.items(), key=lambda kv: -kv[1])
+        return "\n".join(f"{name:>24s}  {format_seconds(t)}" for name, t in rows)
+
+
+def format_seconds(t: float) -> str:
+    """Render a duration with a unit that keeps 3 significant digits."""
+    if t < 1e-6:
+        return f"{t * 1e9:.1f} ns"
+    if t < 1e-3:
+        return f"{t * 1e6:.1f} us"
+    if t < 1.0:
+        return f"{t * 1e3:.1f} ms"
+    return f"{t:.3f} s"

@@ -1,0 +1,64 @@
+"""Argument-validation helpers shared across subsystems.
+
+These raise :class:`repro.errors.ShapeError` (a ``ValueError`` subclass) with
+messages that name the offending argument, so call sites stay one-liners.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = [
+    "check_axis",
+    "check_dense_matrix",
+    "check_positive",
+    "check_shape_match",
+    "check_vector",
+]
+
+
+def check_dense_matrix(a: np.ndarray, name: str = "a") -> np.ndarray:
+    """Validate that ``a`` is a 2-D float ndarray; returns a float64 view/copy."""
+    arr = np.asarray(a)
+    if arr.ndim != 2:
+        raise ShapeError(f"{name} must be 2-D, got ndim={arr.ndim}")
+    if arr.dtype != np.float64:
+        arr = arr.astype(np.float64)
+    return arr
+
+
+def check_vector(x: np.ndarray, length: int | None = None, name: str = "x") -> np.ndarray:
+    """Validate that ``x`` is 1-D (optionally of a given length)."""
+    vec = np.asarray(x, dtype=np.float64)
+    if vec.ndim != 1:
+        raise ShapeError(f"{name} must be 1-D, got ndim={vec.ndim}")
+    if length is not None and vec.shape[0] != length:
+        raise ShapeError(f"{name} must have length {length}, got {vec.shape[0]}")
+    return vec
+
+
+def check_positive(value: int | float, name: str = "value", *, strict: bool = True) -> None:
+    """Require ``value > 0`` (or ``>= 0`` when ``strict=False``)."""
+    if strict and not value > 0:
+        raise ShapeError(f"{name} must be positive, got {value!r}")
+    if not strict and value < 0:
+        raise ShapeError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_shape_match(
+    left: Sequence[int], right: Sequence[int], *, what: str = "operands"
+) -> None:
+    """Require two shape tuples to be identical."""
+    if tuple(left) != tuple(right):
+        raise ShapeError(f"{what} have mismatched shapes {tuple(left)} vs {tuple(right)}")
+
+
+def check_axis(axis: int, ndim: int = 2) -> int:
+    """Normalize a possibly-negative ``axis`` for an ``ndim``-dimensional object."""
+    if not -ndim <= axis < ndim:
+        raise ShapeError(f"axis {axis} out of range for ndim={ndim}")
+    return axis % ndim

@@ -1,0 +1,78 @@
+"""Weight-correction blocks for SVD-updating (Eq. 12).
+
+When the term weighting of an already-decomposed matrix changes (global
+weights drift as documents are added), the paper folds the change into the
+model as a rank-j update::
+
+    W = A_k + Y_j Z_jᵀ
+
+where ``Y_j`` (m × j) holds rows of zeros or rows of the j-th order
+identity — it *selects* the j re-weighted term rows — and ``Z_j`` (n × j)
+holds "the actual differences between old and new weights for each of the
+j terms".  This module assembles those blocks from an old and a new
+weighted matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.sparse.csc import CSCMatrix
+
+__all__ = ["weight_correction_blocks"]
+
+
+def weight_correction_blocks(
+    old: CSCMatrix,
+    new: CSCMatrix,
+    term_ids: Sequence[int],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build ``(Y_j, Z_j)`` such that ``new = old + Y_j Z_jᵀ`` on the rows
+    listed in ``term_ids`` (all other rows must be identical).
+
+    Parameters
+    ----------
+    old, new:
+        The previously-decomposed weighted matrix and the re-weighted one,
+        same shape.
+    term_ids:
+        The ``j`` term rows whose weights changed.
+
+    Returns
+    -------
+    (Y, Z):
+        ``Y`` is ``(m, j)`` with ``Y[t_l, l] = 1``; ``Z`` is ``(n, j)``
+        with column ``l`` holding ``new_row(t_l) - old_row(t_l)``.
+    """
+    if old.shape != new.shape:
+        raise ShapeError(
+            f"old/new shapes differ: {old.shape} vs {new.shape}"
+        )
+    m, n = old.shape
+    term_ids = np.asarray(term_ids, dtype=np.int64).ravel()
+    j = term_ids.size
+    if j == 0:
+        return np.zeros((m, 0)), np.zeros((n, 0))
+    if term_ids.min() < 0 or term_ids.max() >= m:
+        raise ShapeError("term id out of range in weight correction")
+    if np.unique(term_ids).size != j:
+        raise ShapeError("term_ids must be distinct")
+
+    # Row extraction via the CSR views (transpose of CSC is CSR of Aᵀ, so
+    # convert once).
+    old_csr = old.to_csr()
+    new_csr = new.to_csr()
+    Y = np.zeros((m, j))
+    Z = np.zeros((n, j))
+    for l, t in enumerate(term_ids.tolist()):
+        Y[t, l] = 1.0
+        cols_o, vals_o = old_csr.row_slice(t)
+        cols_n, vals_n = new_csr.row_slice(t)
+        row = np.zeros(n)
+        row[cols_n] = vals_n
+        row[cols_o] -= vals_o
+        Z[:, l] = row
+    return Y, Z

@@ -1,0 +1,88 @@
+"""Global weighting functions G(i) — one importance weight per term.
+
+Each function consumes the raw-count CSC matrix and returns a length-m
+vector.  The entropy weight is the paper's winner:
+
+    G(i) = 1 + Σ_j (p_ij log₂ p_ij) / log₂ n,   p_ij = f_ij / gf_i
+
+which is 1 for a term concentrated in a single document and → 0 for a term
+spread evenly over all documents (pure noise for retrieval).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix
+
+__all__ = ["GLOBAL_WEIGHTS", "global_weight"]
+
+
+def _doc_freq(a: CSCMatrix) -> np.ndarray:
+    """Documents containing each term."""
+    return np.bincount(a.indices, weights=(a.data > 0).astype(np.float64),
+                       minlength=a.shape[0])
+
+
+def _none(a: CSCMatrix) -> np.ndarray:
+    """G = 1 (no global weighting)."""
+    return np.ones(a.shape[0])
+
+
+def _idf(a: CSCMatrix) -> np.ndarray:
+    """G = log₂(n / df) + 1, with unused terms getting weight 1."""
+    m, n = a.shape
+    df = _doc_freq(a)
+    out = np.ones(m)
+    used = df > 0
+    out[used] = np.log2(n / df[used]) + 1.0
+    return out
+
+
+def _entropy(a: CSCMatrix) -> np.ndarray:
+    """Entropy weight: 1 + Σ_j p log₂ p / log₂ n (see module docstring)."""
+    m, n = a.shape
+    if n <= 1:
+        return np.ones(m)
+    gf = a.row_sums()  # global frequency of each term
+    safe_gf = np.where(gf > 0, gf, 1.0)
+    p = a.data / safe_gf[a.indices]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        plogp = np.where(p > 0, p * np.log2(p), 0.0)
+    ent = np.bincount(a.indices, weights=plogp, minlength=m)  # Σ p log p ≤ 0
+    return 1.0 + ent / np.log2(n)
+
+
+def _gfidf(a: CSCMatrix) -> np.ndarray:
+    """G = gf / df — global frequency over document frequency."""
+    gf = a.row_sums()
+    df = _doc_freq(a)
+    return np.where(df > 0, gf / np.where(df > 0, df, 1.0), 1.0)
+
+
+def _normal(a: CSCMatrix) -> np.ndarray:
+    """G = 1 / ‖row‖₂ — normalizes each term row to unit length."""
+    sq = np.bincount(a.indices, weights=a.data**2, minlength=a.shape[0])
+    return np.where(sq > 0, 1.0 / np.sqrt(np.where(sq > 0, sq, 1.0)), 1.0)
+
+
+GLOBAL_WEIGHTS: dict[str, Callable[[CSCMatrix], np.ndarray]] = {
+    "none": _none,
+    "idf": _idf,
+    "entropy": _entropy,
+    "gfidf": _gfidf,
+    "normal": _normal,
+}
+
+
+def global_weight(name: str, a: CSCMatrix) -> np.ndarray:
+    """Compute the named global weight vector from raw counts."""
+    try:
+        fn = GLOBAL_WEIGHTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown global weight {name!r}; choose from {sorted(GLOBAL_WEIGHTS)}"
+        ) from None
+    return fn(a)

@@ -1,0 +1,75 @@
+"""Local weighting functions L(i, j) — per-cell transforms of raw counts.
+
+All transforms map 0 → 0, so they can be applied to the stored values of a
+sparse matrix without densifying.  The ``augmented`` transform needs the
+per-document maximum frequency; it is supplied by the caller so this module
+stays a pure function of ``(counts, context)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["LOCAL_WEIGHTS", "local_weight"]
+
+
+def _raw(f: np.ndarray, col_max: np.ndarray | None = None) -> np.ndarray:
+    """Identity: L = f_ij (the paper's unweighted example, Table 3)."""
+    return f
+
+
+def _binary(f: np.ndarray, col_max: np.ndarray | None = None) -> np.ndarray:
+    """L = 1 wherever the term occurs."""
+    return (f > 0).astype(np.float64)
+
+
+def _log(f: np.ndarray, col_max: np.ndarray | None = None) -> np.ndarray:
+    """L = log₂(f + 1) — Dumais (1991), the paper's best local weight."""
+    return np.log2(f + 1.0)
+
+
+def _augmented(f: np.ndarray, col_max: np.ndarray) -> np.ndarray:
+    """L = 0.5 + 0.5·f / max_f(doc) on stored entries (0 elsewhere).
+
+    ``col_max`` is the per-entry maximum frequency of the entry's document,
+    already expanded to nnz length by the caller.
+    """
+    safe = np.where(col_max > 0, col_max, 1.0)
+    return np.where(f > 0, 0.5 + 0.5 * f / safe, 0.0)
+
+
+def _sqrt(f: np.ndarray, col_max: np.ndarray | None = None) -> np.ndarray:
+    """L = √f — a gentler damping than log, included for the ablation."""
+    return np.sqrt(f)
+
+
+LOCAL_WEIGHTS: dict[str, Callable] = {
+    "raw": _raw,
+    "tf": _raw,  # alias
+    "binary": _binary,
+    "log": _log,
+    "augmented": _augmented,
+    "sqrt": _sqrt,
+}
+
+#: Local weights that need the per-document maximum frequency.
+NEEDS_COL_MAX = {"augmented"}
+
+
+def local_weight(
+    name: str, f: np.ndarray, col_max: np.ndarray | None = None
+) -> np.ndarray:
+    """Apply the named local transform to an array of raw counts."""
+    try:
+        fn = LOCAL_WEIGHTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown local weight {name!r}; choose from {sorted(LOCAL_WEIGHTS)}"
+        ) from None
+    if name in NEEDS_COL_MAX:
+        if col_max is None:
+            raise ValueError(f"local weight {name!r} requires col_max")
+        return fn(f, col_max)
+    return fn(f)

@@ -1,0 +1,70 @@
+"""Shared fixtures.
+
+Expensive artifacts (fitted models, generated collections) are session-
+scoped; tests must not mutate them — the library's immutability rules are
+themselves under test, so accidental mutation fails loudly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import fit_lsi, fit_lsi_from_tdm
+from repro.corpus import SyntheticSpec, med_matrix, topic_collection
+from repro.corpus.med import MED_TOPICS
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def med_tdm():
+    """The canonical 18×14 Table 3 matrix."""
+    return med_matrix()
+
+
+@pytest.fixture(scope="session")
+def med_model(med_tdm):
+    """The k=2 model of the paper's worked example (raw weighting)."""
+    return fit_lsi_from_tdm(med_tdm, 2)
+
+
+@pytest.fixture(scope="session")
+def med_model_k8(med_tdm):
+    """A higher-rank model of the same example for k-sweep tests."""
+    return fit_lsi_from_tdm(med_tdm, 8)
+
+
+@pytest.fixture(scope="session")
+def med_texts():
+    return [MED_TOPICS[f"M{i}"] for i in range(1, 15)]
+
+
+@pytest.fixture(scope="session")
+def small_collection():
+    """A small synthetic collection with strong synonymy."""
+    return topic_collection(
+        SyntheticSpec(
+            n_topics=4,
+            docs_per_topic=10,
+            doc_length=40,
+            concepts_per_topic=10,
+            synonyms_per_concept=3,
+            queries_per_topic=2,
+            query_length=3,
+            query_synonym_shift=0.8,
+            background_vocab=15,
+            background_rate=0.1,
+        ),
+        seed=42,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_lsi(small_collection):
+    return fit_lsi(
+        small_collection.documents, k=8, scheme="log_entropy", seed=0
+    )

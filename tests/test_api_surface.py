@@ -1,0 +1,52 @@
+"""API-surface integrity: every module imports, every __all__ resolves.
+
+A reproduction repo lives or dies by its import hygiene — a stale name
+in ``__all__`` or a module that only imports under test fixtures is a
+broken public API.  This walks the whole package.
+"""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+)
+
+
+def test_package_has_expected_subpackages():
+    tops = {m.split(".")[1] for m in MODULES if m.count(".") == 1}
+    assert {
+        "sparse", "linalg", "text", "weighting", "core", "updating",
+        "retrieval", "evaluation", "corpus", "apps", "parallel", "util",
+        "errors", "cli",
+    } <= tops
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_imports(module_name):
+    importlib.import_module(module_name)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_all_names_resolve(module_name):
+    mod = importlib.import_module(module_name)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{module_name}.__all__ lists {name!r}"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    mod = importlib.import_module(module_name)
+    if module_name.endswith("__main__"):
+        return
+    assert mod.__doc__ and mod.__doc__.strip(), f"{module_name} lacks a docstring"
+
+
+def test_top_level_all_resolves():
+    for name in repro.__all__:
+        assert hasattr(repro, name)

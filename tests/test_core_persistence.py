@@ -1,0 +1,65 @@
+"""Tests for model save/load."""
+
+import numpy as np
+import pytest
+
+from repro.core import load_model, save_model
+from repro.errors import ModelStateError
+
+
+def test_round_trip_bit_exact(med_model, tmp_path):
+    path = tmp_path / "model.npz"
+    save_model(med_model, path)
+    loaded = load_model(path)
+    assert np.array_equal(loaded.U, med_model.U)
+    assert np.array_equal(loaded.s, med_model.s)
+    assert np.array_equal(loaded.V, med_model.V)
+    assert np.array_equal(loaded.global_weights, med_model.global_weights)
+    assert loaded.vocabulary.to_list() == med_model.vocabulary.to_list()
+    assert loaded.doc_ids == med_model.doc_ids
+    assert loaded.scheme == med_model.scheme
+    assert loaded.provenance == med_model.provenance
+
+
+def test_loaded_model_is_usable(med_model, tmp_path):
+    from repro.core import project_query, rank_documents
+
+    path = tmp_path / "model.npz"
+    save_model(med_model, path)
+    loaded = load_model(path)
+    q = "age blood abnormalities"
+    assert rank_documents(loaded, project_query(loaded, q)) == rank_documents(
+        med_model, project_query(med_model, q)
+    )
+
+
+def test_loaded_vocabulary_is_frozen(med_model, tmp_path):
+    path = tmp_path / "model.npz"
+    save_model(med_model, path)
+    assert load_model(path).vocabulary.frozen
+
+
+def test_reject_wrong_version(med_model, tmp_path):
+    import json
+
+    path = tmp_path / "model.npz"
+    save_model(med_model, path)
+    with np.load(path) as data:
+        arrays = {k: data[k] for k in data.files}
+    meta = json.loads(bytes(arrays["meta"]).decode())
+    meta["version"] = 999
+    arrays["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez(path, **arrays)
+    with pytest.raises(ModelStateError):
+        load_model(path)
+
+
+def test_reject_corrupt_metadata(med_model, tmp_path):
+    path = tmp_path / "model.npz"
+    save_model(med_model, path)
+    with np.load(path) as data:
+        arrays = {k: data[k] for k in data.files}
+    arrays["meta"] = np.frombuffer(b"not json", dtype=np.uint8)
+    np.savez(path, **arrays)
+    with pytest.raises(ModelStateError):
+        load_model(path)

@@ -1,0 +1,35 @@
+"""Regression tests: every example script runs cleanly end to end.
+
+Examples are user-facing documentation; a broken one is a broken
+deliverable.  Each runs in-process (runpy) with stdout captured, so
+failures surface the real traceback.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLES) >= 3  # the deliverable floor
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch, tmp_path):
+    # quickstart writes to /tmp; keep examples honest but redirect cwd.
+    monkeypatch.chdir(tmp_path)
+    path = EXAMPLES_DIR / script
+    saved_argv = sys.argv
+    try:
+        sys.argv = [str(path)]
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"

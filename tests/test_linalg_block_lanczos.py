@@ -1,0 +1,96 @@
+"""Tests for the block Lanczos SVD (the SVDPACKC bls2 analogue)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.linalg import block_lanczos_svd, orthogonality_loss, truncated_svd
+from repro.sparse import from_dense
+
+
+def _sparse(rng, m, n, density=0.3):
+    d = rng.standard_normal((m, n)) * (rng.random((m, n)) < density)
+    return d, from_dense(d).to_csr()
+
+
+def test_matches_reference(rng):
+    d, a = _sparse(rng, 70, 50)
+    U, s, V, stats = block_lanczos_svd(a, 6, block=3, seed=1)
+    s_ref = np.linalg.svd(d, compute_uv=False)[:6]
+    assert np.allclose(s, s_ref, atol=1e-6)
+    assert np.allclose(np.abs(np.diag(U.T @ d @ V)), s, atol=1e-5)
+
+
+def test_vectors_orthonormal(rng):
+    _, a = _sparse(rng, 60, 45)
+    U, s, V, _ = block_lanczos_svd(a, 5, block=2, seed=2)
+    assert orthogonality_loss(U) < 1e-7
+    assert orthogonality_loss(V) < 1e-7
+
+
+def test_clustered_spectrum_resolved(rng):
+    """The block advantage: a 4-fold degenerate top singular value is
+    captured with block ≥ cluster width."""
+    Q1 = np.linalg.qr(rng.standard_normal((60, 40)))[0]
+    Q2 = np.linalg.qr(rng.standard_normal((40, 40)))[0]
+    svals = np.concatenate([[10.0] * 4, np.linspace(2, 0.1, 36)])
+    d = Q1 @ np.diag(svals) @ Q2.T
+    _, s, _, _ = block_lanczos_svd(d, 5, block=4, seed=1)
+    assert np.allclose(s[:4], 10.0, atol=1e-7)
+    assert s[4] == pytest.approx(2.0, abs=1e-6)
+
+
+def test_wide_matrix(rng):
+    d, _ = _sparse(rng, 25, 80)
+    a = from_dense(d).to_csc()
+    U, s, V, stats = block_lanczos_svd(a, 4, block=2, seed=3)
+    assert stats.gram_dim == 25
+    assert np.allclose(s, np.linalg.svd(d, compute_uv=False)[:4], atol=1e-6)
+
+
+def test_block_one_degenerates_to_single_vector(rng):
+    d, a = _sparse(rng, 40, 30)
+    _, s, _, _ = block_lanczos_svd(a, 3, block=1, seed=4)
+    assert np.allclose(s, np.linalg.svd(d, compute_uv=False)[:3], atol=1e-6)
+
+
+def test_block_wider_than_dim_clamped(rng):
+    d = rng.standard_normal((8, 5))
+    _, s, _, _ = block_lanczos_svd(d, 3, block=64, seed=0)
+    assert np.allclose(s, np.linalg.svd(d, compute_uv=False)[:3], atol=1e-8)
+
+
+def test_rank_deficient(rng):
+    d = np.outer(rng.standard_normal(20), rng.standard_normal(12))
+    U, s, V, _ = block_lanczos_svd(d, 3, block=2, seed=5)
+    assert np.sum(s > 1e-6 * s[0]) == 1
+    assert s[0] == pytest.approx(np.linalg.norm(d, 2), rel=1e-8)
+    assert orthogonality_loss(U) < 1e-7
+
+
+def test_validation(rng):
+    d = rng.standard_normal((6, 4))
+    with pytest.raises(ShapeError):
+        block_lanczos_svd(d, 0)
+    with pytest.raises(ShapeError):
+        block_lanczos_svd(d, 5)
+    with pytest.raises(ShapeError):
+        block_lanczos_svd(d, 2, block=0)
+
+
+def test_frontend_backend(rng):
+    d, a = _sparse(rng, 50, 35)
+    res = truncated_svd(a, 4, method="block-lanczos")
+    assert res.method == "block-lanczos"
+    assert res.stats is not None
+    assert np.allclose(
+        res.s, np.linalg.svd(d, compute_uv=False)[:4], atol=1e-6
+    )
+
+
+def test_deterministic(rng):
+    _, a = _sparse(rng, 30, 30)
+    a1 = block_lanczos_svd(a, 3, block=2, seed=9)
+    a2 = block_lanczos_svd(a, 3, block=2, seed=9)
+    assert np.array_equal(a1[1], a2[1])
+    assert np.array_equal(a1[0], a2[0])

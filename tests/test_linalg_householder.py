@@ -1,0 +1,70 @@
+"""Tests for Householder QR."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.linalg import householder_qr, orthonormal_columns
+
+
+@pytest.mark.parametrize("shape", [(1, 1), (5, 3), (10, 10), (40, 7)])
+def test_qr_reconstruction_and_orthogonality(shape, rng):
+    A = rng.standard_normal(shape)
+    Q, R = householder_qr(A)
+    m, n = shape
+    assert Q.shape == (m, n) and R.shape == (n, n)
+    assert np.allclose(Q @ R, A, atol=1e-10)
+    assert np.allclose(Q.T @ Q, np.eye(n), atol=1e-10)
+    assert np.allclose(R, np.triu(R), atol=1e-12)
+    assert np.all(np.diag(R) >= -1e-12)
+
+
+def test_qr_rank_deficient(rng):
+    A = np.zeros((6, 3))
+    A[:, 0] = rng.standard_normal(6)
+    A[:, 2] = 2 * A[:, 0]
+    Q, R = householder_qr(A)
+    assert np.allclose(Q @ R, A, atol=1e-10)
+
+
+def test_qr_zero_matrix():
+    Q, R = householder_qr(np.zeros((4, 2)))
+    assert np.allclose(Q @ R, np.zeros((4, 2)))
+    assert np.allclose(R, 0)
+
+
+def test_qr_rejects_wide_matrix(rng):
+    with pytest.raises(ShapeError):
+        householder_qr(rng.standard_normal((2, 5)))
+
+
+def test_qr_rejects_vector():
+    with pytest.raises(ShapeError):
+        householder_qr(np.zeros(5))
+
+
+def test_qr_does_not_mutate_input(rng):
+    A = rng.standard_normal((5, 3))
+    A_copy = A.copy()
+    householder_qr(A)
+    assert np.array_equal(A, A_copy)
+
+
+def test_qr_matches_numpy_r_up_to_signs(rng):
+    A = rng.standard_normal((8, 4))
+    _, R = householder_qr(A)
+    R_np = np.linalg.qr(A)[1]
+    assert np.allclose(np.abs(R), np.abs(R_np), atol=1e-10)
+
+
+def test_orthonormal_columns(rng):
+    Q = orthonormal_columns(9, 4, seed=3)
+    assert Q.shape == (9, 4)
+    assert np.allclose(Q.T @ Q, np.eye(4), atol=1e-10)
+    # deterministic under the same seed
+    assert np.array_equal(Q, orthonormal_columns(9, 4, seed=3))
+
+
+def test_orthonormal_columns_rejects_k_gt_m():
+    with pytest.raises(ShapeError):
+        orthonormal_columns(3, 5)

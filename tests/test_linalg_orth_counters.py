@@ -1,0 +1,96 @@
+"""Tests for orthogonality diagnostics and operation counters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.linalg import (
+    FlopCounter,
+    OperatorCounter,
+    orthogonality_loss,
+    orthonormal_columns,
+    reorthogonalize,
+    spectral_norm,
+)
+from repro.sparse import from_dense
+
+
+def test_spectral_norm_matches_numpy(rng):
+    for shape in [(5, 5), (12, 7), (3, 20)]:
+        A = rng.standard_normal(shape)
+        assert spectral_norm(A) == pytest.approx(np.linalg.norm(A, 2), rel=1e-8)
+
+
+def test_spectral_norm_zero_and_empty():
+    assert spectral_norm(np.zeros((4, 4))) == 0.0
+    assert spectral_norm(np.zeros((0, 3))) == 0.0
+
+
+def test_spectral_norm_rejects_vector():
+    with pytest.raises(ShapeError):
+        spectral_norm(np.zeros(3))
+
+
+def test_orthogonality_loss_zero_for_orthonormal(rng):
+    Q = orthonormal_columns(20, 6, seed=1)
+    assert orthogonality_loss(Q) < 1e-12
+
+
+def test_orthogonality_loss_detects_drift(rng):
+    Q = orthonormal_columns(20, 6, seed=1)
+    Q2 = np.hstack([Q, (Q[:, :1] + Q[:, 1:2]) / np.sqrt(2)])
+    assert orthogonality_loss(Q2) > 0.5
+
+
+def test_orthogonality_loss_scaling():
+    Q = 2.0 * orthonormal_columns(10, 3, seed=0)
+    assert orthogonality_loss(Q) == pytest.approx(3.0, rel=1e-8)  # ‖4I−I‖₂
+
+
+def test_reorthogonalize_repairs_basis(rng):
+    Q = orthonormal_columns(15, 5, seed=2)
+    noisy = Q + 0.01 * rng.standard_normal(Q.shape)
+    fixed = reorthogonalize(noisy)
+    assert orthogonality_loss(fixed) < 1e-12
+    # Close to the original basis
+    assert np.abs(np.abs(np.diag(fixed.T @ Q)) - 1).max() < 0.01
+
+
+def test_reorthogonalize_handles_dependent_columns(rng):
+    Q = np.zeros((8, 3))
+    Q[:, 0] = rng.standard_normal(8)
+    Q[:, 1] = 2 * Q[:, 0]
+    Q[:, 2] = rng.standard_normal(8)
+    fixed = reorthogonalize(Q)
+    assert orthogonality_loss(fixed) < 1e-10
+
+
+def test_flop_counter():
+    fc = FlopCounter()
+    fc.add("matvec", 100)
+    fc.add("matvec", 50)
+    fc.add("qr", 10)
+    assert fc.total == 160
+    assert "matvec" in fc.report() and "total" in fc.report()
+
+
+def test_operator_counter_sparse(rng):
+    d = rng.random((6, 4)) * (rng.random((6, 4)) < 0.5)
+    a = from_dense(d).to_csr()
+    oc = OperatorCounter(a)
+    x = rng.standard_normal(4)
+    y = oc.matvec(x)
+    assert np.allclose(y, d @ x)
+    z = oc.rmatvec(np.ones(6))
+    assert np.allclose(z, d.T @ np.ones(6))
+    assert oc.matvecs == 1 and oc.rmatvecs == 1
+    assert oc.flops.total == 2 * (2 * a.nnz)
+    oc.reset()
+    assert oc.matvecs == 0 and oc.flops.total == 0
+
+
+def test_operator_counter_dense(rng):
+    d = rng.standard_normal((5, 3))
+    oc = OperatorCounter(d)
+    oc.matvec(np.ones(3))
+    assert oc.flops.total == 2 * 5 * 3

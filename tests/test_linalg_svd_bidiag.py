@@ -1,0 +1,138 @@
+"""Tests for the truncated-SVD front-end and Golub-Kahan bidiagonalization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.linalg import golub_kahan_bidiag, truncated_svd
+from repro.linalg.bidiag import bidiagonal_dense
+from repro.linalg.svd import SVDResult
+from repro.sparse import from_dense
+
+
+@pytest.fixture
+def matrix(rng):
+    d = rng.standard_normal((40, 30)) * (rng.random((40, 30)) < 0.3)
+    return d, from_dense(d).to_csc()
+
+
+@pytest.mark.parametrize("method", ["dense", "lanczos", "gkl"])
+def test_backends_agree_with_reference(matrix, method):
+    d, a = matrix
+    res = truncated_svd(a, 5, method=method)
+    s_ref = np.linalg.svd(d, compute_uv=False)[:5]
+    assert np.allclose(res.s, s_ref, atol=1e-6), method
+    assert res.method == method
+    assert res.k == 5
+    assert res.shape == d.shape
+
+
+def test_auto_uses_dense_for_small(matrix):
+    _, a = matrix
+    res = truncated_svd(a, 3, method="auto")
+    assert res.method == "dense"
+
+
+def test_auto_uses_lanczos_for_large(rng):
+    d = rng.standard_normal((300, 260)) * (rng.random((300, 260)) < 0.02)
+    res = truncated_svd(from_dense(d).to_csr(), 4, method="auto")
+    assert res.method == "lanczos"
+    assert np.allclose(res.s, np.linalg.svd(d, compute_uv=False)[:4], atol=1e-7)
+
+
+def test_reconstruct_is_best_rank_k(matrix):
+    """Eckart-Young (Theorem 2.2): ‖A − A_k‖_F² = Σ_{i>k} σ_i²."""
+    d, a = matrix
+    res = truncated_svd(a, 4, method="dense")
+    resid = np.linalg.norm(d - res.reconstruct())
+    s_all = np.linalg.svd(d, compute_uv=False)
+    assert resid == pytest.approx(np.sqrt(np.sum(s_all[4:] ** 2)), rel=1e-9)
+
+
+def test_frobenius_property(matrix):
+    """Theorem 2.1 norm property: ‖A_k‖_F = sqrt(Σ_{i≤k} σ_i²)."""
+    d, a = matrix
+    res = truncated_svd(a, 6, method="dense")
+    assert res.frobenius() == pytest.approx(
+        np.linalg.norm(res.reconstruct()), rel=1e-9
+    )
+
+
+def test_truncate(matrix):
+    _, a = matrix
+    res = truncated_svd(a, 6, method="dense")
+    t = res.truncate(2)
+    assert t.k == 2
+    assert np.allclose(t.s, res.s[:2])
+    with pytest.raises(ShapeError):
+        res.truncate(0)
+    with pytest.raises(ShapeError):
+        res.truncate(7)
+
+
+def test_vt_view(matrix):
+    _, a = matrix
+    res = truncated_svd(a, 3, method="dense")
+    assert np.array_equal(res.Vt, res.V.T)
+
+
+def test_k_validation(matrix):
+    _, a = matrix
+    with pytest.raises(ShapeError):
+        truncated_svd(a, 0)
+    with pytest.raises(ShapeError):
+        truncated_svd(a, 31)
+
+
+def test_unknown_method(matrix):
+    _, a = matrix
+    with pytest.raises(ValueError):
+        truncated_svd(a, 2, method="magic")
+
+
+def test_dense_ndarray_input(rng):
+    d = rng.standard_normal((12, 9))
+    res = truncated_svd(d, 3, method="dense")
+    assert np.allclose(res.s, np.linalg.svd(d, compute_uv=False)[:3], atol=1e-9)
+
+
+# --------------------------------------------------------------------- #
+# Golub-Kahan bidiagonalization
+# --------------------------------------------------------------------- #
+def test_gkl_recurrence_holds(rng):
+    d = rng.standard_normal((25, 18))
+    steps = 10
+    U, V, alphas, betas = golub_kahan_bidiag(d, steps, seed=1)
+    B = bidiagonal_dense(alphas, betas)
+    # A V = U B exactly (the remainder term enters the Aᵀ U recurrence).
+    assert np.allclose(d @ V, U @ B, atol=1e-8)
+
+
+def test_gkl_bases_orthonormal(rng):
+    d = rng.standard_normal((30, 22))
+    U, V, _, _ = golub_kahan_bidiag(d, 12, seed=2)
+    assert np.allclose(U.T @ U, np.eye(12), atol=1e-9)
+    assert np.allclose(V.T @ V, np.eye(12), atol=1e-9)
+
+
+def test_gkl_full_steps_capture_spectrum(rng):
+    d = rng.standard_normal((15, 9))
+    U, V, alphas, betas = golub_kahan_bidiag(d, 9, seed=0)
+    B = bidiagonal_dense(alphas, betas)
+    s_b = np.linalg.svd(B, compute_uv=False)
+    s_a = np.linalg.svd(d, compute_uv=False)
+    assert np.allclose(np.sort(s_b), np.sort(s_a), atol=1e-8)
+
+
+def test_gkl_step_validation(rng):
+    d = rng.standard_normal((6, 4))
+    with pytest.raises(ShapeError):
+        golub_kahan_bidiag(d, 0)
+    with pytest.raises(ShapeError):
+        golub_kahan_bidiag(d, 5)
+
+
+def test_svd_result_dataclass_fields():
+    res = SVDResult(np.eye(3), np.ones(3), np.eye(3))
+    assert res.stats is None
+    assert res.k == 3

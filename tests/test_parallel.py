@@ -1,0 +1,127 @@
+"""Tests for the parallel/blocked execution helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.query import project_query
+from repro.core.similarity import cosine_similarities
+from repro.errors import ShapeError
+from repro.parallel import (
+    blocked_cosine_scores,
+    blocked_fold_in,
+    merge_topk,
+    parallel_map,
+    shard_documents,
+    sharded_search,
+)
+from repro.updating import fold_in_documents
+
+
+# --------------------------------------------------------------------- #
+# pool
+# --------------------------------------------------------------------- #
+def test_parallel_map_preserves_order():
+    items = list(range(50))
+    assert parallel_map(lambda x: x * x, items, workers=4) == [
+        x * x for x in items
+    ]
+
+
+def test_parallel_map_sequential_fallback():
+    assert parallel_map(str, [1, 2], workers=None) == ["1", "2"]
+    assert parallel_map(str, [1, 2], workers=1) == ["1", "2"]
+    assert parallel_map(str, [], workers=8) == []
+
+
+def test_parallel_map_propagates_exceptions():
+    def boom(x):
+        raise ValueError(f"bad {x}")
+
+    with pytest.raises(ValueError):
+        parallel_map(boom, [1, 2, 3], workers=3)
+
+
+# --------------------------------------------------------------------- #
+# blocked scoring / fold-in
+# --------------------------------------------------------------------- #
+def test_blocked_cosine_matches_flat(med_model):
+    qhat = project_query(med_model, "age blood abnormalities")
+    flat = cosine_similarities(med_model, qhat)
+    for block in (1, 3, 14, 100):
+        blocked = blocked_cosine_scores(med_model, qhat, block=block)
+        assert np.allclose(blocked, flat)
+
+
+def test_blocked_cosine_with_workers(med_model):
+    qhat = project_query(med_model, "age blood abnormalities")
+    flat = cosine_similarities(med_model, qhat)
+    blocked = blocked_cosine_scores(med_model, qhat, block=4, workers=3)
+    assert np.allclose(blocked, flat)
+
+
+def test_blocked_cosine_validation(med_model):
+    with pytest.raises(ShapeError):
+        blocked_cosine_scores(med_model, np.ones(5))
+    with pytest.raises(ShapeError):
+        blocked_cosine_scores(med_model, np.ones(2), block=0)
+
+
+def test_blocked_fold_in_matches_plain(med_model, rng):
+    counts = rng.integers(0, 3, (18, 10)).astype(float)
+    ids = [f"N{i}" for i in range(10)]
+    plain = fold_in_documents(med_model, counts, ids)
+    blocked = blocked_fold_in(med_model, counts, ids, block=3)
+    assert np.allclose(plain.V, blocked.V)
+    assert plain.doc_ids == blocked.doc_ids
+
+
+def test_blocked_fold_in_validation(med_model):
+    with pytest.raises(ShapeError):
+        blocked_fold_in(med_model, np.zeros((18, 2)), ["only-one"])
+
+
+# --------------------------------------------------------------------- #
+# sharding
+# --------------------------------------------------------------------- #
+def test_shard_documents_partition():
+    shards = shard_documents(10, 3)
+    assert len(shards) == 3
+    joined = np.concatenate(shards)
+    assert np.array_equal(joined, np.arange(10))
+    with pytest.raises(ShapeError):
+        shard_documents(10, 0)
+    with pytest.raises(ShapeError):
+        shard_documents(-1, 2)
+
+
+def test_shard_more_shards_than_docs():
+    shards = shard_documents(2, 5)
+    assert sum(s.size for s in shards) == 2
+
+
+def test_merge_topk():
+    a = [(0, 0.9), (1, 0.5)]
+    b = [(2, 0.7), (3, 0.1)]
+    merged = merge_topk([a, b], 3)
+    assert merged == [(0, 0.9), (2, 0.7), (1, 0.5)]
+    with pytest.raises(ShapeError):
+        merge_topk([a], 0)
+
+
+def test_sharded_search_matches_flat(med_model):
+    qhat = project_query(med_model, "age blood abnormalities")
+    flat = cosine_similarities(med_model, qhat)
+    order = np.argsort(-flat, kind="stable")[:5]
+    expected = [(int(j), pytest.approx(float(flat[j]))) for j in order]
+    for shards in (1, 2, 5):
+        got = sharded_search(med_model, qhat, shards=shards, top=5)
+        assert [g[0] for g in got] == [e[0] for e in expected]
+        for (gj, gc), (ej, ec) in zip(got, expected):
+            assert gc == ec
+
+
+def test_sharded_search_with_workers(med_model):
+    qhat = project_query(med_model, "age blood abnormalities")
+    a = sharded_search(med_model, qhat, shards=3, top=4, workers=None)
+    b = sharded_search(med_model, qhat, shards=3, top=4, workers=3)
+    assert a == b

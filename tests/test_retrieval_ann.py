@@ -1,0 +1,142 @@
+"""Tests for k-means and the cluster-pruned near-neighbour index."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import LSIModel
+from repro.core.similarity import cosine_similarities
+from repro.errors import ShapeError
+from repro.retrieval.ann import ClusterIndex, kmeans
+from repro.text import Vocabulary
+from repro.util.rng import ensure_rng
+
+
+# --------------------------------------------------------------------- #
+# k-means
+# --------------------------------------------------------------------- #
+def test_kmeans_separates_obvious_clusters():
+    rng = ensure_rng(1)
+    a = rng.normal([0, 0], 0.1, (30, 2))
+    b = rng.normal([10, 10], 0.1, (30, 2))
+    X = np.vstack([a, b])
+    centroids, assignment = kmeans(X, 2, seed=0)
+    assert centroids.shape == (2, 2)
+    # All of a in one cluster, all of b in the other.
+    assert len(set(assignment[:30])) == 1
+    assert len(set(assignment[30:])) == 1
+    assert assignment[0] != assignment[30]
+
+
+def test_kmeans_deterministic():
+    rng = ensure_rng(2)
+    X = rng.standard_normal((40, 3))
+    c1, a1 = kmeans(X, 4, seed=5)
+    c2, a2 = kmeans(X, 4, seed=5)
+    assert np.array_equal(c1, c2) and np.array_equal(a1, a2)
+
+
+def test_kmeans_k_equals_n():
+    X = np.arange(6, dtype=float).reshape(3, 2)
+    centroids, assignment = kmeans(X, 3, seed=0)
+    assert sorted(assignment.tolist()) == [0, 1, 2]
+
+
+def test_kmeans_duplicate_points():
+    X = np.ones((10, 2))
+    centroids, assignment = kmeans(X, 2, seed=0)
+    assert np.allclose(centroids, 1.0)
+
+
+def test_kmeans_validation():
+    with pytest.raises(ShapeError):
+        kmeans(np.zeros(5), 2)
+    with pytest.raises(ShapeError):
+        kmeans(np.zeros((3, 2)), 4)
+    with pytest.raises(ShapeError):
+        kmeans(np.zeros((3, 2)), 0)
+
+
+# --------------------------------------------------------------------- #
+# cluster index
+# --------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def big_model():
+    rng = ensure_rng(4)
+    n, k = 4000, 16
+    # Documents concentrated around a handful of latent directions so
+    # clustering has structure to find.
+    hubs = rng.standard_normal((12, k))
+    V = hubs[rng.integers(12, size=n)] + 0.15 * rng.standard_normal((n, k))
+    s = np.sort(rng.random(k) + 0.5)[::-1]
+    return LSIModel(
+        U=np.eye(k),
+        s=s,
+        V=V,
+        vocabulary=Vocabulary([f"t{i}" for i in range(k)]).freeze(),
+        doc_ids=[f"d{j}" for j in range(n)],
+    )
+
+
+@pytest.fixture(scope="module")
+def index(big_model):
+    return ClusterIndex.build(big_model, seed=0)
+
+
+def test_index_covers_all_documents(index, big_model):
+    covered = np.concatenate(index.members)
+    assert sorted(covered.tolist()) == list(range(big_model.n_documents))
+    assert index.n_clusters == int(np.sqrt(big_model.n_documents))
+
+
+def test_probe_search_scores_fraction(index, big_model):
+    rng = ensure_rng(9)
+    qhat = rng.standard_normal(big_model.k)
+    results, scored = index.search(qhat, top=10, probes=2)
+    assert len(results) == 10
+    assert scored < big_model.n_documents * 0.25
+    scores = [c for _, c in results]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_recall_improves_with_probes(index, big_model):
+    rng = ensure_rng(10)
+    queries = rng.standard_normal((20, big_model.k))
+    recall = {
+        p: float(np.mean([index.recall_at(q, top=10, probes=p) for q in queries]))
+        for p in (1, 4, index.n_clusters)
+    }
+    assert recall[1] <= recall[4] + 1e-9
+    assert recall[4] <= recall[index.n_clusters] + 1e-9
+    assert recall[index.n_clusters] == pytest.approx(1.0)
+    assert recall[4] > 0.6
+
+
+def test_full_probe_matches_exact(index, big_model):
+    rng = ensure_rng(11)
+    qhat = rng.standard_normal(big_model.k)
+    exact = cosine_similarities(big_model, qhat)
+    true_top = np.argsort(-exact, kind="stable")[:5]
+    approx, scored = index.search(qhat, top=5, probes=index.n_clusters)
+    assert scored == big_model.n_documents
+    assert [j for j, _ in approx] == true_top.tolist()
+
+
+def test_zero_query(index):
+    results, scored = index.search(np.zeros(index.model.k))
+    assert results == [] and scored == 0
+
+
+def test_search_validation(index):
+    with pytest.raises(ShapeError):
+        index.search(np.ones(3))
+    with pytest.raises(ShapeError):
+        index.search(np.ones(index.model.k), top=0)
+
+
+def test_build_validation():
+    model = LSIModel(
+        np.eye(2), np.ones(2), np.zeros((0, 2)),
+        Vocabulary(["a", "b"]).freeze(), [],
+    )
+    with pytest.raises(ShapeError):
+        ClusterIndex.build(model)

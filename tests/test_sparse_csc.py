@@ -1,0 +1,96 @@
+"""Unit tests for the CSC format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, SparseFormatError
+from repro.sparse import CSCMatrix, from_dense
+
+
+@pytest.fixture
+def dense(rng):
+    return rng.random((6, 9)) * (rng.random((6, 9)) < 0.5)
+
+
+@pytest.fixture
+def csc(dense):
+    return from_dense(dense).to_csc()
+
+
+def test_format_invariants_validated():
+    with pytest.raises(SparseFormatError):
+        CSCMatrix((2, 2), [0, 1], [0], [1.0])
+    with pytest.raises(SparseFormatError):
+        CSCMatrix((2, 2), [0, 2, 1], [0, 1], [1.0, 1.0])
+    with pytest.raises(SparseFormatError):
+        CSCMatrix((2, 2), [0, 1, 2], [0, 5], [1.0, 1.0])
+
+
+def test_matvec_and_rmatvec(dense, csc, rng):
+    x = rng.standard_normal(9)
+    y = rng.standard_normal(6)
+    assert np.allclose(csc.matvec(x), dense @ x)
+    assert np.allclose(csc.rmatvec(y), dense.T @ y)
+    assert np.allclose(csc @ x, dense @ x)
+
+
+def test_matmat_and_rmatmat(dense, csc, rng):
+    X = rng.standard_normal((9, 18))
+    Y = rng.standard_normal((6, 18))
+    assert np.allclose(csc.matmat(X), dense @ X)
+    assert np.allclose(csc.rmatmat(Y), dense.T @ Y)
+
+
+def test_empty_columns():
+    d = np.zeros((3, 4))
+    d[2, 1] = 5.0
+    c = from_dense(d).to_csc()
+    assert np.allclose(c.col_nnz(), [0, 1, 0, 0])
+    assert np.allclose(c.col_sums(), d.sum(axis=0))
+    assert np.allclose(c.matvec(np.ones(4)), d @ np.ones(4))
+
+
+def test_col_slice_and_dense(dense, csc):
+    rows, vals = csc.col_slice(3)
+    rebuilt = np.zeros(6)
+    rebuilt[rows] = vals
+    assert np.allclose(rebuilt, dense[:, 3])
+    assert np.allclose(csc.col_dense(3), dense[:, 3])
+    with pytest.raises(ShapeError):
+        csc.col_slice(100)
+
+
+def test_select_cols(dense, csc):
+    cols = np.array([5, 1, 5, 0])
+    sub = csc.select_cols(cols)
+    assert np.allclose(sub.to_dense(), dense[:, cols])
+    with pytest.raises(ShapeError):
+        csc.select_cols([50])
+
+
+def test_scaling(dense, csc):
+    s_r = np.arange(1.0, 7.0)
+    s_c = np.arange(1.0, 10.0)
+    assert np.allclose(csc.scale_rows(s_r).to_dense(), dense * s_r[:, None])
+    assert np.allclose(csc.scale_cols(s_c).to_dense(), dense * s_c[None, :])
+
+
+def test_sums(dense, csc):
+    assert np.allclose(csc.row_sums(), dense.sum(axis=1))
+    assert np.allclose(csc.col_sums(), dense.sum(axis=0))
+
+
+def test_transpose_roundtrip(dense, csc):
+    assert np.allclose(csc.T.to_dense(), dense.T)
+    assert np.allclose(csc.T.T.to_dense(), dense)
+    assert np.shares_memory(csc.T.data, csc.data)
+
+
+def test_conversions(dense, csc):
+    assert np.allclose(csc.to_csr().to_dense(), dense)
+    assert np.allclose(csc.to_coo().to_dense(), dense)
+
+
+def test_immutability(csc):
+    with pytest.raises(AttributeError):
+        csc.indptr = None

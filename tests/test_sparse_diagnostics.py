@@ -1,0 +1,52 @@
+"""Tests for matrix profiling diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import from_dense
+from repro.sparse.diagnostics import matrix_profile
+
+
+@pytest.fixture
+def dense():
+    d = np.zeros((4, 5))
+    d[0, 0] = 2.0
+    d[0, 1] = 1.0
+    d[3, 4] = 5.0
+    return d
+
+
+@pytest.mark.parametrize("convert", ["coo", "csr", "csc"])
+def test_profile_consistent_across_formats(dense, convert):
+    coo = from_dense(dense)
+    matrix = {"coo": coo, "csr": coo.to_csr(), "csc": coo.to_csc()}[convert]
+    p = matrix_profile(matrix)
+    assert p.shape == (4, 5)
+    assert p.nnz == 3
+    assert p.density_pct == pytest.approx(100 * 3 / 20)
+    assert p.row_nnz_max == 2
+    assert p.col_nnz_max == 1
+    assert p.value_max == 5.0
+    assert p.value_mean == pytest.approx(8 / 3)
+
+
+def test_profile_empty_matrix():
+    p = matrix_profile(from_dense(np.zeros((3, 3))))
+    assert p.nnz == 0
+    assert p.density_pct == 0.0
+    assert p.value_max == 0.0
+
+
+def test_profile_summary_mentions_density(dense):
+    p = matrix_profile(from_dense(dense))
+    assert "% non-zero" in p.summary()
+    assert "4×5" in p.summary()
+
+
+def test_profile_on_med_matrix(med_tdm):
+    p = matrix_profile(med_tdm.matrix)
+    assert p.shape == (18, 14)
+    assert p.nnz == med_tdm.matrix.nnz
+    # every keyword appears in ≥ 2 topics
+    from repro.sparse.diagnostics import matrix_profile as mp
+    assert p.row_nnz_max >= 2

@@ -1,0 +1,120 @@
+"""Tests for the incremental index manager."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import SyntheticSpec, topic_collection
+from repro.errors import ShapeError
+from repro.text import ParsingRules, build_tdm
+from repro.updating import LSIIndexManager
+
+
+@pytest.fixture
+def manager_setup():
+    col = topic_collection(
+        SyntheticSpec(n_topics=4, docs_per_topic=15, doc_length=30,
+                      concepts_per_topic=10, queries_per_topic=1),
+        seed=50,
+    )
+    train = col.documents[:40]
+    later = col.documents[40:]
+    tdm = build_tdm(train, ParsingRules())
+    mgr = LSIIndexManager(tdm, k=8, scheme=None, distortion_budget=0.1)
+    return mgr, later
+
+
+def test_initial_state(manager_setup):
+    mgr, _ = manager_setup
+    assert mgr.n_documents == 40
+    assert mgr.pending == 0
+    assert mgr.drift() < 1e-10
+    assert mgr.events == []
+
+
+def test_small_additions_fold(manager_setup):
+    mgr, later = manager_setup
+    event = mgr.add_texts(later[:2])
+    assert event.action == "fold-in"
+    assert mgr.pending == 2
+    assert mgr.n_documents == 42
+    assert mgr.model.provenance == "fold-in"
+
+
+def test_budget_triggers_consolidation(manager_setup):
+    mgr, later = manager_setup
+    # 10% of 40 = 4 documents; the 5th pending document exceeds it.
+    actions = []
+    for text in later[:6]:
+        actions.append(mgr.add_texts([text]).action)
+    assert "fold-in" in actions
+    assert any(a in ("svd-update", "recompute") for a in actions)
+    # After consolidation, pending resets and drift is repaired.
+    assert mgr.pending < 5
+    last_consolidation = max(
+        i for i, a in enumerate(actions) if a != "fold-in"
+    )
+    if last_consolidation == len(actions) - 1:
+        assert mgr.drift() < 1e-8
+
+
+def test_consolidation_preserves_document_count(manager_setup):
+    mgr, later = manager_setup
+    for text in later[:8]:
+        mgr.add_texts([text])
+    assert mgr.n_documents == 48
+    assert mgr.tdm.n_documents + mgr.pending == 48
+
+
+def test_queries_see_all_documents_immediately(manager_setup):
+    mgr, later = manager_setup
+    from repro.core import project_query, retrieve
+
+    mgr.add_texts([later[0]], doc_ids=["FRESH"])
+    qhat = project_query(mgr.model, later[0])
+    ids = [d for d, _ in retrieve(mgr.model, qhat, top=3)]
+    assert "FRESH" in ids
+
+
+def test_manual_consolidate(manager_setup):
+    mgr, later = manager_setup
+    assert mgr.consolidate() is None  # nothing pending
+    mgr.add_texts(later[:2])
+    event = mgr.consolidate()
+    assert event is not None
+    assert event.action == "svd-update"
+    assert mgr.pending == 0
+    assert mgr.drift() < 1e-8
+    assert mgr.tdm.n_documents == 42
+
+
+def test_drift_cap_forces_recompute():
+    col = topic_collection(
+        SyntheticSpec(n_topics=3, docs_per_topic=10, doc_length=25,
+                      concepts_per_topic=8, queries_per_topic=1),
+        seed=51,
+    )
+    tdm = build_tdm(col.documents[:20], ParsingRules())
+    mgr = LSIIndexManager(
+        tdm, k=6, distortion_budget=0.9, drift_cap=1e-12
+    )  # impossible cap → every add consolidates
+    event = mgr.add_texts(col.documents[20:22])
+    assert event.action == "recompute"
+    assert "drift" in event.reason
+
+
+def test_add_validation(manager_setup):
+    mgr, later = manager_setup
+    with pytest.raises(ShapeError):
+        mgr.add_texts([])
+    with pytest.raises(ShapeError):
+        mgr.add_texts(later[:2], doc_ids=["one"])
+    with pytest.raises(ShapeError):
+        mgr.add_counts(np.zeros((3, 1)), ["x"])
+
+
+def test_events_log_grows(manager_setup):
+    mgr, later = manager_setup
+    for text in later[:3]:
+        mgr.add_texts([text])
+    assert len(mgr.events) == 3
+    assert all(e.n_documents == 1 for e in mgr.events)

@@ -1,0 +1,148 @@
+"""Tests for the util subpackage and the error hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConvergenceError,
+    EvaluationError,
+    ModelStateError,
+    ReproError,
+    ShapeError,
+    SparseFormatError,
+    VocabularyError,
+)
+from repro.util import (
+    Stopwatch,
+    check_axis,
+    check_dense_matrix,
+    check_positive,
+    check_shape_match,
+    check_vector,
+    ensure_rng,
+    format_seconds,
+    spawn_rngs,
+)
+
+
+# --------------------------------------------------------------------- #
+# rng
+# --------------------------------------------------------------------- #
+def test_ensure_rng_accepts_all_forms():
+    assert isinstance(ensure_rng(None), np.random.Generator)
+    assert isinstance(ensure_rng(42), np.random.Generator)
+    g = np.random.default_rng(0)
+    assert ensure_rng(g) is g
+    assert isinstance(ensure_rng(np.random.SeedSequence(1)), np.random.Generator)
+
+
+def test_ensure_rng_deterministic():
+    a = ensure_rng(7).random(5)
+    b = ensure_rng(7).random(5)
+    assert np.array_equal(a, b)
+
+
+def test_ensure_rng_rejects_garbage():
+    with pytest.raises(TypeError):
+        ensure_rng("seed")
+
+
+def test_spawn_rngs_independent_and_stable():
+    streams1 = spawn_rngs(3, 4)
+    streams2 = spawn_rngs(3, 4)
+    assert len(streams1) == 4
+    for a, b in zip(streams1, streams2):
+        assert np.array_equal(a.random(3), b.random(3))
+    # children differ from each other
+    vals = [g.random() for g in spawn_rngs(3, 4)]
+    assert len(set(vals)) == 4
+    with pytest.raises(ValueError):
+        spawn_rngs(0, -1)
+
+
+# --------------------------------------------------------------------- #
+# validation
+# --------------------------------------------------------------------- #
+def test_check_dense_matrix():
+    out = check_dense_matrix([[1, 2], [3, 4]])
+    assert out.dtype == np.float64
+    with pytest.raises(ShapeError):
+        check_dense_matrix(np.zeros(3))
+
+
+def test_check_vector():
+    v = check_vector([1.0, 2.0], 2)
+    assert v.shape == (2,)
+    with pytest.raises(ShapeError):
+        check_vector(np.zeros((2, 2)))
+    with pytest.raises(ShapeError):
+        check_vector([1.0], 3)
+
+
+def test_check_positive():
+    check_positive(1)
+    check_positive(0, strict=False)
+    with pytest.raises(ShapeError):
+        check_positive(0)
+    with pytest.raises(ShapeError):
+        check_positive(-1, strict=False)
+
+
+def test_check_shape_match():
+    check_shape_match((2, 3), (2, 3))
+    with pytest.raises(ShapeError):
+        check_shape_match((2, 3), (3, 2))
+
+
+def test_check_axis():
+    assert check_axis(0) == 0
+    assert check_axis(-1) == 1
+    with pytest.raises(ShapeError):
+        check_axis(2)
+
+
+# --------------------------------------------------------------------- #
+# timing
+# --------------------------------------------------------------------- #
+def test_stopwatch_accumulates():
+    sw = Stopwatch()
+    with sw.lap("a"):
+        pass
+    with sw.lap("a"):
+        pass
+    with sw.lap("b"):
+        pass
+    assert set(sw.laps) == {"a", "b"}
+    assert sw.total() >= 0
+    assert "a" in sw.report()
+
+
+def test_format_seconds_units():
+    assert format_seconds(2.5).endswith(" s")
+    assert format_seconds(2.5e-3).endswith(" ms")
+    assert format_seconds(2.5e-6).endswith(" us")
+    assert format_seconds(2.5e-9).endswith(" ns")
+
+
+# --------------------------------------------------------------------- #
+# error hierarchy
+# --------------------------------------------------------------------- #
+def test_all_errors_derive_from_repro_error():
+    for exc in (
+        ShapeError("x"),
+        SparseFormatError("x"),
+        ConvergenceError("x"),
+        VocabularyError("x"),
+        ModelStateError("x"),
+        EvaluationError("x"),
+    ):
+        assert isinstance(exc, ReproError)
+
+
+def test_shape_error_is_value_error():
+    assert isinstance(ShapeError("x"), ValueError)
+
+
+def test_convergence_error_carries_progress():
+    exc = ConvergenceError("slow", iterations=10, achieved=3)
+    assert exc.iterations == 10 and exc.achieved == 3
