@@ -15,7 +15,10 @@ The package implements Latent Semantic Indexing end to end, from scratch:
 * retrieval engines and evaluation (:mod:`repro.retrieval`,
   :mod:`repro.evaluation`), corpora and generators (:mod:`repro.corpus`),
   the §5.4 applications (:mod:`repro.apps`), and parallel helpers
-  (:mod:`repro.parallel`).
+  (:mod:`repro.parallel`);
+* the query-serving fast path (:mod:`repro.serving`): the cached
+  per-model document index, the unified GEMM scoring kernel, and
+  argpartition top-k selection behind every search entry point.
 
 Quick start::
 
@@ -48,6 +51,7 @@ from repro.errors import (
     VocabularyError,
 )
 from repro.retrieval import KeywordRetrieval, LSIRetrieval
+from repro.serving import DocumentIndex, get_document_index
 from repro.text import ParsingRules
 from repro.updating import (
     fold_in_documents,
@@ -74,6 +78,8 @@ __all__ = [
     "load_model",
     "LSIRetrieval",
     "KeywordRetrieval",
+    "DocumentIndex",
+    "get_document_index",
     "ParsingRules",
     "WeightingScheme",
     "fold_in_documents",

@@ -22,7 +22,7 @@ from repro.errors import ShapeError
 from repro.text.tdm import count_vector
 from repro.text.tokenizer import tokenize
 
-__all__ = ["project_query", "pseudo_document", "query_counts"]
+__all__ = ["project_query", "project_counts", "pseudo_document", "query_counts"]
 
 
 def query_counts(model: LSIModel, query: str | Sequence[str]) -> np.ndarray:
@@ -56,13 +56,15 @@ def pseudo_document(model: LSIModel, weighted_counts: np.ndarray) -> np.ndarray:
     return (d @ model.U) / model.s
 
 
-def project_query(model: LSIModel, query: str | Sequence[str]) -> np.ndarray:
-    """Full Eq. 6 pipeline: tokenize, weight, project.
+def project_counts(model: LSIModel, counts: np.ndarray) -> np.ndarray:
+    """Weight a raw term-count vector and project it into k-space.
 
-    The query counts receive the model's term weights (local transform +
-    stored global weights), then are projected into k-space.
+    The counts receive the model's term weights (local transform +
+    stored global weights), then the Eq. 6 projection.  Split out from
+    :func:`project_query` so callers that already hold counts — the
+    serving layer's query-vector cache keys on them — can skip the
+    tokenization pass.
     """
-    counts = query_counts(model, query)
     from repro.weighting.schemes import WeightedMatrix  # noqa: F401 (doc ref)
     from repro.weighting.local import NEEDS_COL_MAX, local_weight
 
@@ -75,3 +77,8 @@ def project_query(model: LSIModel, query: str | Sequence[str]) -> np.ndarray:
         local = local_weight(model.scheme.local, counts)
     weighted = local * model.global_weights
     return pseudo_document(model, weighted)
+
+
+def project_query(model: LSIModel, query: str | Sequence[str]) -> np.ndarray:
+    """Full Eq. 6 pipeline: tokenize, weight, project."""
+    return project_counts(model, query_counts(model, query))

@@ -14,6 +14,16 @@ alternative — cosine between ``q̂`` and raw rows of ``V_k`` — is exposed as
 ``mode="factors"`` for completeness; the paper itself notes the cosine "is
 merely used to rank-order documents and its numerical value is not always
 an adequate measure of relevance".
+
+Execution
+---------
+Scoring routes through the serving fast path
+(:mod:`repro.serving`): :func:`cosine_similarities` is the q=1 case of
+the batched GEMM kernel, reading ``V_k Σ_k`` and its row norms from the
+per-model :class:`~repro.serving.index.DocumentIndex` cache instead of
+recomputing them per query, and the ranked/filtered entry points select
+top-z with ``argpartition`` instead of a full sort — with output
+element-identical to the historical stable-argsort implementation.
 """
 
 from __future__ import annotations
@@ -22,6 +32,9 @@ import numpy as np
 
 from repro.core.model import LSIModel
 from repro.errors import ShapeError
+from repro.serving.index import get_document_index
+from repro.serving.kernel import cosine_scores
+from repro.serving.topk import ranked_order, topk_indices
 
 __all__ = [
     "cosine_similarities",
@@ -35,27 +48,21 @@ __all__ = [
 
 def _cosine_rows(M: np.ndarray, v: np.ndarray) -> np.ndarray:
     """Cosine of each row of ``M`` with vector ``v`` (0 for zero rows)."""
-    norms = np.sqrt(np.sum(M * M, axis=1))
-    vnorm = np.sqrt(np.dot(v, v))
-    denom = norms * vnorm
-    out = np.zeros(M.shape[0])
-    ok = denom > 0
-    out[ok] = (M[ok] @ v) / denom[ok]
-    return out
+    return cosine_scores(M, v)[0]
 
 
 def cosine_similarities(
     model: LSIModel, qhat: np.ndarray, *, mode: str = "scaled"
 ) -> np.ndarray:
-    """Cosine of the query pseudo-vector with every document (length n)."""
+    """Cosine of the query pseudo-vector with every document (length n).
+
+    The q=1 case of the batch GEMM path, served from the cached
+    :class:`~repro.serving.index.DocumentIndex` for ``model``.
+    """
     qhat = np.asarray(qhat, dtype=np.float64).ravel()
     if qhat.size != model.k:
         raise ShapeError(f"query vector has {qhat.size} dims for k={model.k}")
-    if mode == "scaled":
-        return _cosine_rows(model.V * model.s, qhat * model.s)
-    if mode == "factors":
-        return _cosine_rows(model.V, qhat)
-    raise ValueError(f"unknown similarity mode {mode!r}")
+    return get_document_index(model, mode=mode).scores(qhat)
 
 
 def rank_documents(
@@ -63,7 +70,7 @@ def rank_documents(
 ) -> list[tuple[str, float]]:
     """All documents ranked by descending cosine: ``[(doc_id, cos), ...]``."""
     cos = cosine_similarities(model, qhat, mode=mode)
-    order = np.argsort(-cos, kind="stable")
+    order = topk_indices(cos, None)
     return [(model.doc_ids[j], float(cos[j])) for j in order]
 
 
@@ -78,16 +85,14 @@ def retrieve(
     """Documents above a cosine threshold and/or the top-z closest.
 
     Mirrors §3.1: "the z closest documents or all documents exceeding some
-    cosine threshold are returned".  Both filters may be combined.
+    cosine threshold are returned".  Both filters may be combined; they
+    are applied as vectorized masks before any Python pairs materialize.
     """
     if threshold is None and top is None:
         raise ValueError("retrieve() needs a threshold, a top count, or both")
-    ranked = rank_documents(model, qhat, mode=mode)
-    if threshold is not None:
-        ranked = [(d, c) for d, c in ranked if c >= threshold]
-    if top is not None:
-        ranked = ranked[:top]
-    return ranked
+    cos = cosine_similarities(model, qhat, mode=mode)
+    order = ranked_order(cos, top=top, threshold=threshold)
+    return [(model.doc_ids[j], float(cos[j])) for j in order]
 
 
 # --------------------------------------------------------------------- #
@@ -118,7 +123,9 @@ def nearest_terms(
     application of §5.4 ("there is no reason that similar terms could not
     be returned")."""
     cos = term_term_similarities(model, term)
-    order = np.argsort(-cos, kind="stable")
+    # One extra candidate absorbs the query term itself when it is
+    # skipped; selection order matches the historical full stable sort.
+    order = topk_indices(cos, top + 1 if skip_self else top)
     out = []
     self_id = model.vocabulary.id_of(term)
     for idx in order:

@@ -55,13 +55,25 @@ def tridiag_eigh(
     if n == 1:
         return d, z
 
+    # Running matrix scale for the split test (EISPACK's ``tst1``).  The
+    # purely local criterion |e[m]| <= eps·(|d[m]|+|d[m+1]|) never fires
+    # when a whole trailing block is tiny (e.g. zero diagonal with
+    # subnormal couplings): the rotations underflow to no-ops and the
+    # sweep stalls.  Splitting additionally on |e[m]| negligible against
+    # the largest |d[l]|+|e[l]| seen so far is backward stable — it
+    # perturbs T by at most eps·‖T‖ — and unsticks those blocks.
+    tst1 = 0.0
     for l in range(n):
+        tst1 = max(tst1, abs(d[l]) + abs(e[l]))
         for sweep in range(_MAX_QL_SWEEPS + 1):
             # Find a small off-diagonal element to split the problem.
             m = l
             while m < n - 1:
                 dd = abs(d[m]) + abs(d[m + 1])
-                if abs(e[m]) <= np.finfo(float).eps * dd:
+                if (
+                    abs(e[m]) <= np.finfo(float).eps * dd
+                    or tst1 + abs(e[m]) == tst1
+                ):
                     break
                 m += 1
             if m == l:

@@ -14,12 +14,19 @@ memory bounded for the first two:
   inside its kernels, so scoring shards in threads scales) with a
   deterministic sequential fallback;
 * :mod:`repro.parallel.sharding` — splitting a document collection into
-  shards and merging per-shard top-z results exactly.
+  shards and merging per-shard top-z results exactly, for one query
+  (:func:`sharded_search`) or a whole batch
+  (:func:`sharded_batch_search`) over the cached serving index.
 """
 
 from repro.parallel.chunked import blocked_cosine_scores, blocked_fold_in
 from repro.parallel.pool import parallel_map
-from repro.parallel.sharding import merge_topk, shard_documents, sharded_search
+from repro.parallel.sharding import (
+    merge_topk,
+    shard_documents,
+    sharded_batch_search,
+    sharded_search,
+)
 from repro.parallel.batch import (
     batch_cosine_scores,
     batch_project_queries,
@@ -32,6 +39,7 @@ __all__ = [
     "parallel_map",
     "shard_documents",
     "sharded_search",
+    "sharded_batch_search",
     "merge_topk",
     "batch_project_queries",
     "batch_cosine_scores",

@@ -3,10 +3,17 @@
 TREC-style evaluation poses hundreds of queries against one space; the
 per-query loop pays the Python and small-matvec overhead hundreds of
 times.  Batching stacks the query pseudo-documents into a matrix and
-scores all of them with two dense GEMMs — the classic loop-to-BLAS
+scores all of them with one dense GEMM — the classic loop-to-BLAS
 rewrite the optimization guide prescribes — with identical results to
 the per-query path (asserted in tests and measured in
 ``bench_sparse_kernels.py``).
+
+Both this module and the single-query path
+(:func:`repro.core.similarity.cosine_similarities`) route through the
+same kernel, :func:`repro.serving.kernel.cosine_scores`, served from
+the per-model :class:`~repro.serving.index.DocumentIndex` cache — the
+single-query case is literally the q=1 row of the batch case, so the
+two can never drift apart.
 """
 
 from __future__ import annotations
@@ -18,6 +25,8 @@ import numpy as np
 from repro.core.model import LSIModel
 from repro.core.query import project_query
 from repro.errors import ShapeError
+from repro.serving.index import get_document_index
+from repro.serving.topk import topk_indices
 
 __all__ = ["batch_project_queries", "batch_cosine_scores", "batch_search"]
 
@@ -42,16 +51,7 @@ def batch_cosine_scores(
     Q = np.atleast_2d(np.asarray(qhats, dtype=np.float64))
     if Q.shape[1] != model.k:
         raise ShapeError(f"queries have {Q.shape[1]} dims for k={model.k}")
-    docs = model.V * model.s                     # (n, k)
-    Qs = Q * model.s                             # (q, k)
-    dn = np.sqrt(np.sum(docs**2, axis=1))        # (n,)
-    qn = np.sqrt(np.sum(Qs**2, axis=1))          # (q,)
-    denom = qn[:, None] * dn[None, :]
-    raw = Qs @ docs.T
-    out = np.zeros_like(raw)
-    ok = denom > 0
-    out[ok] = raw[ok] / denom[ok]
-    return out
+    return get_document_index(model, mode="scaled").batch_scores(Q)
 
 
 def batch_search(
@@ -66,6 +66,6 @@ def batch_search(
     scores = batch_cosine_scores(model, batch_project_queries(model, queries))
     results = []
     for row in scores:
-        order = np.argsort(-row, kind="stable")[:top]
+        order = topk_indices(row, top)
         results.append([(int(j), float(row[j])) for j in order])
     return results

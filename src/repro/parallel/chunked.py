@@ -72,6 +72,7 @@ def blocked_fold_in(
     the paper's TREC pipeline, where the fold-in stream was an order of
     magnitude larger than the decomposed sample.
     """
+    from repro.serving.index import invalidate_model
     from repro.updating.folding import _weight_columns
 
     counts = np.asarray(counts, dtype=np.float64)
@@ -85,4 +86,7 @@ def blocked_fold_in(
         hi = min(lo + block, p)
         weighted = _weight_columns(model, counts[:, lo:hi])
         vecs[lo:hi] = (weighted.T @ model.U) / model.s
+    # Same invalidation contract as fold_in_documents: the source model
+    # is superseded, so its cached serving index must not keep answering.
+    invalidate_model(model)
     return model.with_documents(vecs, doc_ids, provenance="fold-in")

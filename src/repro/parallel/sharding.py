@@ -5,6 +5,16 @@ one LSI model per shard plus an exact top-z merge — scores are cosines in
 each shard's own space, so the merge is only exact when the shards share
 one model; :func:`sharded_search` therefore shards the *scoring*, not the
 decomposition, matching the paper's single-space TREC design.
+
+Shards are contiguous row ranges of the cached
+:class:`~repro.serving.index.DocumentIndex`, so per-shard scoring works
+on zero-copy views of the precomputed ``V_k Σ_k`` and its norms; the
+per-shard top-k uses the same argpartition selection as the flat path
+and the merge preserves its tie order (lower document index first), so
+sharded results are element-identical to a flat search.
+:func:`sharded_batch_search` runs a whole query batch through the same
+machinery: one GEMM per (shard × batch), shards optionally scored by a
+thread pool, per-shard top-k heaps merged exactly per query.
 """
 
 from __future__ import annotations
@@ -16,10 +26,17 @@ import numpy as np
 
 from repro.core.model import LSIModel
 from repro.errors import ShapeError
-from repro.parallel.chunked import blocked_cosine_scores
 from repro.parallel.pool import parallel_map
+from repro.serving.index import DocumentIndex, get_document_index
+from repro.serving.kernel import cosine_scores
+from repro.serving.topk import topk_indices
 
-__all__ = ["shard_documents", "sharded_search", "merge_topk"]
+__all__ = [
+    "shard_documents",
+    "sharded_search",
+    "sharded_batch_search",
+    "merge_topk",
+]
 
 
 def shard_documents(n: int, shards: int) -> list[np.ndarray]:
@@ -32,10 +49,21 @@ def shard_documents(n: int, shards: int) -> list[np.ndarray]:
     return [np.arange(bounds[i], bounds[i + 1]) for i in range(shards)]
 
 
+def _shard_bounds(n: int, shards: int) -> list[tuple[int, int]]:
+    """The same partition as :func:`shard_documents`, as (lo, hi) ranges."""
+    bounds = np.linspace(0, n, shards + 1).astype(np.int64)
+    return [(int(bounds[i]), int(bounds[i + 1])) for i in range(shards)]
+
+
 def merge_topk(
     per_shard: Sequence[Sequence[tuple[int, float]]], k: int
 ) -> list[tuple[int, float]]:
-    """Exact top-k merge of per-shard ``(doc_index, score)`` lists."""
+    """Exact top-k merge of per-shard ``(doc_index, score)`` lists.
+
+    ``heapq.nlargest`` is stable, so with shards supplied in document
+    order and each shard list in stable descending order, score ties
+    resolve by ascending document index — the flat search's tie order.
+    """
     if k < 1:
         raise ShapeError("k must be >= 1")
     merged = heapq.nlargest(
@@ -44,6 +72,30 @@ def merge_topk(
         key=lambda pair: pair[1],
     )
     return merged
+
+
+def _shard_topk(
+    index: DocumentIndex,
+    Qs: np.ndarray,
+    lo: int,
+    hi: int,
+    top: int,
+) -> list[list[tuple[int, float]]]:
+    """Per-query top-``top`` pairs within rows ``lo:hi`` of the index.
+
+    Scores the shard with the shared GEMM kernel on zero-copy views of
+    the cached coordinates and norms; indices are shifted to global.
+    """
+    if hi <= lo:
+        return [[] for _ in range(Qs.shape[0])]
+    S = cosine_scores(
+        index.coords[lo:hi], Qs, norms=index.norms[lo:hi]
+    )
+    out = []
+    for row in S:
+        order = topk_indices(row, top)
+        out.append([(int(lo + j), float(row[j])) for j in order])
+    return out
 
 
 def sharded_search(
@@ -59,24 +111,56 @@ def sharded_search(
     Identical results to a flat search; the point is the execution shape —
     per-shard scoring parallelizes and bounds memory.
     """
-    parts = shard_documents(model.n_documents, shards)
+    index = get_document_index(model, mode="scaled")
+    Qs = index.prepare_queries(np.asarray(qhat, dtype=np.float64).ravel())
+    parts = _shard_bounds(index.n_documents, shards)
 
-    def search_shard(idx: np.ndarray) -> list[tuple[int, float]]:
-        if idx.size == 0:
-            return []
-        sub = LSIModel(
-            U=model.U,
-            s=model.s,
-            V=model.V[idx],
-            vocabulary=model.vocabulary,
-            doc_ids=[model.doc_ids[int(i)] for i in idx],
-            scheme=model.scheme,
-            global_weights=model.global_weights,
-            provenance=model.provenance,
-        )
-        scores = blocked_cosine_scores(sub, qhat)
-        order = np.argsort(-scores, kind="stable")[:top]
-        return [(int(idx[i]), float(scores[i])) for i in order]
+    def search_shard(bounds: tuple[int, int]) -> list[tuple[int, float]]:
+        lo, hi = bounds
+        return _shard_topk(index, Qs, lo, hi, top)[0]
 
     per_shard = parallel_map(search_shard, parts, workers=workers)
     return merge_topk(per_shard, top)
+
+
+def sharded_batch_search(
+    model: LSIModel,
+    queries: Sequence[str] | np.ndarray,
+    *,
+    top: int = 10,
+    shards: int = 4,
+    workers: int | None = None,
+) -> list[list[tuple[int, float]]]:
+    """Top-``top`` lists for every query, scored shard-parallel.
+
+    ``queries`` may be raw texts (projected with Eq. 6 first) or an
+    already-projected ``(q, k)`` array.  Each shard scores the whole
+    query batch with one GEMM over its slice of the document index —
+    optionally across a thread pool (NumPy releases the GIL inside the
+    GEMM) — then the per-shard top-k heaps are merged exactly per query.
+    Results are element-identical to
+    :func:`repro.parallel.batch.batch_search`.
+    """
+    if top < 1:
+        raise ShapeError("top must be >= 1")
+    if isinstance(queries, np.ndarray):
+        Q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    else:
+        from repro.parallel.batch import batch_project_queries
+
+        Q = batch_project_queries(model, queries)
+    index = get_document_index(model, mode="scaled")
+    Qs = index.prepare_queries(Q)
+    parts = _shard_bounds(index.n_documents, shards)
+
+    def search_shard(
+        bounds: tuple[int, int],
+    ) -> list[list[tuple[int, float]]]:
+        lo, hi = bounds
+        return _shard_topk(index, Qs, lo, hi, top)
+
+    per_shard = parallel_map(search_shard, parts, workers=workers)
+    return [
+        merge_topk([shard[qi] for shard in per_shard], top)
+        for qi in range(Qs.shape[0])
+    ]

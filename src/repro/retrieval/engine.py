@@ -14,8 +14,10 @@ import numpy as np
 
 from repro.core.build import fit_lsi
 from repro.core.model import LSIModel
-from repro.core.query import project_query
-from repro.core.similarity import cosine_similarities
+from repro.core.query import project_counts, query_counts
+from repro.serving.index import get_document_index
+from repro.serving.querycache import QueryVectorCache
+from repro.serving.topk import ranked_pairs
 from repro.text.parser import ParsingRules
 from repro.weighting.schemes import WeightingScheme
 
@@ -43,13 +45,29 @@ class RetrievalEngine(Protocol):
 
 
 class LSIRetrieval:
-    """Retrieval through a fitted LSI model (Eq. 6 + cosine ranking)."""
+    """Retrieval through a fitted LSI model (Eq. 6 + cosine ranking).
+
+    Queries run on the serving fast path: document coordinates and norms
+    come from the per-model :class:`~repro.serving.index.DocumentIndex`
+    cache, projected query vectors are memoized in an LRU keyed on the
+    query's normalized token counts (``query_cache_size`` entries; 0
+    disables), and top-z selection uses ``argpartition`` with output
+    element-identical to a full stable sort.
+    """
 
     name = "lsi"
 
-    def __init__(self, model: LSIModel, *, mode: str = "scaled"):
+    def __init__(
+        self,
+        model: LSIModel,
+        *,
+        mode: str = "scaled",
+        query_cache_size: int = 256,
+    ):
         self.model = model
         self.mode = mode
+        self._query_cache = QueryVectorCache(query_cache_size)
+        self._query_cache_model = model
 
     @classmethod
     def from_texts(
@@ -82,19 +100,37 @@ class LSIRetrieval:
 
     # ------------------------------------------------------------------ #
     def query_vector(self, query) -> np.ndarray:
-        """The query's k-space pseudo-document (Eq. 6)."""
-        return project_query(self.model, query)
+        """The query's k-space pseudo-document (Eq. 6), LRU-memoized.
+
+        The cache key is the query's normalized token counts, so
+        re-ordered or re-tokenized duplicates of a repeated query hit
+        the same entry.  A model swap on this engine clears the cache.
+        """
+        if self._query_cache_model is not self.model:
+            self._query_cache.clear()
+            self._query_cache_model = self.model
+        counts = query_counts(self.model, query)
+        key = QueryVectorCache.key_from_counts(counts)
+        qhat = self._query_cache.get(key)
+        if qhat is None:
+            qhat = project_counts(self.model, counts)
+            self._query_cache.put(key, qhat)
+        return qhat
 
     def scores(self, query) -> np.ndarray:
         """Cosine of the query against every document (length n)."""
         qhat = self.query_vector(query)
         if not np.any(qhat):
             return np.zeros(self.n_documents)
-        return cosine_similarities(self.model, qhat, mode=self.mode)
+        return self._index().scores(qhat)
 
     def scores_for_vector(self, qhat: np.ndarray) -> np.ndarray:
         """Scores for an externally supplied k-space vector (feedback)."""
-        return cosine_similarities(self.model, qhat, mode=self.mode)
+        return self._index().scores(qhat)
+
+    def _index(self):
+        """The cached document index for the engine's current model."""
+        return get_document_index(self.model, mode=self.mode)
 
     def search(
         self,
@@ -103,15 +139,14 @@ class LSIRetrieval:
         top: int | None = None,
         threshold: float | None = None,
     ) -> list[tuple[int, float]]:
-        """Ranked ``(doc_index, score)`` pairs, filtered per §3.1."""
+        """Ranked ``(doc_index, score)`` pairs, filtered per §3.1.
+
+        Both filters are applied in NumPy before any pairs materialize;
+        the ranking is element-identical to the historical full stable
+        sort, including tie order.
+        """
         s = self.scores(query)
-        order = np.argsort(-s, kind="stable")
-        out = [(int(j), float(s[j])) for j in order]
-        if threshold is not None:
-            out = [(j, c) for j, c in out if c >= threshold]
-        if top is not None:
-            out = out[:top]
-        return out
+        return ranked_pairs(s, top=top, threshold=threshold)
 
     def with_k(self, k: int) -> "LSIRetrieval":
         """Engine over the same model truncated to ``k`` factors (for the

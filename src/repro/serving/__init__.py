@@ -1,0 +1,51 @@
+"""The query-serving fast path.
+
+The ROADMAP's north star — serve heavy traffic as fast as the hardware
+allows — runs through one hot loop: project the query (Eq. 6), score it
+against every document (§2.2 cosine), rank, filter (§3.1).  The seed
+implementation recomputed ``V_k Σ_k`` and all n document norms on every
+query and ranked with a full O(n log n) sort.  This package is the
+serving-grade rewrite, treating the term-document model as a reusable
+computational object (Antonellis & Gallopoulos) whose derived
+quantities are built once and queried many times:
+
+* :mod:`repro.serving.kernel` — the single GEMM cosine kernel every
+  scoring path (single, batched, sharded) routes through;
+* :mod:`repro.serving.index` — :class:`DocumentIndex`, the per-model
+  cache of ``V_k Σ_k`` / row norms / zero mask, with the invalidation
+  contract the updating layer enforces (fold-in and SVD-updating never
+  serve stale scores — Vecharynski & Saad's fast-update requirement);
+* :mod:`repro.serving.topk` — ``argpartition`` top-k selection that is
+  element-identical to the stable full sort, plus vectorized §3.1
+  threshold filtering;
+* :mod:`repro.serving.querycache` — an LRU of projected query vectors
+  keyed on normalized token counts.
+
+Perf counters for all of the above live in
+:data:`repro.util.timing.serving_counters`.
+"""
+
+from repro.serving.index import (
+    DocumentIndex,
+    cache_info,
+    clear_index_cache,
+    get_document_index,
+    invalidate_model,
+)
+from repro.serving.kernel import cosine_scores, row_norms
+from repro.serving.querycache import QueryVectorCache
+from repro.serving.topk import ranked_order, ranked_pairs, topk_indices
+
+__all__ = [
+    "DocumentIndex",
+    "get_document_index",
+    "invalidate_model",
+    "cache_info",
+    "clear_index_cache",
+    "cosine_scores",
+    "row_norms",
+    "QueryVectorCache",
+    "topk_indices",
+    "ranked_order",
+    "ranked_pairs",
+]

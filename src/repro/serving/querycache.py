@@ -1,0 +1,76 @@
+"""LRU cache of projected query vectors (Eq. 6 results).
+
+Production query streams repeat: the same few hundred queries account
+for most traffic.  Projection is cheap relative to scoring but not free
+— an (m,)·(m, k) GEMV plus the weighting transform — and it is pure:
+the projected vector depends only on the model and the query's term
+counts.  The cache key is therefore the *normalized* token counts (the
+canonical sparse form of the count vector), so ``"blood age"``,
+``"age blood"`` and ``["age", "blood"]`` all hit the same entry, and
+out-of-vocabulary noise that drops out of the counts cannot split it.
+
+The cache belongs to whoever owns a model reference (the retrieval
+engine); owners must :meth:`~QueryVectorCache.clear` it when their model
+changes — :class:`repro.retrieval.engine.LSIRetrieval` does this by
+identity check on every lookup.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.util.timing import serving_counters
+
+__all__ = ["QueryVectorCache"]
+
+
+class QueryVectorCache:
+    """Bounded LRU mapping normalized query counts → projected vectors.
+
+    ``maxsize <= 0`` disables caching (every lookup misses and nothing
+    is stored), which keeps the call sites branch-free.
+    """
+
+    def __init__(self, maxsize: int = 256):
+        self.maxsize = int(maxsize)
+        self._entries: OrderedDict[tuple, np.ndarray] = OrderedDict()
+
+    @staticmethod
+    def key_from_counts(counts: np.ndarray) -> tuple:
+        """Canonical hashable form of a term-count vector.
+
+        The sparse pattern (nonzero ids + their counts) plus the vector
+        length, so models with different vocabularies cannot collide
+        through a shared cache.
+        """
+        c = np.asarray(counts)
+        nz = np.flatnonzero(c)
+        return (c.size, nz.tobytes(), np.asarray(c[nz], dtype=np.float64).tobytes())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple) -> np.ndarray | None:
+        """Cached projection for ``key``, or None (counts hits/misses)."""
+        hit = self._entries.get(key)
+        if hit is None:
+            serving_counters.incr("query_cache_misses")
+            return None
+        self._entries.move_to_end(key)
+        serving_counters.incr("query_cache_hits")
+        return hit.copy()  # callers may mutate their query vector
+
+    def put(self, key: tuple, vector: np.ndarray) -> None:
+        """Store a projected vector (evicting the LRU entry when full)."""
+        if self.maxsize <= 0:
+            return
+        self._entries[key] = np.array(vector, dtype=np.float64, copy=True)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (model changed, or tests)."""
+        self._entries.clear()

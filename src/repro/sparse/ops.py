@@ -36,9 +36,10 @@ __all__ = [
 ]
 
 #: Number of dense right-hand-side columns processed per chunk in matmat
-#: kernels.  At 64 columns and 10⁶ nonzeros the temporary is ~0.5 GB/8 =
-#: 512 MB... too big; 16 keeps it at 128 MB worst-case and measured within
-#: 5% of larger chunks on term-document workloads.
+#: kernels.  The cumsum temporary is ``nnz × chunk`` float64s: at 10⁶
+#: nonzeros that is 64 columns × 8 B = 512 MB per million nonzeros — too
+#: big; chunking at 16 caps it at 128 MB worst-case, measured within 5%
+#: of larger chunks on term-document workloads.
 MATMAT_CHUNK = 16
 
 

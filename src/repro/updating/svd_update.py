@@ -48,6 +48,7 @@ import numpy as np
 from repro.core.model import LSIModel
 from repro.errors import ShapeError
 from repro.linalg.jacobi_svd import jacobi_svd
+from repro.serving.index import invalidate_model
 from repro.updating.folding import _weight_columns
 from repro.weighting.local import NEEDS_COL_MAX, local_weight
 
@@ -94,6 +95,9 @@ def update_documents(
     p = D.shape[1]
     if len(doc_ids) != p:
         raise ShapeError(f"{len(doc_ids)} ids for {p} documents")
+    # The update supersedes the source model: invalidate its cached
+    # serving index (repro.serving.index invalidation contract).
+    invalidate_model(model)
     k = model.k
     Dhat = model.U.T @ D  # (k, p)
     if exact:
@@ -162,6 +166,7 @@ def update_terms(
         raise ShapeError(f"term block has {n} columns for n={n}")
     if len(terms) != q:
         raise ShapeError(f"{len(terms)} names for {q} terms")
+    invalidate_model(model)
     if model.scheme.local in NEEDS_COL_MAX:
         cmax = np.maximum(counts.max(axis=1, keepdims=True), 1.0)
         T = local_weight(
@@ -241,6 +246,7 @@ def update_weights(
         raise ShapeError(
             f"Y and Z must agree on j: {Y.shape[1]} vs {Z.shape[1]}"
         )
+    invalidate_model(model)
     k = model.k
     Yhat = model.U.T @ Y  # (k, j)
     Zhat = model.V.T @ Z  # (k, j)

@@ -5,7 +5,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-__all__ = ["Stopwatch", "format_seconds"]
+__all__ = ["Stopwatch", "PerfCounters", "serving_counters", "format_seconds"]
 
 
 @dataclass
@@ -49,6 +49,73 @@ class Stopwatch:
         """Human-readable one-line-per-lap summary, slowest first."""
         rows = sorted(self.laps.items(), key=lambda kv: -kv[1])
         return "\n".join(f"{name:>24s}  {format_seconds(t)}" for name, t in rows)
+
+
+@dataclass
+class PerfCounters:
+    """Named event counters plus accumulating timers for hot paths.
+
+    The serving layer increments these on every query (see
+    :data:`serving_counters`); benchmarks snapshot and reset them to
+    report cache-hit rates and where query time goes.  Overhead per
+    event is one dict update (counters) or two ``perf_counter`` calls
+    (timers) — negligible against a GEMM over thousands of documents.
+    """
+
+    counts: dict[str, int] = field(default_factory=dict)
+    timers: dict[str, float] = field(default_factory=dict)
+
+    def incr(self, name: str, by: int = 1) -> None:
+        """Add ``by`` to the named counter (created at 0)."""
+        self.counts[name] = self.counts.get(name, 0) + by
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into the named timer."""
+        self.timers[name] = self.timers.get(name, 0.0) + seconds
+
+    class _Timer:
+        def __init__(self, owner: "PerfCounters", name: str):
+            self._owner = owner
+            self._name = name
+            self._t0 = 0.0
+
+        def __enter__(self) -> "PerfCounters._Timer":
+            self._t0 = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc) -> None:
+            self._owner.add_time(self._name, time.perf_counter() - self._t0)
+
+    def time(self, name: str) -> "PerfCounters._Timer":
+        """Context manager accumulating elapsed time into ``name``."""
+        return PerfCounters._Timer(self, name)
+
+    def snapshot(self) -> dict[str, float]:
+        """One flat dict of all counters and timers (copies)."""
+        out: dict[str, float] = dict(self.counts)
+        out.update(self.timers)
+        return out
+
+    def reset(self) -> None:
+        """Zero every counter and timer."""
+        self.counts.clear()
+        self.timers.clear()
+
+    def report(self) -> str:
+        """Human-readable summary: counters first, then timers."""
+        lines = [f"{name:>24s}  {val}" for name, val in sorted(self.counts.items())]
+        lines += [
+            f"{name:>24s}  {format_seconds(t)}"
+            for name, t in sorted(self.timers.items())
+        ]
+        return "\n".join(lines)
+
+
+#: Process-wide counters for the query-serving fast path.  The serving
+#: layer records ``queries_served`` / ``batch_queries_served``, query-
+#: vector cache ``query_cache_hits`` / ``query_cache_misses``, index
+#: ``index_builds``, and the ``gemm_seconds`` / ``topk_seconds`` timers.
+serving_counters = PerfCounters()
 
 
 def format_seconds(t: float) -> str:

@@ -1,0 +1,436 @@
+"""Tests for the query-serving fast path (repro.serving).
+
+The fast path's whole value proposition is "same answers, faster", so
+most tests here compare against inline re-implementations of the seed
+behaviour: full stable argsort + Python-level filtering, per-query
+recomputation of ``V_k Σ_k`` and norms, and the pre-unification batch
+scoring math.  The invalidation tests assert the updating-layer hooks
+are load-bearing — with a hook monkeypatched out, the stale handle is
+*not* detected, which is exactly the bug the hooks exist to prevent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.model import LSIModel
+from repro.core.query import project_query
+from repro.core.similarity import cosine_similarities, nearest_terms
+from repro.errors import ModelStateError
+from repro.parallel import (
+    batch_cosine_scores,
+    batch_project_queries,
+    batch_search,
+    blocked_fold_in,
+    sharded_batch_search,
+)
+from repro.retrieval import LSIRetrieval
+from repro.serving import (
+    DocumentIndex,
+    QueryVectorCache,
+    get_document_index,
+    invalidate_model,
+    ranked_pairs,
+    topk_indices,
+)
+from repro.text.vocabulary import Vocabulary
+from repro.updating import fold_in_documents, update_documents
+from repro.updating.manager import LSIIndexManager
+from repro.util.timing import serving_counters
+
+
+def _random_model(rng, m=24, n=90, k=6) -> LSIModel:
+    """A synthetic model without the cost of an SVD fit."""
+    vocab = Vocabulary(f"t{i}" for i in range(m))
+    vocab.freeze()
+    return LSIModel(
+        U=rng.standard_normal((m, k)),
+        s=np.sort(rng.random(k) + 0.5)[::-1],
+        V=rng.standard_normal((n, k)),
+        vocabulary=vocab,
+        doc_ids=[f"D{j}" for j in range(n)],
+    )
+
+
+def _seed_ranked_pairs(s, top=None, threshold=None):
+    """The seed LSIRetrieval.search ranking: full stable sort, then
+    Python-level threshold and top filters over all n pairs."""
+    order = np.argsort(-s, kind="stable")
+    out = [(int(j), float(s[j])) for j in order]
+    if threshold is not None:
+        out = [(j, c) for j, c in out if c >= threshold]
+    if top is not None:
+        out = out[:top]
+    return out
+
+
+# --------------------------------------------------------------------- #
+# argpartition top-k == stable argsort, including ties
+# --------------------------------------------------------------------- #
+def test_topk_identical_to_stable_argsort_under_ties():
+    rng = np.random.default_rng(0)
+    for trial in range(200):
+        n = int(rng.integers(1, 60))
+        # Heavy quantization → many exact score ties, including at the
+        # top-k boundary.
+        s = rng.integers(0, 4, n) / 3.0
+        full = np.argsort(-s, kind="stable")
+        for top in (1, 2, 3, n // 2, n - 1, n, n + 5, None):
+            if isinstance(top, int) and top < 1:
+                continue
+            got = topk_indices(s, top)
+            want = full if top is None else full[:top]
+            assert np.array_equal(got, want), (trial, top, s.tolist())
+
+
+def test_topk_edge_cases():
+    s = np.array([0.5, 0.5, 0.5])
+    assert np.array_equal(topk_indices(s, 2), [0, 1])
+    assert topk_indices(s, 0).size == 0
+    assert topk_indices(np.empty(0), 3).size == 0
+    # All-equal scores: stable order is index order.
+    assert np.array_equal(topk_indices(np.zeros(5), None), np.arange(5))
+
+
+def test_ranked_pairs_threshold_top_combinations():
+    rng = np.random.default_rng(1)
+    for trial in range(100):
+        n = int(rng.integers(1, 50))
+        s = rng.integers(-2, 3, n) / 2.0  # ties and negatives
+        for top in (None, 1, 3, n):
+            for threshold in (None, -0.5, 0.0, 0.25, 1.5):
+                got = ranked_pairs(s, top=top, threshold=threshold)
+                assert got == _seed_ranked_pairs(s, top, threshold)
+
+
+def test_engine_search_matches_seed_path(small_collection, small_lsi):
+    eng = LSIRetrieval(small_lsi)
+    for q in small_collection.queries:
+        s = eng.scores(q)
+        for kwargs in (
+            {},
+            {"top": 5},
+            {"threshold": 0.2},
+            {"top": 3, "threshold": 0.1},
+            {"top": 1000},
+        ):
+            assert eng.search(q, **kwargs) == _seed_ranked_pairs(
+                s, kwargs.get("top"), kwargs.get("threshold")
+            )
+
+
+def test_randomized_rankings_identical_to_seed(rng):
+    """Acceptance property: fast-path rankings byte-identical to the
+    seed path (recompute-per-query + full stable argsort) on random
+    models and queries."""
+    local = np.random.default_rng(77)
+    for _ in range(20):
+        model = _random_model(local)
+        qhat = local.standard_normal(model.k)
+        # Seed scoring: recompute coordinates and norms per query.
+        docs = model.V * model.s
+        target = qhat * model.s
+        norms = np.sqrt(np.sum(docs * docs, axis=1))
+        tnorm = np.sqrt(np.dot(target, target))
+        denom = norms * tnorm
+        seed_scores = np.zeros(model.n_documents)
+        ok = denom > 0
+        seed_scores[ok] = (docs[ok] @ target) / denom[ok]
+        seed = _seed_ranked_pairs(seed_scores, top=10)
+
+        fast_scores = cosine_similarities(model, qhat)
+        assert np.allclose(fast_scores, seed_scores, atol=1e-12)
+        fast = ranked_pairs(fast_scores, top=10)
+        assert [j for j, _ in fast] == [j for j, _ in seed]
+
+
+def test_med_rankings_identical_to_seed(med_model):
+    """The MEDLINE worked example: fast path reproduces the seed
+    ranking byte-for-byte."""
+    from repro.corpus.med import MED_QUERY
+
+    qhat = project_query(med_model, MED_QUERY)
+    seed_scores = cosine_similarities(med_model, qhat)
+    seed = _seed_ranked_pairs(seed_scores)
+    eng = LSIRetrieval(med_model)
+    assert eng.search(MED_QUERY) == seed
+    assert eng.search(MED_QUERY, top=5) == seed[:5]
+
+
+# --------------------------------------------------------------------- #
+# zero-vector queries
+# --------------------------------------------------------------------- #
+def test_zero_query_vector_scores_zero(med_model):
+    idx = get_document_index(med_model)
+    s = idx.scores(np.zeros(med_model.k))
+    assert np.array_equal(s, np.zeros(med_model.n_documents))
+    assert idx.search_vector(np.zeros(med_model.k), top=3) == [
+        (0, 0.0), (1, 0.0), (2, 0.0),
+    ]
+
+
+def test_zero_norm_documents_score_zero(rng):
+    local = np.random.default_rng(5)
+    model = _random_model(local, n=12)
+    model.V[4] = 0.0  # a zero document row, before any index is built
+    invalidate_model(model)  # in-place edit: drop any cached state
+    s = cosine_similarities(model, local.standard_normal(model.k))
+    assert s[4] == 0.0
+    idx = get_document_index(model)
+    assert idx.zero_mask[4]
+    assert not idx.zero_mask[3]
+
+
+def test_engine_oov_query_scores_zero(small_lsi):
+    eng = LSIRetrieval(small_lsi)
+    assert np.array_equal(
+        eng.scores("qqq zzz www"), np.zeros(small_lsi.n_documents)
+    )
+
+
+# --------------------------------------------------------------------- #
+# batch scoring: one kernel, regression vs the old implementation
+# --------------------------------------------------------------------- #
+def _old_batch_cosine_scores(model, qhats):
+    """The pre-unification batch_cosine_scores math, verbatim."""
+    Q = np.atleast_2d(np.asarray(qhats, dtype=np.float64))
+    docs = model.V * model.s
+    Qs = Q * model.s
+    dn = np.sqrt(np.sum(docs**2, axis=1))
+    qn = np.sqrt(np.sum(Qs**2, axis=1))
+    denom = qn[:, None] * dn[None, :]
+    raw = Qs @ docs.T
+    out = np.zeros_like(raw)
+    ok = denom > 0
+    out[ok] = raw[ok] / denom[ok]
+    return out
+
+
+def test_batch_scores_row_for_row_vs_old_implementation(small_lsi, small_collection):
+    Q = batch_project_queries(small_lsi, small_collection.queries)
+    new = batch_cosine_scores(small_lsi, Q)
+    old = _old_batch_cosine_scores(small_lsi, Q)
+    assert new.shape == old.shape
+    for i in range(new.shape[0]):
+        assert np.allclose(new[i], old[i], atol=1e-12), f"row {i}"
+        # Rankings must be element-identical, ties included.
+        assert np.array_equal(
+            np.argsort(-new[i], kind="stable"),
+            np.argsort(-old[i], kind="stable"),
+        )
+
+
+def test_single_query_is_row_of_batch(small_lsi, small_collection):
+    """cosine_similarities is literally the q=1 case of the batch path."""
+    Q = batch_project_queries(small_lsi, small_collection.queries)
+    batched = batch_cosine_scores(small_lsi, Q)
+    for i, q in enumerate(small_collection.queries):
+        single = cosine_similarities(small_lsi, Q[i])
+        assert np.allclose(single, batched[i], atol=1e-12)
+
+
+def test_batch_search_matches_per_query_search(small_lsi, small_collection):
+    eng = LSIRetrieval(small_lsi)
+    batched = batch_search(small_lsi, small_collection.queries, top=7)
+    for q, got in zip(small_collection.queries, batched):
+        want = eng.search(q, top=7)
+        assert [j for j, _ in got] == [j for j, _ in want]
+        assert np.allclose([c for _, c in got], [c for _, c in want], atol=1e-12)
+
+
+# --------------------------------------------------------------------- #
+# shard-parallel search
+# --------------------------------------------------------------------- #
+def test_sharded_batch_search_matches_batch_search(small_lsi, small_collection):
+    queries = small_collection.queries
+    flat = batch_search(small_lsi, queries, top=6)
+    for shards in (1, 2, 5):
+        for workers in (None, 3):
+            got = sharded_batch_search(
+                small_lsi, queries, top=6, shards=shards, workers=workers
+            )
+            assert got == flat
+
+
+def test_sharded_batch_search_accepts_projected_vectors(small_lsi, small_collection):
+    Q = batch_project_queries(small_lsi, small_collection.queries)
+    a = sharded_batch_search(small_lsi, Q, top=4, shards=3)
+    b = sharded_batch_search(small_lsi, small_collection.queries, top=4, shards=3)
+    assert a == b
+
+
+def test_sharded_batch_search_tie_order():
+    """Ties spanning shard boundaries resolve by ascending doc index,
+    exactly as the flat stable sort does."""
+    rng = np.random.default_rng(9)
+    model = _random_model(rng, n=40)
+    # Duplicate document rows → exact score ties everywhere.
+    model.V[:] = np.tile(model.V[:4], (10, 1))
+    invalidate_model(model)
+    qhat = rng.standard_normal(model.k)
+    flat = ranked_pairs(cosine_similarities(model, qhat), top=12)
+    got = sharded_batch_search(model, qhat[None, :], top=12, shards=7)[0]
+    assert [j for j, _ in got] == [j for j, _ in flat]
+
+
+# --------------------------------------------------------------------- #
+# DocumentIndex caching and invalidation
+# --------------------------------------------------------------------- #
+def test_index_is_cached_per_model(med_model):
+    a = get_document_index(med_model)
+    b = get_document_index(med_model)
+    assert a is b
+    assert a.coords.flags["C_CONTIGUOUS"]
+    assert np.allclose(a.coords, med_model.V * med_model.s)
+
+
+def test_fold_in_invalidates_source_index(med_model_k8, rng):
+    model = med_model_k8.truncated(4)  # private model: fixtures stay clean
+    idx = get_document_index(model)
+    assert not idx.is_stale()
+    counts = np.random.default_rng(3).integers(0, 3, (model.n_terms, 2))
+    folded = fold_in_documents(model, counts.astype(float), ["N1", "N2"])
+    assert idx.is_stale()
+    with pytest.raises(ModelStateError):
+        idx.scores(np.zeros(model.k))
+    # Re-fetching serves the folded model's documents immediately.
+    fresh = get_document_index(folded)
+    assert fresh.n_documents == model.n_documents + 2
+    assert not fresh.is_stale()
+
+
+def test_svd_update_invalidates_source_index(med_model_k8):
+    model = med_model_k8.truncated(4)
+    idx = get_document_index(model)
+    counts = np.random.default_rng(4).integers(0, 3, (model.n_terms, 2))
+    update_documents(model, counts.astype(float), ["N1", "N2"])
+    assert idx.is_stale()
+
+
+def test_blocked_fold_in_invalidates_source_index(med_model_k8):
+    model = med_model_k8.truncated(4)
+    idx = get_document_index(model)
+    counts = np.random.default_rng(6).integers(0, 3, (model.n_terms, 5))
+    blocked_fold_in(model, counts.astype(float), [f"N{i}" for i in range(5)], block=2)
+    assert idx.is_stale()
+
+
+def test_stale_detection_requires_the_hook(med_model_k8, monkeypatch):
+    """The invalidation hook is load-bearing: with it patched out, the
+    pinned index does NOT notice the fold-in — precisely the stale-serve
+    bug the hook exists to prevent.  (This is the 'must fail without the
+    hook' assertion, expressed positively.)"""
+    import repro.updating.folding as folding
+
+    model = med_model_k8.truncated(4)
+    counts = np.random.default_rng(5).integers(0, 3, (model.n_terms, 2))
+
+    # Without the hook: handle stays (wrongly) fresh.
+    monkeypatch.setattr(folding, "invalidate_model", lambda m: None)
+    idx = get_document_index(model)
+    folding.fold_in_documents(model, counts.astype(float), ["N1", "N2"])
+    assert not idx.is_stale()  # the bug the hook prevents
+
+    # With the real hook restored: same sequence flags the handle.
+    monkeypatch.undo()
+    idx2 = get_document_index(model)
+    folding.fold_in_documents(model, counts.astype(float), ["N3", "N4"])
+    assert idx2.is_stale()
+
+
+def test_manager_serving_index_never_stale():
+    """§5.6 real-time updating: documents added through the manager are
+    visible to the next serving_index() fetch, across fold-in AND the
+    consolidation (recompute/SVD-update) paths that replace the model
+    wholesale."""
+    from repro.corpus import med_matrix
+
+    mgr = LSIIndexManager(med_matrix(), k=4, distortion_budget=0.05)
+    pinned = mgr.serving_index()
+    n0 = pinned.n_documents
+    for i in range(6):  # small budget forces consolidations along the way
+        mgr.add_texts([f"blood pressure age study number {i}"])
+        fresh = mgr.serving_index()
+        assert fresh.n_documents == n0 + i + 1
+        assert not fresh.is_stale()
+    assert {e.action for e in mgr.events} & {"recompute", "svd-update"}
+    assert pinned.is_stale()
+    with pytest.raises(ModelStateError):
+        pinned.scores(np.zeros(mgr.k))
+
+
+# --------------------------------------------------------------------- #
+# query-vector LRU cache
+# --------------------------------------------------------------------- #
+def test_query_cache_hits_and_identical_results(small_lsi, small_collection):
+    eng = LSIRetrieval(small_lsi, query_cache_size=8)
+    q = small_collection.queries[0]
+    cold = eng.search(q, top=5)
+    before = serving_counters.counts.get("query_cache_hits", 0)
+    warm = eng.search(q, top=5)
+    assert warm == cold
+    assert serving_counters.counts.get("query_cache_hits", 0) == before + 1
+
+
+def test_query_cache_key_normalizes_token_order(small_lsi):
+    eng = LSIRetrieval(small_lsi)
+    v1 = eng.query_vector(["t_a", "t_b"])  # OOV-only: zero counts
+    v2 = eng.query_vector(["t_b", "t_a"])
+    assert np.array_equal(v1, v2)
+    c1 = np.zeros(5)
+    c1[2] = 2.0
+    assert QueryVectorCache.key_from_counts(c1) == QueryVectorCache.key_from_counts(
+        c1.copy()
+    )
+    c2 = np.zeros(6)
+    c2[2] = 2.0
+    assert QueryVectorCache.key_from_counts(c1) != QueryVectorCache.key_from_counts(c2)
+
+
+def test_query_cache_cleared_on_model_swap(small_lsi, med_model):
+    eng = LSIRetrieval(small_lsi, query_cache_size=8)
+    eng.query_vector("apple")
+    assert len(eng._query_cache) == 1
+    eng.model = med_model  # users do this after fold-in/update
+    s = eng.scores("blood age")
+    assert s.shape == (med_model.n_documents,)
+    assert eng._query_cache_model is med_model
+
+
+def test_query_cache_lru_bound():
+    cache = QueryVectorCache(maxsize=2)
+    for i in range(5):
+        cache.put((i,), np.arange(3, dtype=float))
+    assert len(cache) == 2
+    disabled = QueryVectorCache(maxsize=0)
+    disabled.put((1,), np.ones(2))
+    assert len(disabled) == 0 and disabled.get((1,)) is None
+
+
+# --------------------------------------------------------------------- #
+# counters & misc
+# --------------------------------------------------------------------- #
+def test_serving_counters_record_queries(med_model):
+    serving_counters.reset()
+    eng = LSIRetrieval(med_model)
+    eng.search("blood age", top=3)
+    snap = serving_counters.snapshot()
+    assert snap.get("queries_served", 0) >= 1
+    assert "gemm_seconds" in snap
+
+
+def test_nearest_terms_matches_seed_ordering(med_model):
+    cos = None
+    from repro.core.similarity import term_term_similarities
+
+    for term in ("blood", "age", "fast"):
+        cos = term_term_similarities(med_model, term)
+        order = np.argsort(-cos, kind="stable")
+        self_id = med_model.vocabulary.id_of(term)
+        seed = []
+        for idx in order:
+            if idx == self_id:
+                continue
+            seed.append((med_model.vocabulary[int(idx)], float(cos[idx])))
+            if len(seed) >= 5:
+                break
+        assert nearest_terms(med_model, term, top=5) == seed
