@@ -16,7 +16,9 @@ import time
 import numpy as np
 
 from conftest import emit
+from obs_export import maybe_export_obs
 from repro.core.model import LSIModel
+from repro.obs import span, tracing_enabled
 from repro.serving import get_document_index
 from repro.text.vocabulary import Vocabulary
 from repro.util.timing import serving_counters
@@ -26,6 +28,13 @@ K = 100
 TOP = 10
 N_QUERIES = 60
 MIN_SPEEDUP = 3.0
+
+#: Observability budget: disabled tracing may cost at most this fraction
+#: of a fast-path query (ISSUE acceptance criterion).
+MAX_OVERHEAD = 0.02
+#: Spans a single query can cross on the serving path (search + project
+#: + sharded wrapper + per-shard child) — the conservative multiplier.
+SPANS_PER_QUERY = 4
 
 
 def _serving_model(seed: int = 123) -> LSIModel:
@@ -103,4 +112,58 @@ def test_query_fastpath_speedup():
             "rankings byte-identical to seed on all queries",
         ],
     )
+    maybe_export_obs(
+        "query_fastpath",
+        extra={
+            "speedup": speedup,
+            "seed_ms_per_query": seed_time / N_QUERIES * 1e3,
+            "fast_ms_per_query": fast_time / N_QUERIES * 1e3,
+            "n_docs": N_DOCS,
+            "k": K,
+            "top": TOP,
+        },
+    )
     assert speedup >= MIN_SPEEDUP, f"fast path only {speedup:.2f}x"
+
+
+def test_disabled_tracing_overhead():
+    """Tracing off (the default) must cost < 2% of a fast-path query.
+
+    Measures the disabled ``span`` enter/exit directly — a single global
+    bool check — then compares SPANS_PER_QUERY of that cost against the
+    measured per-query fast-path latency.
+    """
+    assert not tracing_enabled(), "bench must run with tracing disabled"
+    model = _serving_model()
+    rng = np.random.default_rng(7)
+    qhats = rng.standard_normal((N_QUERIES, K))
+    index = get_document_index(model)
+
+    for q in qhats:  # warm-up
+        index.search_vector(q, top=TOP)
+    t0 = time.perf_counter()
+    for q in qhats:
+        index.search_vector(q, top=TOP)
+    per_query = (time.perf_counter() - t0) / N_QUERIES
+
+    reps = 200_000
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        with span("lsi.overhead.probe", top=TOP):
+            pass
+    per_span = (time.perf_counter() - t0) / reps
+
+    overhead = SPANS_PER_QUERY * per_span / per_query
+    emit(
+        "disabled-tracing overhead",
+        [
+            f"disabled span enter/exit: {per_span * 1e9:8.1f} ns",
+            f"fast-path query:          {per_query * 1e6:8.1f} us",
+            f"overhead at {SPANS_PER_QUERY} spans/query: "
+            f"{overhead * 100:.4f}%   (budget {MAX_OVERHEAD * 100:.0f}%)",
+        ],
+    )
+    assert overhead < MAX_OVERHEAD, (
+        f"disabled tracing costs {overhead * 100:.3f}% per query, "
+        f"budget is {MAX_OVERHEAD * 100:.0f}%"
+    )

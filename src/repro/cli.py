@@ -18,20 +18,36 @@ terms or documents").  This CLI is the same toolbox over this library:
     Print a database's dimensions, weighting, and provenance.
 ``terms``
     Nearest-term (thesaurus) lookup.
+``stats``
+    Print the observability snapshot: counters, gauges, latency
+    histograms, and recent tracing spans.
+
+Observability
+-------------
+Every data command runs with tracing enabled and, on success, merges
+the process's metrics registry and recent spans into a state file
+(``.repro_obs.json`` in the working directory, overridable with
+``--obs-state`` or ``$REPRO_OBS_STATE``; ``--no-obs`` skips the write).
+``repro stats`` renders the merged view, so an ``index`` + ``query``
+sequence — separate processes — still yields one coherent report of
+search latency histograms, cache hit rates, and Lanczos matvec/flop
+gauges.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 from typing import Sequence
 
+from repro import obs
 from repro.core.build import fit_lsi
 from repro.core.persistence import load_model, save_model
-from repro.core.query import project_query
-from repro.core.similarity import nearest_terms, rank_documents
+from repro.core.similarity import nearest_terms
 from repro.errors import ReproError
+from repro.retrieval.engine import LSIRetrieval
 from repro.text.parser import ParsingRules
 
 __all__ = ["main", "build_parser"]
@@ -65,6 +81,15 @@ def build_parser() -> argparse.ArgumentParser:
         description="Latent Semantic Indexing toolbox (Berry/Dumais/"
                     "Letsche SC'95 reproduction)",
     )
+    parser.add_argument(
+        "--obs-state", type=pathlib.Path, default=None,
+        help="observability state file (default $REPRO_OBS_STATE or "
+             "./.repro_obs.json)",
+    )
+    parser.add_argument(
+        "--no-obs", action="store_true",
+        help="do not persist metrics/spans for `repro stats`",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_index = sub.add_parser("index", help="build an LSI database")
@@ -75,6 +100,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_index.add_argument("--scheme", default="log_entropy",
                          help="weighting scheme, e.g. log_entropy, raw_none")
     p_index.add_argument("--min-doc-freq", type=int, default=1)
+    p_index.add_argument(
+        "--svd-method", default="auto",
+        choices=["auto", "dense", "lanczos", "gkl", "block-lanczos"],
+        help="truncated-SVD backend (default auto)",
+    )
 
     p_query = sub.add_parser("query", help="rank documents for a query")
     p_query.add_argument("database", type=pathlib.Path)
@@ -98,6 +128,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_terms.add_argument("term")
     p_terms.add_argument("-n", "--top", type=int, default=10)
 
+    p_stats = sub.add_parser(
+        "stats", help="print the observability snapshot"
+    )
+    p_stats.add_argument("--json", action="store_true",
+                         help="emit the raw JSON blob instead of text")
+    p_stats.add_argument("--spans", type=int, default=20,
+                         help="recent spans to show (text mode)")
+    p_stats.add_argument("--reset", action="store_true",
+                         help="delete the persisted state after printing")
+
     return parser
 
 
@@ -109,6 +149,7 @@ def _cmd_index(args, out) -> int:
         scheme=args.scheme,
         rules=ParsingRules(min_doc_freq=args.min_doc_freq),
         doc_ids=ids,
+        method=args.svd_method,
     )
     save_model(model, args.output)
     print(
@@ -122,12 +163,13 @@ def _cmd_index(args, out) -> int:
 def _cmd_query(args, out) -> int:
     model = load_model(args.database)
     query = " ".join(args.text)
-    qhat = project_query(model, query)
-    ranked = rank_documents(model, qhat)
-    if args.threshold is not None:
-        ranked = [(d, c) for d, c in ranked if c >= args.threshold]
-    for doc_id, cosine in ranked[: args.top]:
-        print(f"{cosine:.4f}  {doc_id}", file=out)
+    # Serve through the retrieval engine so the query takes the same
+    # instrumented fast path production traffic does (lsi.search span,
+    # query-vector cache, cached DocumentIndex, argpartition top-k).
+    engine = LSIRetrieval(model)
+    ranked = engine.search(query, top=args.top, threshold=args.threshold)
+    for doc_index, cosine in ranked:
+        print(f"{cosine:.4f}  {model.doc_ids[doc_index]}", file=out)
     return 0
 
 
@@ -180,12 +222,46 @@ def _cmd_terms(args, out) -> int:
     return 0
 
 
+def _state_path(args) -> pathlib.Path:
+    return args.obs_state if args.obs_state is not None else obs.export.default_state_path()
+
+
+def _cmd_stats(args, out) -> int:
+    """Render the persisted + live observability state."""
+    path = _state_path(args)
+    state = obs.load_state(path) or {"metrics": {}, "spans": []}
+    # Merge in anything recorded by this process (in-process callers see
+    # live data; the fresh `python -m repro stats` process contributes
+    # nothing and just renders the file).
+    metrics = obs.merge_snapshots(
+        state.get("metrics", {}), obs.registry.snapshot()
+    )
+    spans = list(state.get("spans", [])) + [
+        s.to_dict() for s in obs.recent_spans()
+    ]
+    if args.json:
+        blob = {"schema": obs.export.SCHEMA, "metrics": metrics, "spans": spans}
+        print(json.dumps(blob, indent=2, sort_keys=True), file=out)
+    else:
+        print(f"observability state: {path}", file=out)
+        print(obs.format_snapshot(metrics), file=out)
+        print(obs.format_spans(spans, limit=args.spans), file=out)
+    if args.reset:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        print(f"reset: removed {path}", file=out)
+    return 0
+
+
 _COMMANDS = {
     "index": _cmd_index,
     "query": _cmd_query,
     "add": _cmd_add,
     "info": _cmd_info,
     "terms": _cmd_terms,
+    "stats": _cmd_stats,
 }
 
 
@@ -194,11 +270,29 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "stats":
+        try:
+            return _cmd_stats(args, out)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    # Data commands run traced so `repro stats` can show their spans;
+    # the previous tracing state is restored for in-process callers.
+    prev_tracing = obs.enable_tracing(True)
     try:
-        return _COMMANDS[args.command](args, out)
+        code = _COMMANDS[args.command](args, out)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        obs.enable_tracing(prev_tracing)
+    if code == 0 and not args.no_obs:
+        try:
+            obs.dump_state(_state_path(args))
+        except OSError as exc:  # unwritable state dir: warn, don't fail
+            print(f"warning: could not persist obs state: {exc}",
+                  file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

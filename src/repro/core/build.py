@@ -7,6 +7,7 @@ from typing import Sequence
 from repro.core.model import LSIModel
 from repro.errors import ShapeError
 from repro.linalg.svd import truncated_svd
+from repro.obs.tracing import span
 from repro.text.parser import ParsingRules
 from repro.text.tdm import TermDocumentMatrix, build_tdm
 from repro.weighting.schemes import WeightingScheme, apply_weighting
@@ -42,8 +43,10 @@ def fit_lsi(
     method:
         SVD backend (see :func:`repro.linalg.svd.truncated_svd`).
     """
-    tdm = build_tdm(texts, rules, doc_ids=doc_ids)
-    return fit_lsi_from_tdm(tdm, k, scheme=scheme, method=method, seed=seed)
+    with span("lsi.fit", docs=len(texts), k=k):
+        with span("lsi.fit.parse", docs=len(texts)):
+            tdm = build_tdm(texts, rules, doc_ids=doc_ids)
+        return fit_lsi_from_tdm(tdm, k, scheme=scheme, method=method, seed=seed)
 
 
 def fit_lsi_from_tdm(
@@ -63,18 +66,21 @@ def fit_lsi_from_tdm(
         raise ShapeError(
             f"k={k} must be in [1, min(m, n)={min(m, n)}] for shape {tdm.shape}"
         )
-    weighted = apply_weighting(tdm.matrix, scheme)
-    svd = truncated_svd(weighted.matrix, k, method=method, seed=seed)
-    vocab = tdm.vocabulary
-    if not vocab.frozen:
-        vocab.freeze()
-    return LSIModel(
-        U=svd.U,
-        s=svd.s,
-        V=svd.V,
-        vocabulary=vocab,
-        doc_ids=list(tdm.doc_ids),
-        scheme=scheme,
-        global_weights=weighted.global_weights,
-        provenance="svd",
-    )
+    with span("lsi.fit.weight", scheme=scheme.name):
+        weighted = apply_weighting(tdm.matrix, scheme)
+    with span("lsi.fit.svd", method=method, k=k, m=m, n=n):
+        svd = truncated_svd(weighted.matrix, k, method=method, seed=seed)
+    with span("lsi.fit.finalize", k=k):
+        vocab = tdm.vocabulary
+        if not vocab.frozen:
+            vocab.freeze()
+        return LSIModel(
+            U=svd.U,
+            s=svd.s,
+            V=svd.V,
+            vocabulary=vocab,
+            doc_ids=list(tdm.doc_ids),
+            scheme=scheme,
+            global_weights=weighted.global_weights,
+            provenance="svd",
+        )

@@ -29,9 +29,11 @@ import numpy as np
 
 from repro.errors import ShapeError
 from repro.linalg.bidiag import bidiagonal_dense, golub_kahan_bidiag
+from repro.linalg.counters import OperatorCounter
 from repro.linalg.jacobi_svd import jacobi_svd
 from repro.linalg.block_lanczos import block_lanczos_svd
 from repro.linalg.lanczos import LanczosStats, lanczos_svd
+from repro.obs.bridge import record_lanczos_stats, record_operator
 
 __all__ = ["SVDResult", "truncated_svd", "DENSE_CUTOFF"]
 
@@ -130,13 +132,20 @@ def truncated_svd(
         return SVDResult(U[:, :k].copy(), s[:k].copy(), V[:, :k].copy(), method="dense")
 
     if method == "lanczos":
+        # Count every A·x / Aᵀ·y the solver issues, then publish the
+        # measured matvec/flop totals as registry gauges so the §4 cost
+        # model (Table 7) is queryable from `python -m repro stats`.
+        op = OperatorCounter(a)
         U, s, V, stats = lanczos_svd(
-            a, k, tol=tol, max_iter=max_iter, seed=seed
+            op, k, tol=tol, max_iter=max_iter, seed=seed
         )
+        record_lanczos_stats(stats)
+        record_operator(op)
         return SVDResult(U, s, V, stats=stats, method="lanczos")
 
     if method == "block-lanczos":
         U, s, V, stats = block_lanczos_svd(a, k, seed=seed, tol=tol)
+        record_lanczos_stats(stats)
         return SVDResult(U, s, V, stats=stats, method="block-lanczos")
 
     if method == "gkl":

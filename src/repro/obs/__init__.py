@@ -1,0 +1,81 @@
+"""Unified observability: metrics registry, tracing spans, exporters.
+
+The paper's central systems claims are cost claims — the §4 Lanczos
+flop model, the §2.3 folding-in vs. SVD-updating tradeoff, the §4.3
+orthogonality diagnostics — and the ROADMAP's production north star
+adds serving latency to the list.  This package is the one substrate
+they are all measured on:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with named
+  counters, gauges, and fixed-bucket latency histograms (count / sum /
+  p50 / p95 / p99 without storing samples), thread-safe for the
+  shard-parallel serving path;
+* :mod:`repro.obs.tracing` — ``span("lsi.search", top=10)`` context
+  managers producing nested wall-clock spans with attributes, an
+  in-memory ring buffer, and a JSON-lines exporter; disabled by
+  default with near-zero overhead on the hot paths;
+* :mod:`repro.obs.bridge` — publishes :class:`OperatorCounter` /
+  :class:`LanczosStats` matvec & flop counts and §4.3 drift values
+  into the registry as gauges;
+* :mod:`repro.obs.export` — JSON snapshot blobs for benchmarks
+  (``BENCH_obs_*.json``), the cross-process CLI state file behind
+  ``python -m repro stats``, and the text rendering it prints.
+
+The legacy :data:`repro.util.timing.serving_counters` remains as a
+registry-backed compatibility shim: its counters and timers live in the
+registry under the ``serving.`` prefix.
+"""
+
+from repro.obs.bridge import record_drift, record_lanczos_stats, record_operator
+from repro.obs.export import (
+    dump_state,
+    format_snapshot,
+    format_spans,
+    load_state,
+    merge_snapshots,
+    snapshot_blob,
+    write_json,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    registry,
+)
+from repro.obs.tracing import (
+    Span,
+    clear_spans,
+    enable_tracing,
+    export_spans_jsonl,
+    recent_spans,
+    span,
+    traced,
+    tracing_enabled,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
+    "registry",
+    "get_registry",
+    "span",
+    "Span",
+    "enable_tracing",
+    "tracing_enabled",
+    "traced",
+    "recent_spans",
+    "clear_spans",
+    "export_spans_jsonl",
+    "record_operator",
+    "record_lanczos_stats",
+    "record_drift",
+    "snapshot_blob",
+    "merge_snapshots",
+    "write_json",
+    "dump_state",
+    "load_state",
+    "format_snapshot",
+    "format_spans",
+]

@@ -1,0 +1,66 @@
+"""Bridges from the existing instrumentation objects into the registry.
+
+The paper's cost claims are validated by three measurement mechanisms
+that predate the observability layer: :class:`~repro.linalg.counters.\
+OperatorCounter` (matvec / flop counts for the §4 Lanczos model
+``I × cost(GᵀGx) + trp × cost(Gx)``), :class:`~repro.linalg.lanczos.\
+LanczosStats` (iteration and convergence counts), and the §4.3
+orthogonality-drift reports.  These helpers copy their readings into
+the metrics registry as gauges, so Table 7 validation and drift
+diagnostics are queryable from ``python -m repro stats`` alongside the
+serving counters — one place instead of three.
+
+Everything is duck-typed (``getattr`` on the instrumentation objects),
+so this module imports nothing from the numerical layers and can be
+used from any of them without cycles.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import registry
+
+__all__ = [
+    "record_operator",
+    "record_lanczos_stats",
+    "record_drift",
+]
+
+
+def record_operator(counter, prefix: str = "lanczos") -> None:
+    """Publish an ``OperatorCounter``'s readings as gauges.
+
+    Gauges: ``<prefix>.matvecs``, ``<prefix>.rmatvecs``,
+    ``<prefix>.gram_products`` (the paper's ``I``), and
+    ``<prefix>.flops`` (2·nnz per sparse product).
+    """
+    registry.set_gauge(f"{prefix}.matvecs", counter.matvecs)
+    registry.set_gauge(f"{prefix}.rmatvecs", counter.rmatvecs)
+    registry.set_gauge(f"{prefix}.gram_products", counter.gram_products)
+    registry.set_gauge(f"{prefix}.flops", counter.flops.total)
+
+
+def record_lanczos_stats(stats, prefix: str = "lanczos") -> None:
+    """Publish ``LanczosStats`` as gauges (iterations, convergence, ...).
+
+    Gauges: ``<prefix>.iterations`` (the paper's ``I``),
+    ``<prefix>.gram_dim``, ``<prefix>.converged``, ``<prefix>.restarts``,
+    and ``<prefix>.stat_matvecs`` (the solver's own product count —
+    distinct from the operator-measured ``<prefix>.matvecs``).
+    """
+    registry.set_gauge(f"{prefix}.iterations", stats.iterations)
+    registry.set_gauge(f"{prefix}.gram_dim", stats.gram_dim)
+    registry.set_gauge(f"{prefix}.converged", stats.converged)
+    registry.set_gauge(f"{prefix}.restarts", stats.restarts)
+    registry.set_gauge(f"{prefix}.stat_matvecs", stats.matvecs)
+
+
+def record_drift(report, prefix: str = "orthogonality") -> None:
+    """Publish a §4.3 :class:`OrthogonalityReport` as gauges.
+
+    Gauges: ``<prefix>.term_loss`` (``‖ÛᵀÛ − I‖₂``),
+    ``<prefix>.doc_loss`` (``‖V̂ᵀV̂ − I‖₂``); counter
+    ``<prefix>.reports`` counts measurements taken.
+    """
+    registry.set_gauge(f"{prefix}.term_loss", report.term_loss)
+    registry.set_gauge(f"{prefix}.doc_loss", report.doc_loss)
+    registry.inc(f"{prefix}.reports")

@@ -1,0 +1,187 @@
+"""Snapshot export: JSON blobs, the CLI state file, and text rendering.
+
+Three consumers share this module:
+
+* **benchmarks** call :func:`snapshot_blob` (via
+  ``benchmarks/obs_export.py``) to dump a ``BENCH_obs_*.json``-style
+  metrics blob next to their printed report — the perf-trajectory
+  record CI uploads as an artifact;
+* **the CLI** persists a merged snapshot across invocations in a state
+  file (``.repro_obs.json`` by default, overridable with
+  ``REPRO_OBS_STATE``), so ``repro index`` + ``repro query`` followed
+  by ``repro stats`` shows the whole run even though each command is
+  its own process;
+* **humans** get :func:`format_snapshot` / :func:`format_spans`, the
+  fixed-width rendering ``python -m repro stats`` prints.
+
+Merging is well-defined per metric kind: counters add, gauges take the
+newer value, histograms sum bucket counts (same boundaries) so the
+percentiles of the union are recoverable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro.obs.metrics import Histogram, registry
+from repro.obs.tracing import recent_spans
+
+__all__ = [
+    "SCHEMA",
+    "default_state_path",
+    "snapshot_blob",
+    "merge_snapshots",
+    "write_json",
+    "dump_state",
+    "load_state",
+    "format_snapshot",
+    "format_spans",
+]
+
+SCHEMA = "repro-obs/1"
+
+#: Environment variable overriding the CLI observability state file.
+STATE_ENV = "REPRO_OBS_STATE"
+
+#: Spans retained in the persisted state file.
+STATE_SPAN_LIMIT = 200
+
+
+def default_state_path() -> pathlib.Path:
+    """The CLI state file: ``$REPRO_OBS_STATE`` or ``./.repro_obs.json``."""
+    return pathlib.Path(os.environ.get(STATE_ENV, ".repro_obs.json"))
+
+
+def snapshot_blob(name: str | None = None, extra: dict | None = None) -> dict:
+    """A self-describing JSON blob of the registry plus recent spans."""
+    blob = {
+        "schema": SCHEMA,
+        "metrics": registry.snapshot(),
+        "spans": [s.to_dict() for s in recent_spans()],
+    }
+    if name is not None:
+        blob["name"] = name
+    if extra:
+        blob["extra"] = extra
+    return blob
+
+
+def merge_snapshots(base: dict, update: dict) -> dict:
+    """Merge two ``registry.snapshot()`` dicts (see module doc for rules)."""
+    counters = dict(base.get("counters", {}))
+    for key, value in update.get("counters", {}).items():
+        counters[key] = counters.get(key, 0) + value
+    gauges = dict(base.get("gauges", {}))
+    gauges.update(update.get("gauges", {}))
+    histograms = {
+        name: dict(h) for name, h in base.get("histograms", {}).items()
+    }
+    for name, data in update.get("histograms", {}).items():
+        if name in histograms and (
+            histograms[name].get("boundaries") == data.get("boundaries")
+        ):
+            merged = Histogram.from_dict(histograms[name])
+            merged.merge(Histogram.from_dict(data))
+            histograms[name] = merged.to_dict()
+        else:
+            histograms[name] = dict(data)
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def write_json(path, blob: dict) -> pathlib.Path:
+    """Write a blob as pretty JSON; returns the path."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(blob, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_state(path=None) -> dict | None:
+    """The persisted CLI state blob, or None when absent/unreadable."""
+    path = pathlib.Path(path) if path is not None else default_state_path()
+    try:
+        blob = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    return blob if isinstance(blob, dict) else None
+
+def dump_state(path=None) -> pathlib.Path:
+    """Merge the live registry + spans into the persisted state file."""
+    path = pathlib.Path(path) if path is not None else default_state_path()
+    existing = load_state(path) or {"schema": SCHEMA, "metrics": {}, "spans": []}
+    merged = {
+        "schema": SCHEMA,
+        "metrics": merge_snapshots(
+            existing.get("metrics", {}), registry.snapshot()
+        ),
+        "spans": (
+            list(existing.get("spans", []))
+            + [s.to_dict() for s in recent_spans()]
+        )[-STATE_SPAN_LIMIT:],
+    }
+    return write_json(path, merged)
+
+
+# --------------------------------------------------------------------- #
+# text rendering (the `repro stats` output)
+# --------------------------------------------------------------------- #
+def _fmt_seconds(t: float) -> str:
+    if t < 1e-6:
+        return f"{t * 1e9:.1f}ns"
+    if t < 1e-3:
+        return f"{t * 1e6:.1f}us"
+    if t < 1.0:
+        return f"{t * 1e3:.1f}ms"
+    return f"{t:.3f}s"
+
+
+def format_snapshot(snapshot: dict) -> str:
+    """Fixed-width report of one metrics snapshot (counters → gauges →
+    histograms), empty sections omitted."""
+    lines: list[str] = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters")
+        for name in sorted(counters):
+            lines.append(f"  {name:<40s} {counters[name]:>12d}")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("gauges")
+        for name in sorted(gauges):
+            lines.append(f"  {name:<40s} {gauges[name]:>16.6g}")
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append(
+            "histograms"
+            f"{'':<32s} {'count':>8s} {'total':>10s}"
+            f" {'p50':>9s} {'p95':>9s} {'p99':>9s}"
+        )
+        for name in sorted(histograms):
+            h = histograms[name]
+            lines.append(
+                f"  {name:<40s} {h['count']:>8d} {_fmt_seconds(h['sum']):>10s}"
+                f" {_fmt_seconds(h['p50']):>9s} {_fmt_seconds(h['p95']):>9s}"
+                f" {_fmt_seconds(h['p99']):>9s}"
+            )
+    if not lines:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)
+
+
+def format_spans(spans: list[dict], limit: int = 40) -> str:
+    """Newest ``limit`` span records, indented by nesting depth."""
+    if not spans:
+        return "(no spans captured)"
+    lines = [f"recent spans (newest last, showing {min(limit, len(spans))})"]
+    for record in spans[-limit:]:
+        indent = "  " * (int(record.get("depth", 0)) + 1)
+        attrs = record.get("attrs") or {}
+        attr_text = " ".join(f"{k}={v}" for k, v in attrs.items())
+        lines.append(
+            f"{indent}{record['name']}"
+            f"  [{_fmt_seconds(float(record['duration']))}]"
+            + (f"  {attr_text}" if attr_text else "")
+        )
+    return "\n".join(lines)

@@ -1,0 +1,187 @@
+"""Wall-clock tracing spans with attributes, nesting, and a ring buffer.
+
+``span("lsi.search", top=10)`` is a context manager that, when tracing
+is **enabled**, records a :class:`Span` — name, attributes, start time,
+duration, parent linkage — into a bounded in-memory ring buffer and
+feeds the duration into the metrics registry as a latency histogram
+under the span's name.  Nesting is tracked per thread, so shard workers
+each get their own span stack.
+
+Tracing is **disabled by default** and the disabled path is engineered
+to be near-free: constructing the context manager allocates one small
+object, and enter/exit reduce to a single global flag check each —
+``benchmarks/bench_query_fastpath.py`` asserts the per-query cost stays
+under 2% of serving time.  Hot paths can therefore stay instrumented
+permanently; only processes that opt in (the CLI, benchmarks exporting
+observability blobs, tests) pay for capture.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import registry
+
+__all__ = [
+    "Span",
+    "span",
+    "enable_tracing",
+    "tracing_enabled",
+    "traced",
+    "recent_spans",
+    "clear_spans",
+    "export_spans_jsonl",
+]
+
+#: Finished spans retained in memory (newest win).
+RING_CAPACITY = 512
+
+_enabled = False
+_ring: deque["Span"] = deque(maxlen=RING_CAPACITY)
+_ids = itertools.count(1)
+_tls = threading.local()
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) traced operation."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    depth: int
+    start: float  # wall-clock epoch seconds (time.time)
+    duration: float = 0.0  # seconds (perf_counter delta)
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-ready record (attrs coerced to strings when needed)."""
+        attrs = {}
+        for key, value in self.attrs.items():
+            attrs[key] = (
+                value
+                if isinstance(value, (int, float, str, bool, type(None)))
+                else repr(value)
+            )
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": attrs,
+        }
+
+
+def _stack() -> list:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    return stack
+
+
+class span:
+    """Context manager producing one :class:`Span` when tracing is on.
+
+    ``with span("lsi.fit.svd", method="lanczos"): ...`` — attributes are
+    arbitrary keyword arguments stored on the span.  On exit the
+    duration also lands in the registry histogram named after the span,
+    so latency percentiles accumulate without storing samples.  An
+    exception inside the block is recorded in the span's attrs
+    (``error``) and re-raised; the duration still counts.
+    """
+
+    __slots__ = ("_name", "_attrs", "_t0", "_span")
+
+    def __init__(self, name: str, **attrs):
+        self._name = name
+        self._attrs = attrs
+        self._span = None
+
+    def __enter__(self) -> "span":
+        if not _enabled:
+            return self
+        stack = _stack()
+        parent = stack[-1] if stack else None
+        record = Span(
+            name=self._name,
+            span_id=next(_ids),
+            parent_id=parent.span_id if parent is not None else None,
+            depth=len(stack),
+            start=time.time(),
+            attrs=dict(self._attrs),
+        )
+        stack.append(record)
+        self._span = record
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        record = self._span
+        if record is None:
+            return False
+        record.duration = time.perf_counter() - self._t0
+        self._span = None
+        stack = _stack()
+        if stack and stack[-1] is record:
+            stack.pop()
+        if exc is not None:
+            record.attrs["error"] = repr(exc)
+        registry.observe(record.name, record.duration)
+        _ring.append(record)
+        return False
+
+    def set_attr(self, key: str, value) -> None:
+        """Attach an attribute discovered mid-block (no-op when disabled)."""
+        if self._span is not None:
+            self._span.attrs[key] = value
+
+
+def enable_tracing(on: bool = True) -> bool:
+    """Turn span capture on or off; returns the previous state."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(on)
+    return previous
+
+
+def tracing_enabled() -> bool:
+    """Whether spans are currently being captured."""
+    return _enabled
+
+
+@contextmanager
+def traced(on: bool = True):
+    """Scoped tracing toggle (tests, benchmarks): restores prior state."""
+    previous = enable_tracing(on)
+    try:
+        yield
+    finally:
+        enable_tracing(previous)
+
+
+def recent_spans(n: int | None = None) -> list[Span]:
+    """The newest ``n`` finished spans, oldest first (all when ``None``)."""
+    spans = list(_ring)
+    return spans if n is None else spans[-n:]
+
+
+def clear_spans() -> None:
+    """Empty the ring buffer (tests, or after an export)."""
+    _ring.clear()
+
+
+def export_spans_jsonl(path, spans: list[Span] | None = None) -> int:
+    """Write spans as JSON lines; returns the number written."""
+    spans = recent_spans() if spans is None else spans
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in spans:
+            fh.write(json.dumps(record.to_dict()) + "\n")
+    return len(spans)

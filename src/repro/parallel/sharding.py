@@ -26,10 +26,12 @@ import numpy as np
 
 from repro.core.model import LSIModel
 from repro.errors import ShapeError
+from repro.obs.tracing import span
 from repro.parallel.pool import parallel_map
 from repro.serving.index import DocumentIndex, get_document_index
 from repro.serving.kernel import cosine_scores
 from repro.serving.topk import topk_indices
+from repro.util.timing import serving_counters
 
 __all__ = [
     "shard_documents",
@@ -111,16 +113,20 @@ def sharded_search(
     Identical results to a flat search; the point is the execution shape —
     per-shard scoring parallelizes and bounds memory.
     """
-    index = get_document_index(model, mode="scaled")
-    Qs = index.prepare_queries(np.asarray(qhat, dtype=np.float64).ravel())
-    parts = _shard_bounds(index.n_documents, shards)
+    with span("lsi.search.sharded", shards=shards, top=top):
+        index = get_document_index(model, mode="scaled")
+        Qs = index.prepare_queries(np.asarray(qhat, dtype=np.float64).ravel())
+        parts = _shard_bounds(index.n_documents, shards)
 
-    def search_shard(bounds: tuple[int, int]) -> list[tuple[int, float]]:
-        lo, hi = bounds
-        return _shard_topk(index, Qs, lo, hi, top)[0]
+        def search_shard(bounds: tuple[int, int]) -> list[tuple[int, float]]:
+            lo, hi = bounds
+            serving_counters.incr("shard_searches")
+            with span("lsi.search.shard", lo=lo, hi=hi):
+                return _shard_topk(index, Qs, lo, hi, top)[0]
 
-    per_shard = parallel_map(search_shard, parts, workers=workers)
-    return merge_topk(per_shard, top)
+        per_shard = parallel_map(search_shard, parts, workers=workers)
+        with span("lsi.search.merge", shards=shards):
+            return merge_topk(per_shard, top)
 
 
 def sharded_batch_search(
@@ -143,24 +149,29 @@ def sharded_batch_search(
     """
     if top < 1:
         raise ShapeError("top must be >= 1")
-    if isinstance(queries, np.ndarray):
-        Q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-    else:
-        from repro.parallel.batch import batch_project_queries
+    with span("lsi.batch_search", shards=shards, top=top):
+        if isinstance(queries, np.ndarray):
+            Q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        else:
+            from repro.parallel.batch import batch_project_queries
 
-        Q = batch_project_queries(model, queries)
-    index = get_document_index(model, mode="scaled")
-    Qs = index.prepare_queries(Q)
-    parts = _shard_bounds(index.n_documents, shards)
+            with span("lsi.project.batch", queries=len(queries)):
+                Q = batch_project_queries(model, queries)
+        index = get_document_index(model, mode="scaled")
+        Qs = index.prepare_queries(Q)
+        parts = _shard_bounds(index.n_documents, shards)
 
-    def search_shard(
-        bounds: tuple[int, int],
-    ) -> list[list[tuple[int, float]]]:
-        lo, hi = bounds
-        return _shard_topk(index, Qs, lo, hi, top)
+        def search_shard(
+            bounds: tuple[int, int],
+        ) -> list[list[tuple[int, float]]]:
+            lo, hi = bounds
+            serving_counters.incr("shard_searches")
+            with span("lsi.search.shard", lo=lo, hi=hi):
+                return _shard_topk(index, Qs, lo, hi, top)
 
-    per_shard = parallel_map(search_shard, parts, workers=workers)
-    return [
-        merge_topk([shard[qi] for shard in per_shard], top)
-        for qi in range(Qs.shape[0])
-    ]
+        per_shard = parallel_map(search_shard, parts, workers=workers)
+        with span("lsi.search.merge", shards=shards):
+            return [
+                merge_topk([shard[qi] for shard in per_shard], top)
+                for qi in range(Qs.shape[0])
+            ]

@@ -15,6 +15,7 @@ import numpy as np
 from repro.core.build import fit_lsi
 from repro.core.model import LSIModel
 from repro.core.query import project_counts, query_counts
+from repro.obs.tracing import span
 from repro.serving.index import get_document_index
 from repro.serving.querycache import QueryVectorCache
 from repro.serving.topk import ranked_pairs
@@ -106,16 +107,17 @@ class LSIRetrieval:
         re-ordered or re-tokenized duplicates of a repeated query hit
         the same entry.  A model swap on this engine clears the cache.
         """
-        if self._query_cache_model is not self.model:
-            self._query_cache.clear()
-            self._query_cache_model = self.model
-        counts = query_counts(self.model, query)
-        key = QueryVectorCache.key_from_counts(counts)
-        qhat = self._query_cache.get(key)
-        if qhat is None:
-            qhat = project_counts(self.model, counts)
-            self._query_cache.put(key, qhat)
-        return qhat
+        with span("lsi.project"):
+            if self._query_cache_model is not self.model:
+                self._query_cache.clear()
+                self._query_cache_model = self.model
+            counts = query_counts(self.model, query)
+            key = QueryVectorCache.key_from_counts(counts)
+            qhat = self._query_cache.get(key)
+            if qhat is None:
+                qhat = project_counts(self.model, counts)
+                self._query_cache.put(key, qhat)
+            return qhat
 
     def scores(self, query) -> np.ndarray:
         """Cosine of the query against every document (length n)."""
@@ -145,8 +147,9 @@ class LSIRetrieval:
         the ranking is element-identical to the historical full stable
         sort, including tie order.
         """
-        s = self.scores(query)
-        return ranked_pairs(s, top=top, threshold=threshold)
+        with span("lsi.search", top=top, docs=self.n_documents):
+            s = self.scores(query)
+            return ranked_pairs(s, top=top, threshold=threshold)
 
     def with_k(self, k: int) -> "LSIRetrieval":
         """Engine over the same model truncated to ``k`` factors (for the

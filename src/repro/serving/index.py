@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.core.model import LSIModel
 from repro.errors import ModelStateError, ShapeError
+from repro.obs.tracing import span
 from repro.serving.kernel import cosine_scores, row_norms
 from repro.serving.topk import ranked_pairs
 from repro.util.timing import serving_counters
@@ -152,7 +153,10 @@ class DocumentIndex:
         threshold: float | None = None,
     ) -> list[tuple[int, float]]:
         """Ranked, filtered ``(doc_index, score)`` pairs for one vector."""
-        return ranked_pairs(self.scores(qhat), top=top, threshold=threshold)
+        with span("lsi.search", top=top, docs=self.n_documents):
+            return ranked_pairs(
+                self.scores(qhat), top=top, threshold=threshold
+            )
 
     def __repr__(self) -> str:
         return (

@@ -23,6 +23,8 @@ import numpy as np
 
 from repro.core.model import LSIModel
 from repro.errors import ShapeError
+from repro.obs.metrics import registry
+from repro.obs.tracing import span
 from repro.serving.index import invalidate_model
 from repro.text.tdm import count_vector
 from repro.text.tokenizer import tokenize
@@ -67,17 +69,20 @@ def fold_in_documents(
     coordinates are shared (not copied), so the no-effect property of
     §3.3 is structural.
     """
-    weighted = _weight_columns(model, counts)
-    p = weighted.shape[1]
-    if len(doc_ids) != p:
-        raise ShapeError(f"{len(doc_ids)} ids for {p} documents")
-    # d̂ = dᵀ U_k Σ_k⁻¹ for every column at once.
-    V_new = (weighted.T @ model.U) / model.s
-    # The source model is superseded: drop its cached serving index so
-    # handles pinned before the fold-in cannot keep serving without the
-    # new documents (see repro.serving.index's invalidation contract).
-    invalidate_model(model)
-    return model.with_documents(V_new, list(doc_ids), provenance="fold-in")
+    with span("lsi.fold.documents") as sp:
+        weighted = _weight_columns(model, counts)
+        p = weighted.shape[1]
+        sp.set_attr("p", p)
+        if len(doc_ids) != p:
+            raise ShapeError(f"{len(doc_ids)} ids for {p} documents")
+        # d̂ = dᵀ U_k Σ_k⁻¹ for every column at once.
+        V_new = (weighted.T @ model.U) / model.s
+        # The source model is superseded: drop its cached serving index so
+        # handles pinned before the fold-in cannot keep serving without the
+        # new documents (see repro.serving.index's invalidation contract).
+        invalidate_model(model)
+        registry.inc("updating.folded_documents", p)
+        return model.with_documents(V_new, list(doc_ids), provenance="fold-in")
 
 
 def fold_in_texts(
@@ -120,25 +125,27 @@ def fold_in_terms(
         )
     if len(terms) != q:
         raise ShapeError(f"{len(terms)} names for {q} terms")
-    if model.scheme.local in NEEDS_COL_MAX:
-        # Per-document max is a property of the whole column; a lone new
-        # term row cannot recompute it, so fall back to its own counts.
-        cmax = np.maximum(counts.max(axis=1, keepdims=True), 1.0)
-        local = local_weight(
-            model.scheme.local, counts, np.broadcast_to(cmax, counts.shape)
-        )
-    else:
-        local = local_weight(model.scheme.local, counts)
-    if global_weights is not None:
-        gw = np.asarray(global_weights, dtype=np.float64).ravel()
-        if gw.size != q:
-            raise ShapeError("global_weights must have one entry per term")
-        local = local * gw[:, None]
-    else:
-        gw = np.ones(q)
-    # t̂ = t V_k Σ_k⁻¹ for every row at once.
-    U_new = (local @ model.V) / model.s
-    # Term fold-in supersedes the source model too (its vocabulary and
-    # term space grow); invalidate its cached serving state.
-    invalidate_model(model)
-    return model.with_terms(U_new, list(terms), gw, provenance="fold-in")
+    with span("lsi.fold.terms", q=q):
+        if model.scheme.local in NEEDS_COL_MAX:
+            # Per-document max is a property of the whole column; a lone new
+            # term row cannot recompute it, so fall back to its own counts.
+            cmax = np.maximum(counts.max(axis=1, keepdims=True), 1.0)
+            local = local_weight(
+                model.scheme.local, counts, np.broadcast_to(cmax, counts.shape)
+            )
+        else:
+            local = local_weight(model.scheme.local, counts)
+        if global_weights is not None:
+            gw = np.asarray(global_weights, dtype=np.float64).ravel()
+            if gw.size != q:
+                raise ShapeError("global_weights must have one entry per term")
+            local = local * gw[:, None]
+        else:
+            gw = np.ones(q)
+        # t̂ = t V_k Σ_k⁻¹ for every row at once.
+        U_new = (local @ model.V) / model.s
+        # Term fold-in supersedes the source model too (its vocabulary and
+        # term space grow); invalidate its cached serving state.
+        invalidate_model(model)
+        registry.inc("updating.folded_terms", q)
+        return model.with_terms(U_new, list(terms), gw, provenance="fold-in")

@@ -29,6 +29,8 @@ import numpy as np
 from repro.core.build import fit_lsi_from_tdm
 from repro.core.model import LSIModel
 from repro.errors import ShapeError
+from repro.obs.metrics import registry
+from repro.obs.tracing import span
 from repro.serving.index import get_document_index, invalidate_model
 from repro.sparse.build import from_dense
 from repro.sparse.ops import hstack_csc
@@ -170,6 +172,7 @@ class LSIIndexManager:
         )
         doc_loss = self.drift()
         if plan.method == "fold-in" and doc_loss <= self.drift_cap:
+            registry.inc("manager.events.fold-in")
             event = IndexEvent(
                 "fold-in", len(doc_ids), pending_before, doc_loss, plan.reason
             )
@@ -199,32 +202,36 @@ class LSIIndexManager:
 
     def _consolidate(self, method: str, reason: str, batch: int) -> IndexEvent:
         pending_before = self.pending
-        # The folded model is about to be replaced wholesale; the
-        # recompute path below does not pass through the updating hooks,
-        # so the manager invalidates its serving cache explicitly.
-        invalidate_model(self.model)
-        if method in ("recompute", "fold-in"):
-            # fold-in only reaches here via the drift cap: recompute then.
-            self._absorb_pending_into_tdm()
-            self._base_model = fit_lsi_from_tdm(
-                self.tdm, self.k, scheme=self.scheme, seed=self.seed
+        with span(
+            "lsi.manager.consolidate", method=method, pending=pending_before
+        ):
+            # The folded model is about to be replaced wholesale; the
+            # recompute path below does not pass through the updating hooks,
+            # so the manager invalidates its serving cache explicitly.
+            invalidate_model(self.model)
+            if method in ("recompute", "fold-in"):
+                # fold-in only reaches here via the drift cap: recompute then.
+                self._absorb_pending_into_tdm()
+                self._base_model = fit_lsi_from_tdm(
+                    self.tdm, self.k, scheme=self.scheme, seed=self.seed
+                )
+                action = "recompute"
+            else:
+                # SVD-update the pristine base model with the whole pending
+                # block — no refit of the existing collection needed.
+                self._base_model = update_documents(
+                    self._base_model,
+                    self._pending_block(),
+                    list(self._pending_ids),
+                    exact=self.exact_updates,
+                )
+                self._absorb_pending_into_tdm()
+                action = "svd-update"
+            self.model = self._base_model
+            registry.inc(f"manager.events.{action}")
+            return IndexEvent(
+                action, batch, pending_before, self.drift(), reason
             )
-            action = "recompute"
-        else:
-            # SVD-update the pristine base model with the whole pending
-            # block — no refit of the existing collection needed.
-            self._base_model = update_documents(
-                self._base_model,
-                self._pending_block(),
-                list(self._pending_ids),
-                exact=self.exact_updates,
-            )
-            self._absorb_pending_into_tdm()
-            action = "svd-update"
-        self.model = self._base_model
-        return IndexEvent(
-            action, batch, pending_before, self.drift(), reason
-        )
 
     def consolidate(self) -> IndexEvent | None:
         """Force consolidation of any pending fold-ins (maintenance)."""

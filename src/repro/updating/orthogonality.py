@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.model import LSIModel
 from repro.linalg.orth import orthogonality_loss
+from repro.obs.bridge import record_drift
 from repro.updating.folding import fold_in_documents
 
 __all__ = ["OrthogonalityReport", "drift_report", "fold_in_drift_curve"]
@@ -51,12 +52,20 @@ class OrthogonalityReport:
 
 
 def drift_report(model: LSIModel) -> OrthogonalityReport:
-    """Measure both orthogonality losses of a model."""
-    return OrthogonalityReport(
+    """Measure both orthogonality losses of a model.
+
+    Each measurement is also published to the metrics registry
+    (``orthogonality.term_loss`` / ``orthogonality.doc_loss`` gauges),
+    so §4.3 drift is visible in ``python -m repro stats`` next to the
+    serving and Lanczos metrics.
+    """
+    report = OrthogonalityReport(
         term_loss=orthogonality_loss(model.U),
         doc_loss=orthogonality_loss(model.V),
         provenance=model.provenance,
     )
+    record_drift(report)
+    return report
 
 
 def fold_in_drift_curve(

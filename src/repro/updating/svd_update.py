@@ -48,6 +48,8 @@ import numpy as np
 from repro.core.model import LSIModel
 from repro.errors import ShapeError
 from repro.linalg.jacobi_svd import jacobi_svd
+from repro.obs.metrics import registry
+from repro.obs.tracing import span
 from repro.serving.index import invalidate_model
 from repro.updating.folding import _weight_columns
 from repro.weighting.local import NEEDS_COL_MAX, local_weight
@@ -91,31 +93,52 @@ def update_documents(
     retained (see module docstring), making the result the true rank-k
     SVD of ``B``.
     """
-    D = _weight_columns(model, counts)  # (m, p) weighted
-    p = D.shape[1]
-    if len(doc_ids) != p:
-        raise ShapeError(f"{len(doc_ids)} ids for {p} documents")
-    # The update supersedes the source model: invalidate its cached
-    # serving index (repro.serving.index invalidation contract).
-    invalidate_model(model)
-    k = model.k
-    Dhat = model.U.T @ D  # (k, p)
-    if exact:
-        resid = D - model.U @ Dhat
-        Qr, Rr = _range_basis(resid, np.sqrt(np.sum(D * D)))
-        r = Qr.shape[1]
-        # K = [[Σ_k, D̂], [0, R_r]], (k+r) × (k+p).
-        K = np.zeros((k + r, k + p))
-        K[:k, :k] = np.diag(model.s)
-        K[:k, k:] = Dhat
-        K[k:, k:] = Rr
-        UK, sK, VK = jacobi_svd(K)
-        UK, sK, VK = UK[:, :k], sK[:k], VK[:, :k]
-        U_new = model.U @ UK[:k, :] + Qr @ UK[k:, :]
-        V_new = np.vstack([model.V @ VK[:k, :], VK[k:, :]])
+    with span("lsi.update.documents", exact=exact) as sp:
+        D = _weight_columns(model, counts)  # (m, p) weighted
+        p = D.shape[1]
+        sp.set_attr("p", p)
+        if len(doc_ids) != p:
+            raise ShapeError(f"{len(doc_ids)} ids for {p} documents")
+        # The update supersedes the source model: invalidate its cached
+        # serving index (repro.serving.index invalidation contract).
+        invalidate_model(model)
+        registry.inc("updating.updated_documents", p)
+        k = model.k
+        Dhat = model.U.T @ D  # (k, p)
+        if exact:
+            resid = D - model.U @ Dhat
+            Qr, Rr = _range_basis(resid, np.sqrt(np.sum(D * D)))
+            r = Qr.shape[1]
+            # K = [[Σ_k, D̂], [0, R_r]], (k+r) × (k+p).
+            K = np.zeros((k + r, k + p))
+            K[:k, :k] = np.diag(model.s)
+            K[:k, k:] = Dhat
+            K[k:, k:] = Rr
+            UK, sK, VK = jacobi_svd(K)
+            UK, sK, VK = UK[:, :k], sK[:k], VK[:, :k]
+            U_new = model.U @ UK[:k, :] + Qr @ UK[k:, :]
+            V_new = np.vstack([model.V @ VK[:k, :], VK[k:, :]])
+            return LSIModel(
+                U=U_new,
+                s=sK,
+                V=V_new,
+                vocabulary=model.vocabulary,
+                doc_ids=model.doc_ids + list(doc_ids),
+                scheme=model.scheme,
+                global_weights=model.global_weights,
+                provenance="svd-update",
+            )
+        # F = (Σ_k | U_kᵀ D), k × (k+p) — the paper's printed construction.
+        F = np.hstack([np.diag(model.s), Dhat])
+        UF, sF, VF = jacobi_svd(F)  # rank ≤ k, so exactly k triplets
+        UF, sF, VF = UF[:, :k], sF[:k], VF[:, :k]
+        U_new = model.U @ UF
+        # V_B = diag(V_k, I_p) V_F: top n rows rotate V_k, bottom p rows are
+        # V_F's tail block verbatim.
+        V_new = np.vstack([model.V @ VF[:k, :], VF[k:, :]])
         return LSIModel(
             U=U_new,
-            s=sK,
+            s=sF,
             V=V_new,
             vocabulary=model.vocabulary,
             doc_ids=model.doc_ids + list(doc_ids),
@@ -123,24 +146,6 @@ def update_documents(
             global_weights=model.global_weights,
             provenance="svd-update",
         )
-    # F = (Σ_k | U_kᵀ D), k × (k+p) — the paper's printed construction.
-    F = np.hstack([np.diag(model.s), Dhat])
-    UF, sF, VF = jacobi_svd(F)  # rank ≤ k, so exactly k triplets
-    UF, sF, VF = UF[:, :k], sF[:k], VF[:, :k]
-    U_new = model.U @ UF
-    # V_B = diag(V_k, I_p) V_F: top n rows rotate V_k, bottom p rows are
-    # V_F's tail block verbatim.
-    V_new = np.vstack([model.V @ VF[:k, :], VF[k:, :]])
-    return LSIModel(
-        U=U_new,
-        s=sF,
-        V=V_new,
-        vocabulary=model.vocabulary,
-        doc_ids=model.doc_ids + list(doc_ids),
-        scheme=model.scheme,
-        global_weights=model.global_weights,
-        provenance="svd-update",
-    )
 
 
 def update_terms(
@@ -167,57 +172,59 @@ def update_terms(
     if len(terms) != q:
         raise ShapeError(f"{len(terms)} names for {q} terms")
     invalidate_model(model)
-    if model.scheme.local in NEEDS_COL_MAX:
-        cmax = np.maximum(counts.max(axis=1, keepdims=True), 1.0)
-        T = local_weight(
-            model.scheme.local, counts, np.broadcast_to(cmax, counts.shape)
+    with span("lsi.update.terms", q=q, exact=exact):
+        registry.inc("updating.updated_terms", q)
+        if model.scheme.local in NEEDS_COL_MAX:
+            cmax = np.maximum(counts.max(axis=1, keepdims=True), 1.0)
+            T = local_weight(
+                model.scheme.local, counts, np.broadcast_to(cmax, counts.shape)
+            )
+        else:
+            T = local_weight(model.scheme.local, counts)
+        if global_weights is not None:
+            gw = np.asarray(global_weights, dtype=np.float64).ravel()
+            if gw.size != q:
+                raise ShapeError("global_weights must have one entry per term")
+            T = T * gw[:, None]
+        else:
+            gw = np.ones(q)
+        k = model.k
+        That = T @ model.V  # (q, k)
+        if exact:
+            resid = T.T - model.V @ That.T  # (n, q)
+            Qr, Rr = _range_basis(resid, np.sqrt(np.sum(T * T)))
+            r = Qr.shape[1]
+            # K = [[Σ_k, 0], [T V_k, R_rᵀ]], (k+q) × (k+r).
+            K = np.zeros((k + q, k + r))
+            K[:k, :k] = np.diag(model.s)
+            K[k:, :k] = That
+            K[k:, k:] = Rr.T
+            UK, sK, VK = jacobi_svd(K)
+            UK, sK, VK = UK[:, :k], sK[:k], VK[:, :k]
+            U_new = np.vstack([model.U @ UK[:k, :], UK[k:, :]])
+            V_new = model.V @ VK[:k, :] + Qr @ VK[k:, :]
+        else:
+            # H = [Σ_k ; T V_k], (k+q) × k — the paper's printed construction.
+            H = np.vstack([np.diag(model.s), That])
+            UH, sH, VH = jacobi_svd(H)
+            UH, sK, VH = UH[:, :k], sH[:k], VH[:, :k]
+            U_new = np.vstack([model.U @ UH[:k, :], UH[k:, :]])
+            V_new = model.V @ VH
+        vocab = model.vocabulary.copy()
+        for t in terms:
+            if t in vocab:
+                raise ShapeError(f"term {t!r} already present")
+            vocab.add(t)
+        return LSIModel(
+            U=U_new,
+            s=sK,
+            V=V_new,
+            vocabulary=vocab.freeze(),
+            doc_ids=list(model.doc_ids),
+            scheme=model.scheme,
+            global_weights=np.concatenate([model.global_weights, gw]),
+            provenance="svd-update",
         )
-    else:
-        T = local_weight(model.scheme.local, counts)
-    if global_weights is not None:
-        gw = np.asarray(global_weights, dtype=np.float64).ravel()
-        if gw.size != q:
-            raise ShapeError("global_weights must have one entry per term")
-        T = T * gw[:, None]
-    else:
-        gw = np.ones(q)
-    k = model.k
-    That = T @ model.V  # (q, k)
-    if exact:
-        resid = T.T - model.V @ That.T  # (n, q)
-        Qr, Rr = _range_basis(resid, np.sqrt(np.sum(T * T)))
-        r = Qr.shape[1]
-        # K = [[Σ_k, 0], [T V_k, R_rᵀ]], (k+q) × (k+r).
-        K = np.zeros((k + q, k + r))
-        K[:k, :k] = np.diag(model.s)
-        K[k:, :k] = That
-        K[k:, k:] = Rr.T
-        UK, sK, VK = jacobi_svd(K)
-        UK, sK, VK = UK[:, :k], sK[:k], VK[:, :k]
-        U_new = np.vstack([model.U @ UK[:k, :], UK[k:, :]])
-        V_new = model.V @ VK[:k, :] + Qr @ VK[k:, :]
-    else:
-        # H = [Σ_k ; T V_k], (k+q) × k — the paper's printed construction.
-        H = np.vstack([np.diag(model.s), That])
-        UH, sH, VH = jacobi_svd(H)
-        UH, sK, VH = UH[:, :k], sH[:k], VH[:, :k]
-        U_new = np.vstack([model.U @ UH[:k, :], UH[k:, :]])
-        V_new = model.V @ VH
-    vocab = model.vocabulary.copy()
-    for t in terms:
-        if t in vocab:
-            raise ShapeError(f"term {t!r} already present")
-        vocab.add(t)
-    return LSIModel(
-        U=U_new,
-        s=sK,
-        V=V_new,
-        vocabulary=vocab.freeze(),
-        doc_ids=list(model.doc_ids),
-        scheme=model.scheme,
-        global_weights=np.concatenate([model.global_weights, gw]),
-        provenance="svd-update",
-    )
 
 
 def update_weights(
@@ -247,41 +254,43 @@ def update_weights(
             f"Y and Z must agree on j: {Y.shape[1]} vs {Z.shape[1]}"
         )
     invalidate_model(model)
-    k = model.k
-    Yhat = model.U.T @ Y  # (k, j)
-    Zhat = model.V.T @ Z  # (k, j)
-    if exact and Y.shape[1] > 0:
-        Qy, Ry = _range_basis(Y - model.U @ Yhat, np.sqrt(np.sum(Y * Y)))
-        Qz, Rz = _range_basis(Z - model.V @ Zhat, np.sqrt(np.sum(Z * Z)))
-        ry, rz = Qy.shape[1], Qz.shape[1]
-        # W = [U_k Q_y] K [V_k Q_z]ᵀ with the 2×2 block core below.
-        K = np.zeros((k + ry, k + rz))
-        K[:k, :k] = np.diag(model.s) + Yhat @ Zhat.T
-        K[:k, k:] = Yhat @ Rz.T
-        K[k:, :k] = Ry @ Zhat.T
-        K[k:, k:] = Ry @ Rz.T
-        UK, sK, VK = jacobi_svd(K)
-        UK, sK, VK = UK[:, :k], sK[:k], VK[:, :k]
+    with span("lsi.update.weights", j=Y.shape[1], exact=exact):
+        registry.inc("updating.weight_corrections", Y.shape[1])
+        k = model.k
+        Yhat = model.U.T @ Y  # (k, j)
+        Zhat = model.V.T @ Z  # (k, j)
+        if exact and Y.shape[1] > 0:
+            Qy, Ry = _range_basis(Y - model.U @ Yhat, np.sqrt(np.sum(Y * Y)))
+            Qz, Rz = _range_basis(Z - model.V @ Zhat, np.sqrt(np.sum(Z * Z)))
+            ry, rz = Qy.shape[1], Qz.shape[1]
+            # W = [U_k Q_y] K [V_k Q_z]ᵀ with the 2×2 block core below.
+            K = np.zeros((k + ry, k + rz))
+            K[:k, :k] = np.diag(model.s) + Yhat @ Zhat.T
+            K[:k, k:] = Yhat @ Rz.T
+            K[k:, :k] = Ry @ Zhat.T
+            K[k:, k:] = Ry @ Rz.T
+            UK, sK, VK = jacobi_svd(K)
+            UK, sK, VK = UK[:, :k], sK[:k], VK[:, :k]
+            return LSIModel(
+                U=model.U @ UK[:k, :] + Qy @ UK[k:, :],
+                s=sK,
+                V=model.V @ VK[:k, :] + Qz @ VK[k:, :],
+                vocabulary=model.vocabulary,
+                doc_ids=list(model.doc_ids),
+                scheme=model.scheme,
+                global_weights=model.global_weights,
+                provenance="svd-update",
+            )
+        Q = np.diag(model.s) + Yhat @ Zhat.T
+        UQ, sQ, VQ = jacobi_svd(Q)
+        UQ, sQ, VQ = UQ[:, :k], sQ[:k], VQ[:, :k]
         return LSIModel(
-            U=model.U @ UK[:k, :] + Qy @ UK[k:, :],
-            s=sK,
-            V=model.V @ VK[:k, :] + Qz @ VK[k:, :],
+            U=model.U @ UQ,
+            s=sQ,
+            V=model.V @ VQ,
             vocabulary=model.vocabulary,
             doc_ids=list(model.doc_ids),
             scheme=model.scheme,
             global_weights=model.global_weights,
             provenance="svd-update",
         )
-    Q = np.diag(model.s) + Yhat @ Zhat.T
-    UQ, sQ, VQ = jacobi_svd(Q)
-    UQ, sQ, VQ = UQ[:, :k], sQ[:k], VQ[:, :k]
-    return LSIModel(
-        U=model.U @ UQ,
-        s=sQ,
-        V=model.V @ VQ,
-        vocabulary=model.vocabulary,
-        doc_ids=list(model.doc_ids),
-        scheme=model.scheme,
-        global_weights=model.global_weights,
-        provenance="svd-update",
-    )

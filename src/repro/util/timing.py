@@ -1,11 +1,41 @@
-"""Lightweight wall-clock instrumentation for the benchmark harness."""
+"""Lightweight wall-clock instrumentation for the benchmark harness.
+
+:class:`Stopwatch` and :class:`PerfCounters` are the self-contained
+stopwatch tools benchmarks instantiate locally.  The process-global
+:data:`serving_counters` is now a **registry-backed compatibility
+shim**: it keeps the historical ``incr`` / ``time`` / ``snapshot``
+surface, but the data lives in :data:`repro.obs.metrics.registry`
+under the ``serving.`` prefix — counters as registry counters, timers
+as latency histograms — so the serving fast path, the Lanczos cost
+gauges, and the tracing spans all report through one sink
+(``python -m repro stats``).
+"""
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
 
-__all__ = ["Stopwatch", "PerfCounters", "serving_counters", "format_seconds"]
+from repro.obs.metrics import registry as _registry
+
+__all__ = [
+    "Stopwatch",
+    "PerfCounters",
+    "serving_counters",
+    "format_seconds",
+    "timer_key",
+]
+
+
+def timer_key(name: str) -> str:
+    """The namespaced snapshot key for a timer: ``<name>_seconds``.
+
+    Timers and counters historically merged into one flat dict, so a
+    counter and a timer sharing a name silently clobbered each other.
+    Snapshots now suffix timer names with ``_seconds`` (idempotently,
+    so conventional names like ``gemm_seconds`` keep their key).
+    """
+    return name if name.endswith("_seconds") else f"{name}_seconds"
 
 
 @dataclass
@@ -24,18 +54,28 @@ class Stopwatch:
     laps: dict[str, float] = field(default_factory=dict)
 
     class _Lap:
+        """Re-entrant, exception-safe lap context.
+
+        Start times live on a stack rather than a single ``_t0``, so
+        one lap object can be nested or reused concurrently with
+        itself: each exit pairs with its own enter, and an exception
+        inside the block still records the elapsed time.
+        """
+
         def __init__(self, owner: "Stopwatch", name: str):
             self._owner = owner
             self._name = name
-            self._t0 = 0.0
+            self._starts: list[float] = []
 
         def __enter__(self) -> "Stopwatch._Lap":
-            self._t0 = time.perf_counter()
+            self._starts.append(time.perf_counter())
             return self
 
         def __exit__(self, *exc) -> None:
-            elapsed = time.perf_counter() - self._t0
-            self._owner.laps[self._name] = self._owner.laps.get(self._name, 0.0) + elapsed
+            elapsed = time.perf_counter() - self._starts.pop()
+            self._owner.laps[self._name] = (
+                self._owner.laps.get(self._name, 0.0) + elapsed
+            )
 
     def lap(self, name: str) -> "Stopwatch._Lap":
         """Context manager that adds elapsed time to the named lap."""
@@ -55,11 +95,12 @@ class Stopwatch:
 class PerfCounters:
     """Named event counters plus accumulating timers for hot paths.
 
-    The serving layer increments these on every query (see
-    :data:`serving_counters`); benchmarks snapshot and reset them to
-    report cache-hit rates and where query time goes.  Overhead per
-    event is one dict update (counters) or two ``perf_counter`` calls
-    (timers) — negligible against a GEMM over thousands of documents.
+    Benchmarks snapshot and reset them to report cache-hit rates and
+    where query time goes.  Overhead per event is one dict update
+    (counters) or two ``perf_counter`` calls (timers) — negligible
+    against a GEMM over thousands of documents.  For the process-global
+    serving counters see :data:`serving_counters`, which shares this
+    interface but stores into the metrics registry.
     """
 
     counts: dict[str, int] = field(default_factory=dict)
@@ -74,26 +115,36 @@ class PerfCounters:
         self.timers[name] = self.timers.get(name, 0.0) + seconds
 
     class _Timer:
-        def __init__(self, owner: "PerfCounters", name: str):
+        """Re-entrant, exception-safe timing context (cf. ``_Lap``)."""
+
+        def __init__(self, owner, name: str):
             self._owner = owner
             self._name = name
-            self._t0 = 0.0
+            self._starts: list[float] = []
 
         def __enter__(self) -> "PerfCounters._Timer":
-            self._t0 = time.perf_counter()
+            self._starts.append(time.perf_counter())
             return self
 
         def __exit__(self, *exc) -> None:
-            self._owner.add_time(self._name, time.perf_counter() - self._t0)
+            self._owner.add_time(
+                self._name, time.perf_counter() - self._starts.pop()
+            )
 
     def time(self, name: str) -> "PerfCounters._Timer":
         """Context manager accumulating elapsed time into ``name``."""
         return PerfCounters._Timer(self, name)
 
     def snapshot(self) -> dict[str, float]:
-        """One flat dict of all counters and timers (copies)."""
+        """One flat dict of counters and timers, namespaced apart.
+
+        Counters keep their name; timers appear under
+        :func:`timer_key` (``<name>_seconds``), so a counter and a
+        timer sharing a base name no longer clobber each other.
+        """
         out: dict[str, float] = dict(self.counts)
-        out.update(self.timers)
+        for name, t in self.timers.items():
+            out[timer_key(name)] = t
         return out
 
     def reset(self) -> None:
@@ -111,11 +162,78 @@ class PerfCounters:
         return "\n".join(lines)
 
 
-#: Process-wide counters for the query-serving fast path.  The serving
-#: layer records ``queries_served`` / ``batch_queries_served``, query-
-#: vector cache ``query_cache_hits`` / ``query_cache_misses``, index
-#: ``index_builds``, and the ``gemm_seconds`` / ``topk_seconds`` timers.
-serving_counters = PerfCounters()
+class _RegistryCounters:
+    """:class:`PerfCounters` facade over the global metrics registry.
+
+    Every mutation lands in :data:`repro.obs.metrics.registry` with the
+    :data:`PREFIX` — counters as registry counters, timers as latency
+    histograms (whose ``sum`` is the historical accumulated-seconds
+    view, with p50/p95/p99 now available for free).  ``counts`` /
+    ``timers`` are read-only dict *copies* for the legacy call sites
+    that peek at them.
+    """
+
+    PREFIX = "serving."
+
+    # -- write side ---------------------------------------------------- #
+    def incr(self, name: str, by: int = 1) -> None:
+        """Add ``by`` to the registry counter ``serving.<name>``."""
+        _registry.inc(self.PREFIX + name, by)
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Observe ``seconds`` in the histogram ``serving.<name>_seconds``."""
+        _registry.observe(self.PREFIX + timer_key(name), seconds)
+
+    def time(self, name: str) -> "PerfCounters._Timer":
+        """Context manager observing elapsed time into ``name``."""
+        return PerfCounters._Timer(self, name)
+
+    # -- read side ------------------------------------------------------ #
+    @property
+    def counts(self) -> dict[str, int]:
+        """Copy of the serving counters, prefix stripped."""
+        skip = len(self.PREFIX)
+        return {
+            k[skip:]: v for k, v in _registry.counters(self.PREFIX).items()
+        }
+
+    @property
+    def timers(self) -> dict[str, float]:
+        """Copy of the accumulated timer seconds, prefix stripped."""
+        skip = len(self.PREFIX)
+        return {
+            k[skip:]: v
+            for k, v in _registry.histogram_sums(self.PREFIX).items()
+        }
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat counters + timers, namespaced like ``PerfCounters``."""
+        out: dict[str, float] = dict(self.counts)
+        for name, t in self.timers.items():
+            out[timer_key(name)] = t
+        return out
+
+    def reset(self) -> None:
+        """Drop every ``serving.``-prefixed metric from the registry."""
+        _registry.reset(self.PREFIX)
+
+    def report(self) -> str:
+        """Human-readable summary: counters first, then timers."""
+        lines = [f"{name:>24s}  {val}" for name, val in sorted(self.counts.items())]
+        lines += [
+            f"{name:>24s}  {format_seconds(t)}"
+            for name, t in sorted(self.timers.items())
+        ]
+        return "\n".join(lines)
+
+
+#: Process-wide counters for the query-serving fast path, stored in the
+#: metrics registry under ``serving.``.  The serving layer records
+#: ``queries_served`` / ``batch_queries_served``, query-vector cache
+#: ``query_cache_hits`` / ``query_cache_misses``, index ``index_builds``,
+#: shard-pool ``shard_searches``, and the ``gemm_seconds`` /
+#: ``topk_seconds`` latency histograms.
+serving_counters = _RegistryCounters()
 
 
 def format_seconds(t: float) -> str:

@@ -15,6 +15,13 @@ from repro.corpus import SyntheticSpec, med_matrix, topic_collection
 from repro.corpus.med import MED_TOPICS
 
 
+@pytest.fixture(autouse=True)
+def _obs_state_in_tmp(tmp_path, monkeypatch):
+    """Keep the CLI observability state file out of the repo tree: any
+    in-process ``repro`` command persists to a per-test temp path."""
+    monkeypatch.setenv("REPRO_OBS_STATE", str(tmp_path / "obs_state.json"))
+
+
 @pytest.fixture(scope="session")
 def rng():
     return np.random.default_rng(12345)

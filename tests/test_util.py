@@ -124,6 +124,77 @@ def test_format_seconds_units():
     assert format_seconds(2.5e-9).endswith(" ns")
 
 
+def test_stopwatch_lap_exception_safe():
+    sw = Stopwatch()
+    with pytest.raises(RuntimeError):
+        with sw.lap("a"):
+            raise RuntimeError("boom")
+    assert sw.laps["a"] >= 0.0  # time recorded despite the exception
+
+
+def test_stopwatch_lap_reentrant(monkeypatch):
+    """One lap object nested inside itself must pair each exit with its
+    own enter (the old shared ``_t0`` double-counted the outer enter)."""
+    from repro.util import timing as timing_mod
+
+    clock = iter([0.0, 10.0, 12.0, 100.0])  # enter, enter, exit, exit
+    monkeypatch.setattr(timing_mod.time, "perf_counter", lambda: next(clock))
+    sw = Stopwatch()
+    lap = sw.lap("a")
+    with lap:
+        with lap:
+            pass
+    # inner: 12 − 10 = 2; outer: 100 − 0 = 100 → 102 total.
+    # (shared-_t0 bug: inner exit overwrote outer's start → 2 + 88.)
+    assert sw.laps["a"] == pytest.approx(102.0)
+
+
+def test_perfcounters_snapshot_namespaces_timer_vs_counter():
+    """Regression: a counter and a timer sharing a name used to clobber
+    each other in the flat snapshot; timers now get ``_seconds``."""
+    from repro.util.timing import PerfCounters, timer_key
+
+    pc = PerfCounters()
+    pc.incr("gemm", 3)
+    pc.add_time("gemm", 0.5)
+    snap = pc.snapshot()
+    assert snap["gemm"] == 3
+    assert snap["gemm_seconds"] == pytest.approx(0.5)
+    assert timer_key("gemm") == "gemm_seconds"
+    assert timer_key("gemm_seconds") == "gemm_seconds"  # idempotent
+
+
+def test_perfcounters_timer_exception_safe_and_reentrant(monkeypatch):
+    from repro.util import timing as timing_mod
+    from repro.util.timing import PerfCounters
+
+    pc = PerfCounters()
+    with pytest.raises(RuntimeError):
+        with pc.time("t"):
+            raise RuntimeError("boom")
+    assert pc.timers["t"] >= 0.0
+
+    clock = iter([0.0, 1.0, 3.0, 7.0])
+    monkeypatch.setattr(timing_mod.time, "perf_counter", lambda: next(clock))
+    pc = PerfCounters()
+    timer = pc.time("t")
+    with timer:
+        with timer:
+            pass
+    assert pc.timers["t"] == pytest.approx((3.0 - 1.0) + (7.0 - 0.0))
+
+
+def test_perfcounters_reset_and_report():
+    from repro.util.timing import PerfCounters
+
+    pc = PerfCounters()
+    pc.incr("hits")
+    pc.add_time("gemm", 0.1)
+    assert "hits" in pc.report() and "gemm" in pc.report()
+    pc.reset()
+    assert pc.snapshot() == {}
+
+
 # --------------------------------------------------------------------- #
 # error hierarchy
 # --------------------------------------------------------------------- #
