@@ -1,0 +1,154 @@
+"""End-to-end smoke test for ``python -m repro serve``.
+
+Boots the real server as a subprocess on an ephemeral port, then checks
+the acceptance criteria that only hold across a process boundary:
+
+* concurrent ``/search`` responses are element-identical to an
+  in-process :class:`~repro.retrieval.engine.LSIRetrieval` built from
+  the same corpus and parameters;
+* ``/add`` bumps the epoch and every later response reflects it;
+* SIGINT drains cleanly — queued work finishes, the process prints
+  ``drained cleanly`` and exits 0.
+
+Run directly (CI does)::
+
+    PYTHONPATH=src:benchmarks python benchmarks/server_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.corpus.med import MED_TOPICS
+from repro.retrieval.engine import LSIRetrieval
+from repro.server import ServerClient, state_from_texts
+
+K = 8
+THREADS = 8
+ROUNDS = 6  # each thread runs every query this many times
+
+QUERIES = [
+    "blood pressure age",
+    "oestrogen blood",
+    "age of children with blood abnormalities",
+    "renal flow",
+    "heart rate oxygen consumption",
+]
+
+
+def _corpus() -> list[str]:
+    extra = [
+        "renal blood flow measurement in anesthetized dogs",
+        "oxygen consumption and heart rate during moderate exercise",
+        "growth hormone levels in fasting children",
+        "spectral analysis of heart rate variability signals",
+    ]
+    return [MED_TOPICS[f"M{i}"] for i in range(1, 15)] + extra
+
+
+def _start_server(corpus_path: str) -> tuple[subprocess.Popen, int]:
+    """Launch ``repro serve`` on an ephemeral port; return (proc, port)."""
+    env = dict(os.environ, PYTHONPATH="src", PYTHONUNBUFFERED="1")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "--no-obs", "serve", corpus_path,
+            "-k", str(K), "--port", "0",
+            "--max-batch", "8", "--max-wait-ms", "2", "--queue-depth", "64",
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env,
+    )
+    banner = proc.stdout.readline().strip()
+    if "on http://" not in banner:
+        proc.kill()
+        raise SystemExit(f"unexpected server banner: {banner!r}")
+    port = int(banner.rsplit(":", 1)[1])
+    print(f"server up: {banner}")
+    return proc, port
+
+
+def main() -> None:
+    docs = _corpus()
+    # The CLI reads one document per line with ids L1..Ln; build the
+    # in-process reference through the same construction path.
+    reference = state_from_texts(
+        docs, [f"L{i + 1}" for i in range(len(docs))], k=K
+    )
+    engine = LSIRetrieval(reference.current().model)
+    expected = {q: engine.search(q, top=5) for q in QUERIES}
+
+    with tempfile.TemporaryDirectory() as tmp:
+        corpus_path = os.path.join(tmp, "corpus.txt")
+        with open(corpus_path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(line.replace("\n", " ") for line in docs))
+
+        proc, port = _start_server(corpus_path)
+        try:
+            client = ServerClient(port=port)
+            health = client.healthz()
+            assert health["n_documents"] == len(docs), health
+
+            # Concurrent load: every thread replays every query and
+            # checks element-identical results against the engine.
+            def worker(seed: int) -> int:
+                rng = np.random.default_rng(seed)
+                checked = 0
+                for _ in range(ROUNDS):
+                    q = QUERIES[rng.integers(len(QUERIES))]
+                    got = client.search_pairs(q, top=5)
+                    want = [(int(j), float(s)) for j, s in expected[q]]
+                    assert [j for j, _ in got] == [j for j, _ in want], (
+                        f"doc order diverged for {q!r}: {got} != {want}"
+                    )
+                    np.testing.assert_allclose(
+                        [s for _, s in got], [s for _, s in want],
+                        rtol=0, atol=1e-12,
+                    )
+                    checked += 1
+                return checked
+
+            with ThreadPoolExecutor(max_workers=THREADS) as pool:
+                total = sum(pool.map(worker, range(THREADS)))
+            print(f"parity: {total} concurrent responses identical to engine")
+
+            stats = client.stats()
+            batches = stats["metrics"]["counters"].get("server.batches_total", 0)
+            assert batches >= 1, stats["metrics"]
+            print(f"batching: {total} requests served in {batches} batches")
+
+            # Live update: one /add must bump the epoch everywhere.
+            added = client.add(
+                ["regression analysis of renal blood flow data"], ["NEW1"]
+            )
+            assert added["epoch"] == 1 and added["n_documents"] == len(docs) + 1, added
+            after = client.search("renal flow", top=5)
+            assert after["epoch"] == 1 and after["n_documents"] == len(docs) + 1, after
+            print(f"live add: epoch 0 -> {added['epoch']}, "
+                  f"{added['n_documents']} documents")
+
+            # Graceful drain on SIGINT.
+            proc.send_signal(signal.SIGINT)
+            out, _ = proc.communicate(timeout=30)
+            assert proc.returncode == 0, (proc.returncode, out)
+            assert "drained cleanly" in out, out
+            print("drain: exit 0, drained cleanly")
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=10)
+
+    print("server smoke: OK")
+
+
+if __name__ == "__main__":
+    t0 = time.perf_counter()
+    main()
+    print(f"({time.perf_counter() - t0:.1f}s)")

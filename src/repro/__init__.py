@@ -43,9 +43,11 @@ from repro.core import (
 )
 from repro.errors import (
     ConvergenceError,
+    DeadlineExceededError,
     EvaluationError,
     ModelStateError,
     ReproError,
+    ServerOverloadError,
     ShapeError,
     SparseFormatError,
     VocabularyError,
@@ -95,4 +97,6 @@ __all__ = [
     "VocabularyError",
     "ModelStateError",
     "EvaluationError",
+    "ServerOverloadError",
+    "DeadlineExceededError",
 ]

@@ -18,6 +18,10 @@ terms or documents").  This CLI is the same toolbox over this library:
     Print a database's dimensions, weighting, and provenance.
 ``terms``
     Nearest-term (thesaurus) lookup.
+``serve``
+    Run the long-lived async query server (:mod:`repro.server`):
+    micro-batched ``/search``, live ``/add`` through the index manager,
+    ``/healthz`` and ``/stats``, graceful drain on SIGINT/SIGTERM.
 ``stats``
     Print the observability snapshot: counters, gauges, latency
     histograms, and recent tracing spans.
@@ -128,6 +132,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_terms.add_argument("term")
     p_terms.add_argument("-n", "--top", type=int, default=10)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the async query server (micro-batching, live /add)",
+    )
+    p_serve.add_argument(
+        "source", type=pathlib.Path,
+        help=".txt directory / one-doc-per-line file (live-updatable) "
+             "or a saved .npz database (read-only)",
+    )
+    p_serve.add_argument("-k", "--factors", type=int, default=50)
+    p_serve.add_argument("--scheme", default="log_entropy")
+    p_serve.add_argument("--min-doc-freq", type=int, default=1)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080,
+                         help="TCP port (0 picks an ephemeral port)")
+    p_serve.add_argument("--max-batch", type=int, default=32,
+                         help="largest micro-batch coalesced into one GEMM")
+    p_serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                         help="batching window: how long an open batch "
+                              "waits for more requests")
+    p_serve.add_argument("--queue-depth", type=int, default=256,
+                         help="bounded admission queue (excess → 429)")
+    p_serve.add_argument("--shards", type=int, default=1,
+                         help="document shards per batched GEMM")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="threads scoring shards (default sequential)")
+    p_serve.add_argument("--timeout-ms", type=float, default=None,
+                         help="default per-request deadline")
+    p_serve.add_argument("--distortion-budget", type=float, default=0.1,
+                         help="folded fraction before /add consolidates")
+
     p_stats = sub.add_parser(
         "stats", help="print the observability snapshot"
     )
@@ -222,6 +257,69 @@ def _cmd_terms(args, out) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    """Build the serving state and run the async server until SIGINT."""
+    import asyncio
+    import signal
+
+    from repro.server import (
+        ServerConfig,
+        QueryService,
+        ServingState,
+        start_http_server,
+        state_from_texts,
+    )
+
+    if args.source.suffix == ".npz":
+        state = ServingState.for_model(load_model(args.source))
+    else:
+        docs, ids = _read_documents(args.source)
+        state = state_from_texts(
+            docs, ids,
+            k=args.factors,
+            scheme=args.scheme,
+            min_doc_freq=args.min_doc_freq,
+            distortion_budget=args.distortion_budget,
+        )
+    snapshot = state.current()
+    config = ServerConfig(
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_depth=args.queue_depth,
+        shards=args.shards,
+        workers=args.workers,
+        default_timeout_ms=args.timeout_ms,
+    )
+
+    async def run() -> None:
+        service = QueryService(state, config)
+        server = await start_http_server(service, args.host, args.port)
+        port = server.sockets[0].getsockname()[1]
+        print(
+            f"serving {snapshot.n_documents} documents (k={snapshot.k}, "
+            f"{'live-updatable' if state.writable else 'read-only'}) "
+            f"on http://{args.host}:{port}",
+            file=out, flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # platforms without loop signals
+                signal.signal(sig, lambda *_: stop.set())
+        await stop.wait()
+        print("draining: rejecting new requests, flushing the queue",
+              file=out, flush=True)
+        server.close()
+        await server.wait_closed()
+        await service.drain()
+        print("drained cleanly", file=out, flush=True)
+
+    asyncio.run(run())
+    return 0
+
+
 def _state_path(args) -> pathlib.Path:
     return args.obs_state if args.obs_state is not None else obs.export.default_state_path()
 
@@ -261,6 +359,7 @@ _COMMANDS = {
     "add": _cmd_add,
     "info": _cmd_info,
     "terms": _cmd_terms,
+    "serve": _cmd_serve,
     "stats": _cmd_stats,
 }
 

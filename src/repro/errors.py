@@ -17,6 +17,8 @@ __all__ = [
     "VocabularyError",
     "ModelStateError",
     "EvaluationError",
+    "ServerOverloadError",
+    "DeadlineExceededError",
 ]
 
 
@@ -59,3 +61,23 @@ class ModelStateError(ReproError, RuntimeError):
 
 class EvaluationError(ReproError, ValueError):
     """Inconsistent relevance judgments or malformed retrieval runs."""
+
+
+class ServerOverloadError(ReproError, RuntimeError):
+    """The query service refused a request to keep its queue bounded.
+
+    Attributes
+    ----------
+    reason:
+        Why admission failed: ``"queue_full"`` (the bounded request
+        queue is at capacity — HTTP 429) or ``"draining"`` (the server
+        is shutting down and no longer accepts work — HTTP 503).
+    """
+
+    def __init__(self, message: str, *, reason: str = "queue_full"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A request's deadline expired before the service could answer it."""

@@ -55,16 +55,29 @@ def tridiag_eigh(
     if n == 1:
         return d, z
 
-    # Running matrix scale for the split test (EISPACK's ``tst1``).  The
+    # Wholly subnormal matrices stall the QL sweep: the rotation
+    # products underflow, so e never shrinks and neither split test can
+    # fire.  Upscale by an exact power of two into the normal range and
+    # scale the eigenvalues back at the end — ldexp is lossless in both
+    # directions, so normal-range inputs are untouched bit-for-bit.
+    scale = max(np.max(np.abs(d)), np.max(np.abs(e)))
+    scale_exp = 0
+    if 0.0 < scale < np.finfo(float).tiny:
+        scale_exp = int(np.frexp(scale)[1])  # scale = frac * 2**scale_exp
+        d = np.ldexp(d, -scale_exp)
+        e = np.ldexp(e, -scale_exp)
+
+    # Whole-matrix scale for the split test (EISPACK's ``tst1``).  The
     # purely local criterion |e[m]| <= eps·(|d[m]|+|d[m+1]|) never fires
-    # when a whole trailing block is tiny (e.g. zero diagonal with
-    # subnormal couplings): the rotations underflow to no-ops and the
-    # sweep stalls.  Splitting additionally on |e[m]| negligible against
-    # the largest |d[l]|+|e[l]| seen so far is backward stable — it
-    # perturbs T by at most eps·‖T‖ — and unsticks those blocks.
-    tst1 = 0.0
+    # when a whole block is tiny (e.g. zero diagonal with subnormal
+    # couplings): the rotations underflow to no-ops and the sweep
+    # stalls.  Splitting additionally on |e[m]| negligible against the
+    # largest |d[l]|+|e[l]| anywhere in the matrix is backward stable —
+    # it perturbs T by at most eps·‖T‖ — and unsticks those blocks.
+    # (Computed globally up front, not as a running max: a stalling
+    # block can precede the entry that sets the matrix scale.)
+    tst1 = float(np.max(np.abs(d) + np.abs(e)))
     for l in range(n):
-        tst1 = max(tst1, abs(d[l]) + abs(e[l]))
         for sweep in range(_MAX_QL_SWEEPS + 1):
             # Find a small off-diagonal element to split the problem.
             m = l
@@ -116,4 +129,7 @@ def tridiag_eigh(
                 e[m] = 0.0
     # Sort ascending, reorder eigenvectors to match.
     order = np.argsort(d, kind="stable")
-    return d[order], z[:, order]
+    w = d[order]
+    if scale_exp:
+        w = np.ldexp(w, scale_exp)
+    return w, z[:, order]

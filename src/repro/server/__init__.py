@@ -1,0 +1,52 @@
+"""The async query service: the layer that *serves* the fast path.
+
+PR 1 made a single process score queries as fast as the hardware allows
+(cached :class:`~repro.serving.index.DocumentIndex`, one GEMM kernel,
+argpartition top-k); PR 2 made every stage observable.  Nothing served
+them: each ``repro query`` invocation reloaded the model, and the
+batched GEMM only helped callers who arrived pre-batched.  This package
+is the long-lived service the ROADMAP's "heavy traffic" north star
+needs, stdlib-asyncio only:
+
+* :mod:`repro.server.state` — :class:`EpochSnapshot` /
+  :class:`ServingState`, the atomic reader/writer model handoff that
+  lets live additions (fold-in → §4.3-policy consolidation through the
+  index manager) swap epochs under in-flight queries;
+* :mod:`repro.server.batching` — :class:`MicroBatcher`, the dynamic
+  micro-batching scheduler that coalesces concurrent single queries
+  within a ``max_batch`` / ``max_wait_ms`` window into one batched
+  GEMM, preserving per-request ``top``/``threshold`` and element-
+  identical results vs. the unbatched engine;
+* :mod:`repro.server.admission` — :class:`AdmissionController`, the
+  bounded queue with fast overload rejection, per-request deadlines,
+  and the drain latch for graceful shutdown;
+* :mod:`repro.server.service` — :class:`QueryService`, the transport-
+  independent composition of the three, emitting ``server.*`` metrics
+  and spans;
+* :mod:`repro.server.http` — the stdlib HTTP/JSON front end
+  (``/search``, ``/add``, ``/healthz``, ``/stats``);
+* :mod:`repro.server.client` — :class:`ServerClient`, a small blocking
+  client mapping HTTP failures back onto the library's exceptions.
+
+Run one with ``python -m repro serve <docs-or-model> --port 8080``.
+"""
+
+from repro.server.admission import AdmissionController
+from repro.server.batching import MicroBatcher, SearchRequest
+from repro.server.client import ServerClient
+from repro.server.http import start_http_server
+from repro.server.service import QueryService, ServerConfig
+from repro.server.state import EpochSnapshot, ServingState, state_from_texts
+
+__all__ = [
+    "AdmissionController",
+    "MicroBatcher",
+    "SearchRequest",
+    "ServerClient",
+    "start_http_server",
+    "QueryService",
+    "ServerConfig",
+    "EpochSnapshot",
+    "ServingState",
+    "state_from_texts",
+]

@@ -1,0 +1,85 @@
+"""Admission control: bounded queue, deadlines, backpressure, drain.
+
+Under overload a naive async server accepts everything and dies of
+unbounded queue growth; the production-correct behaviour is to bound
+the number of admitted-but-unfinished requests and reject the rest
+*fast* (a 429 costs microseconds, a timed-out request costs the
+client's whole patience).  :class:`AdmissionController` is that bound:
+one counter of requests admitted and not yet released, checked before a
+request may enter the batching queue, plus the drain latch shutdown
+flips so new work is refused (503) while queued work finishes.
+
+Everything here runs on the event-loop thread, so plain ints suffice —
+no locks on the admission fast path.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ServerOverloadError
+from repro.obs.metrics import registry
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Bounded admission with per-request deadlines and a drain latch."""
+
+    def __init__(self, queue_depth: int = 256):
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.queue_depth = queue_depth
+        self._pending = 0
+        self._draining = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def pending(self) -> int:
+        """Requests admitted and not yet released."""
+        return self._pending
+
+    @property
+    def draining(self) -> bool:
+        """Whether the drain latch has been flipped."""
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Refuse all new work from now on (queued work still finishes)."""
+        self._draining = True
+        registry.set_gauge("server.draining", 1.0)
+
+    # ------------------------------------------------------------------ #
+    def admit(self) -> None:
+        """Admit one request or raise :class:`ServerOverloadError`.
+
+        The queue-full rejection is the backpressure path: it keeps the
+        service's memory bounded at ``queue_depth`` outstanding requests
+        no matter the offered load.
+        """
+        if self._draining:
+            registry.inc("server.rejected_draining")
+            raise ServerOverloadError(
+                "server is draining and accepts no new requests",
+                reason="draining",
+            )
+        if self._pending >= self.queue_depth:
+            registry.inc("server.rejected_queue_full")
+            raise ServerOverloadError(
+                f"request queue is full ({self.queue_depth} outstanding)",
+                reason="queue_full",
+            )
+        self._pending += 1
+        registry.set_gauge("server.queue_depth", self._pending)
+
+    def release(self) -> None:
+        """Mark one admitted request finished (success or failure)."""
+        self._pending -= 1
+        registry.set_gauge("server.queue_depth", self._pending)
+
+    @staticmethod
+    def deadline_from(timeout_ms: float | None) -> float | None:
+        """Absolute monotonic deadline for a relative timeout (or None)."""
+        if timeout_ms is None:
+            return None
+        return time.monotonic() + max(0.0, float(timeout_ms)) / 1000.0

@@ -1,0 +1,194 @@
+"""Dynamic micro-batching: coalesce concurrent queries into one GEMM.
+
+The fast path (PR 1) made *batched* scoring cheap — one GEMM scores a
+whole query matrix — but only for callers who arrive pre-batched.  A
+server's callers arrive one by one; this module creates the batches,
+the same dynamic-batching shape inference servers use: the scheduler
+takes the first waiting request, then keeps collecting until either
+``max_batch`` requests are in hand or ``max_wait_ms`` has elapsed since
+the batch opened, and flushes the whole set through one
+:meth:`EpochSnapshot.score_batch` call.  Per-request ``top`` /
+``threshold`` are preserved because ranking happens per score row with
+the same :func:`~repro.serving.topk.ranked_pairs` the unbatched engine
+uses — results are element-identical to ``LSIRetrieval.search``.
+
+The scheduler awaits each flush (the scoring runs on an executor thread
+so the event loop stays responsive), which makes batching *adaptive*:
+while a GEMM is in flight, arriving requests pile up and form a larger
+next batch — exactly the behaviour that keeps throughput high under
+load.  Memory stays bounded because admission caps outstanding
+requests before they ever reach this queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DeadlineExceededError
+from repro.obs.metrics import registry
+from repro.obs.tracing import span
+from repro.server.state import EpochSnapshot, ServingState
+from repro.serving.topk import ranked_pairs
+
+__all__ = ["SearchRequest", "MicroBatcher", "BATCH_SIZE_BUCKETS"]
+
+#: Batch-size histogram boundaries (requests per flush), powers of two.
+BATCH_SIZE_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+@dataclass
+class SearchRequest:
+    """One admitted query waiting for (or being) scored."""
+
+    query: object  # str | token sequence
+    top: int | None = None
+    threshold: float | None = None
+    deadline: float | None = None  # absolute time.monotonic() seconds
+    enqueued: float = field(default_factory=time.monotonic)
+    future: asyncio.Future = None
+
+
+class MicroBatcher:
+    """The scheduler task that turns a request stream into batches."""
+
+    def __init__(
+        self,
+        state: ServingState,
+        *,
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+        shards: int = 1,
+        workers: int | None = None,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        self.state = state
+        self.max_batch = max_batch
+        self.max_wait = max_wait_ms / 1000.0
+        self.shards = shards
+        self.workers = workers
+        self._queue: asyncio.Queue[SearchRequest] = asyncio.Queue()
+        self._task: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Spawn the scheduler task on the running event loop."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._run(), name="repro-server-batcher"
+            )
+
+    def submit(self, request: SearchRequest) -> None:
+        """Enqueue an admitted request (event-loop thread only)."""
+        self._queue.put_nowait(request)
+
+    async def drain(self) -> None:
+        """Wait until every queued request has been flushed."""
+        await self._queue.join()
+
+    async def stop(self) -> None:
+        """Cancel the scheduler task (call after :meth:`drain`)."""
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+    # ------------------------------------------------------------------ #
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = [await self._queue.get()]
+            window_closes = loop.time() + self.max_wait
+            while len(batch) < self.max_batch:
+                remaining = window_closes - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._queue.get(), remaining)
+                    )
+                except (asyncio.TimeoutError, TimeoutError):
+                    break
+            try:
+                await self._flush(batch)
+            finally:
+                for _ in batch:
+                    self._queue.task_done()
+
+    async def _flush(self, batch: list[SearchRequest]) -> None:
+        """Score one batch against the current epoch and resolve futures."""
+        now = time.monotonic()
+        live: list[SearchRequest] = []
+        for req in batch:
+            registry.observe("server.queue_wait_seconds", now - req.enqueued)
+            if req.deadline is not None and now > req.deadline:
+                registry.inc("server.deadline_expired")
+                if not req.future.done():
+                    req.future.set_exception(
+                        DeadlineExceededError(
+                            "request spent its deadline waiting in the "
+                            "batch queue"
+                        )
+                    )
+            else:
+                live.append(req)
+        registry.inc("server.batches_total")
+        registry.observe(
+            "server.batch_size", len(live), boundaries=BATCH_SIZE_BUCKETS
+        )
+        if not live:
+            return
+        snapshot = self.state.current()
+        loop = asyncio.get_running_loop()
+        try:
+            with span("server.batch", size=len(live), epoch=snapshot.epoch):
+                responses = await loop.run_in_executor(
+                    None, self._score_batch, snapshot, live
+                )
+        except Exception as exc:  # noqa: BLE001 — fail the batch, not the server
+            for req in live:
+                if not req.future.done():
+                    req.future.set_exception(exc)
+            return
+        for req, response in zip(live, responses):
+            if not req.future.done():
+                req.future.set_result(response)
+
+    def _score_batch(
+        self, snapshot: EpochSnapshot, batch: list[SearchRequest]
+    ) -> list[dict]:
+        """Project + score + rank one batch (runs on an executor thread)."""
+        t0 = time.perf_counter()
+        Q = np.stack([snapshot.project(req.query) for req in batch])
+        with span("server.score", size=len(batch)):
+            S = snapshot.score_batch(
+                Q, shards=self.shards, workers=self.workers
+            )
+        registry.observe(
+            "server.batch_gemm_seconds", time.perf_counter() - t0
+        )
+        doc_ids = snapshot.model.doc_ids
+        responses = []
+        for req, row in zip(batch, S):
+            # Zero-vector (all-OOV) queries score exactly 0 everywhere on
+            # this path too, so the engine's short-circuit needs no mirror.
+            pairs = ranked_pairs(row, top=req.top, threshold=req.threshold)
+            responses.append(
+                {
+                    "epoch": snapshot.epoch,
+                    "n_documents": snapshot.n_documents,
+                    "results": [
+                        [j, score, doc_ids[j]] for j, score in pairs
+                    ],
+                }
+            )
+        return responses

@@ -1,0 +1,119 @@
+"""A small blocking client for the query server (stdlib ``http.client``).
+
+The counterpart to :mod:`repro.server.http`: one connection per call,
+JSON in and out, server-side failures mapped back onto the library's
+exception hierarchy (429 → :class:`ServerOverloadError` with
+``reason="queue_full"``, 503 → ``reason="draining"``, 504 →
+:class:`DeadlineExceededError`, other non-2xx → :class:`ReproError`),
+so a caller's retry/backoff logic reads the same whether it drives the
+engine in-process or over the wire.
+
+>>> client = ServerClient(port=8080)
+>>> client.search("blood pressure age", top=5)["results"]
+[[3, 0.89, 'M4'], ...]
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Sequence
+
+from repro.errors import DeadlineExceededError, ReproError, ServerOverloadError
+
+__all__ = ["ServerClient"]
+
+
+class ServerClient:
+    """Blocking JSON client for one server address."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 30.0
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        finally:
+            conn.close()
+        try:
+            data = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            data = {"error": raw.decode("utf-8", "replace")}
+        if response.status == 429:
+            raise ServerOverloadError(
+                data.get("error", "overloaded"), reason="queue_full"
+            )
+        if response.status == 503:
+            raise ServerOverloadError(
+                data.get("error", "draining"), reason="draining"
+            )
+        if response.status == 504:
+            raise DeadlineExceededError(data.get("error", "deadline exceeded"))
+        if response.status >= 400:
+            raise ReproError(
+                f"server returned {response.status}: "
+                f"{data.get('error', repr(raw[:200]))}"
+            )
+        return data
+
+    # ------------------------------------------------------------------ #
+    def search(
+        self,
+        query: str | Sequence[str],
+        *,
+        top: int | None = None,
+        threshold: float | None = None,
+        timeout_ms: float | None = None,
+    ) -> dict:
+        """Ranked search; ``results`` rows are ``[index, score, doc_id]``."""
+        payload: dict = {"query": query}
+        if top is not None:
+            payload["top"] = top
+        if threshold is not None:
+            payload["threshold"] = threshold
+        if timeout_ms is not None:
+            payload["timeout_ms"] = timeout_ms
+        return self._request("POST", "/search", payload)
+
+    def search_pairs(
+        self,
+        query: str | Sequence[str],
+        *,
+        top: int | None = None,
+        threshold: float | None = None,
+    ) -> list[tuple[int, float]]:
+        """Engine-shaped ``(doc_index, score)`` pairs, for parity checks."""
+        data = self.search(query, top=top, threshold=threshold)
+        return [(int(j), float(score)) for j, score, _ in data["results"]]
+
+    def add(
+        self, texts: Sequence[str], doc_ids: Sequence[str] | None = None
+    ) -> dict:
+        """Live-add documents; returns the new epoch description."""
+        payload: dict = {"texts": list(texts)}
+        if doc_ids is not None:
+            payload["doc_ids"] = list(doc_ids)
+        return self._request("POST", "/add", payload)
+
+    def healthz(self) -> dict:
+        """The server's liveness/readiness summary."""
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        """The server's observability snapshot."""
+        return self._request("GET", "/stats")

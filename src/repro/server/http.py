@@ -1,0 +1,177 @@
+"""Minimal HTTP/JSON front end over asyncio streams (stdlib only).
+
+The service speaks just enough HTTP/1.1 for production clients and
+``curl``: request line, headers, ``Content-Length`` body, JSON in and
+out, one request per connection.  No framework, no dependency — the
+parser is ~40 lines over :func:`asyncio.start_server` readers.
+
+Routes
+------
+``POST /search``  ``{"query": str|[tokens], "top"?, "threshold"?, "timeout_ms"?}``
+    → ``{"epoch", "n_documents", "results": [[index, score, doc_id], ...]}``
+``POST /add``     ``{"texts": [str, ...], "doc_ids"?: [str, ...]}``
+    → ``{"epoch", "n_documents", "action", "reason"}``
+``GET /healthz``  liveness + epoch + queue depth
+``GET /stats``    the obs-export snapshot (metrics registry + spans)
+
+Status mapping: overload → **429**, draining → **503**, expired
+deadline → **504**, malformed/failed requests → **400**, oversized
+bodies → **413**, unknown routes → **404**.  Overload rejections are
+written and the connection closed before any scoring work happens —
+that is the backpressure contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.errors import DeadlineExceededError, ReproError, ServerOverloadError
+from repro.server.service import QueryService
+
+__all__ = ["start_http_server", "MAX_BODY_BYTES"]
+
+#: Largest accepted request body; bounds per-connection memory.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, dict] | None:
+    """Parse one request: (method, path, json_body).  None on EOF/garbage."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not line.strip():
+        return None
+    parts = line.decode("latin-1").split()
+    if len(parts) < 2:
+        return None
+    method, path = parts[0].upper(), parts[1]
+    headers: dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = raw.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise ReproError("invalid Content-Length header")
+    if length > MAX_BODY_BYTES:
+        raise _TooLarge()
+    body: dict = {}
+    if length:
+        payload = await reader.readexactly(length)
+        try:
+            body = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"request body is not valid JSON: {exc}")
+        if not isinstance(body, dict):
+            raise ReproError("request body must be a JSON object")
+    return method, path, body
+
+
+class _TooLarge(Exception):
+    """Internal marker: body exceeded :data:`MAX_BODY_BYTES`."""
+
+
+def _respond(writer: asyncio.StreamWriter, status: int, payload: dict) -> None:
+    body = json.dumps(payload).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    ).encode("latin-1")
+    writer.write(head + body)
+
+
+async def _dispatch(service: QueryService, method: str, path: str, body: dict):
+    """Route one parsed request; returns (status, payload)."""
+    path = path.split("?", 1)[0]
+    if method == "GET" and path == "/healthz":
+        return 200, service.healthz()
+    if method == "GET" and path == "/stats":
+        return 200, service.stats()
+    if method == "POST" and path == "/search":
+        if "query" not in body:
+            return 400, {"error": "missing 'query'"}
+        result = await service.search(
+            body["query"],
+            top=body.get("top"),
+            threshold=body.get("threshold"),
+            timeout_ms=body.get("timeout_ms"),
+        )
+        return 200, result
+    if method == "POST" and path == "/add":
+        texts = body.get("texts")
+        if not isinstance(texts, list) or not texts:
+            return 400, {"error": "'texts' must be a non-empty list"}
+        result = await service.add(texts, body.get("doc_ids"))
+        return 200, result
+    return 404, {"error": f"no route for {method} {path}"}
+
+
+async def _handle(
+    service: QueryService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        try:
+            parsed = await _read_request(reader)
+            if parsed is None:
+                return
+            status, payload = await _dispatch(service, *parsed)
+        except ServerOverloadError as exc:
+            status = 503 if exc.reason == "draining" else 429
+            payload = {"error": str(exc), "reason": exc.reason}
+        except DeadlineExceededError as exc:
+            status, payload = 504, {"error": str(exc)}
+        except _TooLarge:
+            status, payload = 413, {
+                "error": f"body exceeds {MAX_BODY_BYTES} bytes"
+            }
+        except (ReproError, asyncio.IncompleteReadError) as exc:
+            status, payload = 400, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 — a request must not kill the server
+            status, payload = 500, {"error": repr(exc)}
+        _respond(writer, status, payload)
+        await writer.drain()
+    except ConnectionError:
+        pass  # client went away mid-response
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+async def start_http_server(
+    service: QueryService, host: str = "127.0.0.1", port: int = 8080
+) -> asyncio.AbstractServer:
+    """Bind and start serving; ``port=0`` picks an ephemeral port.
+
+    The bound port is ``server.sockets[0].getsockname()[1]``.  Callers
+    own shutdown ordering: close this server (stop accepting), then
+    ``await service.drain()`` (finish queued work).
+    """
+    await service.start()
+    return await asyncio.start_server(
+        lambda r, w: _handle(service, r, w), host, port
+    )

@@ -1,0 +1,175 @@
+"""The query service: admission → micro-batching → epoch state, wired.
+
+:class:`QueryService` is the transport-independent core of the server —
+the HTTP front end (:mod:`repro.server.http`), the benchmarks, and the
+integration tests all drive this one object:
+
+* :meth:`search` admits a request (bounded queue, fast 429-style
+  rejection on overload), enqueues it with the micro-batcher, and
+  awaits its row of the batched GEMM — results element-identical to
+  ``LSIRetrieval.search``;
+* :meth:`add` serializes document additions through the epoch-swapped
+  :class:`~repro.server.state.ServingState` (fold-in → §4.3-policy
+  consolidation via the index manager) on an executor thread, so the
+  event loop keeps serving while the SVD machinery runs;
+* :meth:`drain` is graceful shutdown: flip the admission latch (new
+  work → 503), flush every queued request, stop the scheduler.
+
+Every stage reports through :data:`repro.obs.metrics.registry` under
+``server.*`` — request/rejection counters, queue-wait and batch-GEMM
+latency histograms, the batch-size distribution, and epoch gauges —
+all visible via ``/stats`` or ``python -m repro stats``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.obs.export import SCHEMA
+from repro.obs.metrics import registry
+from repro.obs.tracing import recent_spans
+from repro.server.admission import AdmissionController
+from repro.server.batching import MicroBatcher, SearchRequest
+from repro.server.state import ServingState
+
+__all__ = ["ServerConfig", "QueryService"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables for one service instance (CLI flags map 1:1 onto these).
+
+    ``max_wait_ms`` is the batching window: how long the scheduler holds
+    an open batch hoping for more requests.  Larger windows mean larger
+    batches (better GEMM amortization), at the cost of adding up to the
+    window to an isolated request's latency.
+    """
+
+    max_batch: int = 32
+    max_wait_ms: float = 2.0
+    queue_depth: int = 256
+    shards: int = 1
+    workers: int | None = None
+    default_timeout_ms: float | None = None
+    query_cache_size: int = 256
+
+
+class QueryService:
+    """Admission-controlled, micro-batched query service over one state."""
+
+    def __init__(self, state: ServingState, config: ServerConfig | None = None):
+        self.state = state
+        self.config = config or ServerConfig()
+        self.admission = AdmissionController(self.config.queue_depth)
+        self.batcher = MicroBatcher(
+            state,
+            max_batch=self.config.max_batch,
+            max_wait_ms=self.config.max_wait_ms,
+            shards=self.config.shards,
+            workers=self.config.workers,
+        )
+        self._add_lock = asyncio.Lock()
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Start the batching scheduler (idempotent)."""
+        if not self._started:
+            self.batcher.start()
+            self._started = True
+            registry.set_gauge("server.draining", 0.0)
+
+    async def drain(self) -> None:
+        """Graceful shutdown: reject new work, finish queued work, stop."""
+        self.admission.begin_drain()
+        await self.batcher.drain()
+        await self.batcher.stop()
+        self._started = False
+
+    @property
+    def draining(self) -> bool:
+        """Whether the service has begun (or finished) draining."""
+        return self.admission.draining
+
+    # ------------------------------------------------------------------ #
+    async def search(
+        self,
+        query,
+        *,
+        top: int | None = None,
+        threshold: float | None = None,
+        timeout_ms: float | None = None,
+    ) -> dict:
+        """One ranked search, answered from a coalesced batch.
+
+        Raises :class:`~repro.errors.ServerOverloadError` when the
+        bounded queue is full or the service is draining, and
+        :class:`~repro.errors.DeadlineExceededError` when the request's
+        deadline expires before its batch is scored.
+        """
+        registry.inc("server.requests_total")
+        self.admission.admit()
+        t0 = time.perf_counter()
+        try:
+            request = SearchRequest(
+                query=query,
+                top=top,
+                threshold=threshold,
+                deadline=AdmissionController.deadline_from(
+                    timeout_ms
+                    if timeout_ms is not None
+                    else self.config.default_timeout_ms
+                ),
+                future=asyncio.get_running_loop().create_future(),
+            )
+            self.batcher.submit(request)
+            return await request.future
+        finally:
+            self.admission.release()
+            registry.observe(
+                "server.request_seconds", time.perf_counter() - t0
+            )
+
+    async def add(
+        self, texts: Sequence[str], doc_ids: Sequence[str] | None = None
+    ) -> dict:
+        """Add documents live; returns the new epoch description.
+
+        Updates are serialized (one writer at a time) and run on an
+        executor thread; readers never wait — in-flight batches finish
+        against their pinned epoch, later batches see the new one.
+        """
+        registry.inc("server.adds_total")
+        t0 = time.perf_counter()
+        async with self._add_lock:
+            loop = asyncio.get_running_loop()
+            result = await loop.run_in_executor(
+                None, self.state.add_texts, list(texts), doc_ids
+            )
+        registry.observe("server.add_seconds", time.perf_counter() - t0)
+        return result
+
+    # ------------------------------------------------------------------ #
+    def healthz(self) -> dict:
+        """Liveness/readiness summary for ``/healthz``."""
+        snapshot = self.state.current()
+        return {
+            "status": "draining" if self.admission.draining else "ok",
+            "epoch": snapshot.epoch,
+            "n_documents": snapshot.n_documents,
+            "queue_depth": self.admission.pending,
+            "queue_capacity": self.admission.queue_depth,
+            "writable": self.state.writable,
+        }
+
+    def stats(self) -> dict:
+        """The observability snapshot for ``/stats`` (obs-export schema)."""
+        return {
+            "schema": SCHEMA,
+            "server": self.healthz(),
+            "metrics": registry.snapshot(),
+            "spans": [s.to_dict() for s in recent_spans(50)],
+        }

@@ -1,0 +1,254 @@
+"""Epoch-swapped serving state: atomic reader/writer model handoff.
+
+The updating layer (§2.3 folding-in, §4 SVD-updating) replaces the
+*model object* on every maintenance action, and the serving cache
+enforces that by flagging superseded :class:`DocumentIndex` handles
+stale.  A long-lived server needs the complementary guarantee: queries
+that started before an update must be allowed to **finish** against the
+state they started on, while new queries see the new state — the
+classic epoch (RCU-style) handoff.
+
+:class:`EpochSnapshot` pins everything one batch of queries needs — the
+model, the precomputed document coordinates and norms, a per-epoch
+projected-query cache — into one immutable object.  :class:`ServingState`
+publishes the current snapshot behind a single attribute write (atomic
+under the GIL), so readers never lock; writers serialize on a mutex,
+route the addition through :class:`~repro.updating.manager.LSIIndexManager`
+(fold-in now, consolidate per the §4.3 drift policy), build the
+successor snapshot, and swap.  A snapshot deliberately scores through
+the raw kernel rather than :meth:`DocumentIndex.batch_scores`: the
+freshness check would reject exactly the in-flight-against-old-epoch
+reads this layer exists to permit, and the pinned arrays are immutable
+either way.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.model import LSIModel
+from repro.core.query import project_counts, query_counts
+from repro.errors import ReproError, ShapeError
+from repro.obs.metrics import registry
+from repro.parallel.pool import parallel_map
+from repro.serving.index import get_document_index
+from repro.serving.kernel import cosine_scores
+from repro.serving.querycache import QueryVectorCache
+from repro.updating.manager import LSIIndexManager
+
+__all__ = ["EpochSnapshot", "ServingState", "state_from_texts"]
+
+
+class EpochSnapshot:
+    """One immutable epoch of serving state: model + scoring arrays.
+
+    All queries of one micro-batch are projected and scored against a
+    single snapshot, so a response can never mix documents from two
+    epochs (no torn reads); the ``epoch`` and ``n_documents`` it reports
+    describe exactly the state it was computed on.
+    """
+
+    __slots__ = ("epoch", "model", "coords", "norms", "query_cache")
+
+    def __init__(self, epoch: int, model: LSIModel, *, query_cache_size: int = 256):
+        self.epoch = epoch
+        self.model = model
+        index = get_document_index(model, mode="scaled")
+        # Pin the arrays themselves: they stay valid even if the cache
+        # entry is evicted or the index handle later goes stale.
+        self.coords = index.coords
+        self.norms = index.norms
+        self.query_cache = QueryVectorCache(query_cache_size)
+
+    @property
+    def n_documents(self) -> int:
+        """Documents visible at this epoch."""
+        return self.coords.shape[0]
+
+    @property
+    def k(self) -> int:
+        """Dimensionality of the comparison space."""
+        return self.coords.shape[1]
+
+    # ------------------------------------------------------------------ #
+    def project(self, query) -> np.ndarray:
+        """Eq. 6 for one query (text or token sequence), cache-memoized.
+
+        Identical math to :meth:`LSIRetrieval.query_vector`: normalized
+        token counts key the per-epoch LRU, misses run the weighting
+        transform + ``U_k Σ_k⁻¹`` projection.
+        """
+        counts = query_counts(self.model, query)
+        key = QueryVectorCache.key_from_counts(counts)
+        qhat = self.query_cache.get(key)
+        if qhat is None:
+            qhat = project_counts(self.model, counts)
+            self.query_cache.put(key, qhat)
+        return qhat
+
+    def score_batch(
+        self,
+        Q: np.ndarray,
+        *,
+        shards: int = 1,
+        workers: int | None = None,
+    ) -> np.ndarray:
+        """Cosine of ``(q, k)`` query vectors with every document.
+
+        Row ``i`` is element-identical to the unbatched engine's
+        ``scores`` for query ``i``.  With ``shards > 1`` the document
+        rows are split into contiguous slices, each scored by its own
+        GEMM (optionally on a thread pool — NumPy releases the GIL), and
+        the column blocks are concatenated; per-element cosines depend
+        only on their own document row and query, so the sharded result
+        equals the flat one.
+        """
+        Q2 = np.atleast_2d(np.asarray(Q, dtype=np.float64))
+        if Q2.shape[1] != self.model.k:
+            raise ShapeError(
+                f"queries have {Q2.shape[1]} dims for k={self.model.k}"
+            )
+        Qs = Q2 * self.model.s  # "scaled" comparison space, as the engine
+        n = self.n_documents
+        if shards <= 1 or n == 0:
+            return cosine_scores(self.coords, Qs, norms=self.norms)
+        bounds = np.linspace(0, n, min(shards, n) + 1).astype(np.int64)
+        parts = [
+            (int(bounds[i]), int(bounds[i + 1]))
+            for i in range(len(bounds) - 1)
+        ]
+
+        def score_slice(lohi: tuple[int, int]) -> np.ndarray:
+            lo, hi = lohi
+            return cosine_scores(
+                self.coords[lo:hi], Qs, norms=self.norms[lo:hi]
+            )
+
+        blocks = parallel_map(score_slice, parts, workers=workers)
+        return np.concatenate(blocks, axis=1)
+
+
+class ServingState:
+    """The mutable holder a server reads snapshots from and writes through.
+
+    Two flavours:
+
+    * **manager-backed** (:meth:`for_manager`) — document additions run
+      through the :class:`LSIIndexManager` (fold-in immediately, §4.3
+      drift-policy consolidation when the planner says so) and publish a
+      new epoch;
+    * **static** (:meth:`for_model`) — serve a saved ``.npz`` model
+      read-only; :meth:`add_texts` raises.
+    """
+
+    def __init__(
+        self,
+        *,
+        manager: LSIIndexManager | None = None,
+        model: LSIModel | None = None,
+        query_cache_size: int = 256,
+    ):
+        if (manager is None) == (model is None):
+            raise ReproError("ServingState needs a manager or a model, not both")
+        self._manager = manager
+        self._query_cache_size = query_cache_size
+        self._write_lock = threading.Lock()
+        initial = manager.model if manager is not None else model
+        self._snapshot = EpochSnapshot(
+            0, initial, query_cache_size=query_cache_size
+        )
+        self._publish_gauges(self._snapshot)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_manager(cls, manager: LSIIndexManager, **kwargs) -> "ServingState":
+        """Live-updatable state around an existing index manager."""
+        return cls(manager=manager, **kwargs)
+
+    @classmethod
+    def for_model(cls, model: LSIModel, **kwargs) -> "ServingState":
+        """Read-only state around a fitted (e.g. loaded) model."""
+        return cls(model=model, **kwargs)
+
+    @property
+    def writable(self) -> bool:
+        """Whether :meth:`add_texts` is available."""
+        return self._manager is not None
+
+    def current(self) -> EpochSnapshot:
+        """The snapshot new work should run against (lock-free read)."""
+        return self._snapshot
+
+    # ------------------------------------------------------------------ #
+    def add_texts(
+        self, texts: Sequence[str], doc_ids: Sequence[str] | None = None
+    ) -> dict:
+        """Add documents through the manager and publish a new epoch.
+
+        Blocking (runs the fold-in / consolidation); the service calls
+        it from an executor thread.  In-flight readers keep scoring
+        their pinned snapshot; the swap is one attribute write.
+        """
+        if self._manager is None:
+            raise ReproError(
+                "server is read-only: serving a saved model, not a managed "
+                "index; restart with a document source to enable /add"
+            )
+        with self._write_lock:
+            event = self._manager.add_texts(list(texts), doc_ids)
+            fresh = EpochSnapshot(
+                self._snapshot.epoch + 1,
+                self._manager.model,
+                query_cache_size=self._query_cache_size,
+            )
+            self._snapshot = fresh  # the atomic reader/writer handoff
+            self._publish_gauges(fresh)
+        return {
+            "epoch": fresh.epoch,
+            "n_documents": fresh.n_documents,
+            "action": event.action,
+            "reason": event.reason,
+        }
+
+    @staticmethod
+    def _publish_gauges(snapshot: EpochSnapshot) -> None:
+        registry.set_gauge("server.epoch", snapshot.epoch)
+        registry.set_gauge("server.n_documents", snapshot.n_documents)
+
+
+def state_from_texts(
+    texts: Sequence[str],
+    doc_ids: Sequence[str] | None = None,
+    *,
+    k: int = 50,
+    scheme: str | object = "log_entropy",
+    min_doc_freq: int = 1,
+    distortion_budget: float = 0.1,
+    drift_cap: float = 2.0,
+    query_cache_size: int = 256,
+    seed: int = 0,
+) -> ServingState:
+    """Build a live-updatable :class:`ServingState` from raw documents.
+
+    One deterministic path shared by ``repro serve`` and the CI smoke
+    harness (which rebuilds the same model in-process to check the
+    served results byte-for-byte): parse → TDM → manager fit, with
+    ``k`` clamped to the matrix rank bound.
+    """
+    from repro.text.parser import ParsingRules
+    from repro.text.tdm import build_tdm
+
+    rules = ParsingRules(min_doc_freq=min_doc_freq)
+    tdm = build_tdm(list(texts), rules, doc_ids=doc_ids)
+    manager = LSIIndexManager(
+        tdm,
+        k=max(1, min(k, min(tdm.shape))),
+        scheme=scheme,
+        distortion_budget=distortion_budget,
+        drift_cap=drift_cap,
+        seed=seed,
+    )
+    return ServingState.for_manager(manager, query_cache_size=query_cache_size)

@@ -69,6 +69,13 @@ def cosine_scores(
         else:
             raw = Q2 @ M.T
     denom = qn[:, None] * norms[None, :]
+    if (qn > 0).all() and (norms > 0).all():
+        # Common case (no zero-norm rows): plain broadcast division.
+        # Each element is the same IEEE divide the masked path performs,
+        # so the scores are bit-identical — but without the three (q, n)
+        # temporaries boolean fancy-indexing allocates, which dominate
+        # the batched call once the GEMM itself is fast.
+        return raw / denom
     out = np.zeros_like(raw)
     ok = denom > 0
     out[ok] = raw[ok] / denom[ok]

@@ -21,6 +21,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro.obs.metrics import registry as _metrics_registry
 from repro.util.timing import serving_counters
 
 __all__ = ["QueryVectorCache"]
@@ -43,10 +44,13 @@ class QueryVectorCache:
 
         The sparse pattern (nonzero ids + their counts) plus the vector
         length, so models with different vocabularies cannot collide
-        through a shared cache.
+        through a shared cache.  Indices are cast to ``int64`` before
+        hashing: ``np.flatnonzero`` returns platform-``intp`` (32-bit on
+        some platforms), and ``tobytes()`` of differently sized ints
+        would key the same query differently across platforms.
         """
         c = np.asarray(counts)
-        nz = np.flatnonzero(c)
+        nz = np.flatnonzero(c).astype(np.int64, copy=False)
         return (c.size, nz.tobytes(), np.asarray(c[nz], dtype=np.float64).tobytes())
 
     def __len__(self) -> int:
@@ -70,7 +74,20 @@ class QueryVectorCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
+        self._publish_size()
 
     def clear(self) -> None:
         """Drop every entry (model changed, or tests)."""
         self._entries.clear()
+        self._publish_size()
+
+    def _publish_size(self) -> None:
+        """Expose occupancy as gauges (hit rate derives from the
+        ``serving.query_cache_hits``/``_misses`` counters).
+
+        Last-writer-wins across caches, which is the intended reading: a
+        serving process has one live cache (per engine or per epoch) and
+        ``/stats`` / ``repro stats`` report its current occupancy.
+        """
+        _metrics_registry.set_gauge("serving.query_cache_size", len(self._entries))
+        _metrics_registry.set_gauge("serving.query_cache_capacity", self.maxsize)

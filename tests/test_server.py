@@ -1,0 +1,445 @@
+"""Integration tests for the async query service (repro.server).
+
+The acceptance criteria under test, per the server's contracts:
+
+* **Parity** — batched, coalesced responses are element-identical to
+  ``LSIRetrieval.search`` for the same query and filters;
+* **Backpressure** — the bounded admission queue rejects overload fast
+  (429 semantics) instead of growing memory;
+* **Epoch consistency** — ``/add`` under concurrent query load never
+  produces torn reads: every response was computed wholly against one
+  epoch, and epochs map 1:1 onto document counts;
+* **Drain** — shutdown finishes every queued request and rejects new
+  ones (503 semantics);
+* **Transport** — the stdlib HTTP front end and blocking client round-
+  trip all of the above, with failures mapped onto the exception
+  hierarchy.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser
+from repro.corpus.med import MED_TOPICS
+from repro.errors import DeadlineExceededError, ReproError, ServerOverloadError
+from repro.obs.metrics import registry
+from repro.retrieval import LSIRetrieval
+from repro.server import (
+    MicroBatcher,
+    QueryService,
+    ServerClient,
+    ServerConfig,
+    ServingState,
+    start_http_server,
+    state_from_texts,
+)
+
+QUERIES = [
+    "blood pressure age",
+    "oestrogen blood",
+    "fast fourier transform",
+    "age of children with blood abnormalities",
+    "renal flow",
+    "heart rate oxygen",
+]
+
+
+def _texts() -> list[str]:
+    """A small deterministic corpus: MEDLINE topics plus filler docs."""
+    extra = [
+        "renal blood flow measurement in anesthetized dogs",
+        "oxygen consumption and heart rate during moderate exercise",
+        "growth hormone levels in fasting children",
+        "spectral analysis of heart rate variability signals",
+    ]
+    return [MED_TOPICS[f"M{i}"] for i in range(1, 15)] + extra
+
+
+def _fresh_state(**kwargs) -> ServingState:
+    params = dict(k=6, scheme="log_entropy", distortion_budget=0.5)
+    params.update(kwargs)
+    return state_from_texts(_texts(), **params)
+
+
+def _pairs(response: dict) -> list[tuple[int, float]]:
+    return [(int(j), float(score)) for j, score, _ in response["results"]]
+
+
+# --------------------------------------------------------------------- #
+# parity with the unbatched engine
+# --------------------------------------------------------------------- #
+def test_coalesced_batch_identical_to_engine():
+    registry.reset("server.")
+    state = _fresh_state()
+    engine = LSIRetrieval(state.current().model)
+    cases = [
+        (QUERIES[i % len(QUERIES)], kwargs)
+        for i, kwargs in enumerate(
+            [
+                {},
+                {"top": 5},
+                {"top": 1},
+                {"threshold": 0.2},
+                {"top": 3, "threshold": 0.1},
+                {"top": 1000},
+            ]
+            * 2
+        )
+    ]
+
+    async def main():
+        service = QueryService(
+            state, ServerConfig(max_batch=len(cases), max_wait_ms=50.0)
+        )
+        await service.start()
+        responses = await asyncio.gather(
+            *(service.search(q, **kw) for q, kw in cases)
+        )
+        await service.drain()
+        return responses
+
+    responses = asyncio.run(main())
+    for (q, kw), response in zip(cases, responses):
+        want = engine.search(q, **kw)
+        got = _pairs(response)
+        assert [j for j, _ in got] == [j for j, _ in want], (q, kw)
+        assert np.allclose(
+            [c for _, c in got], [c for _, c in want], atol=1e-12
+        ), (q, kw)
+        assert response["epoch"] == 0
+        assert response["n_documents"] == engine.n_documents
+    # The requests were actually coalesced, not served one by one.
+    hist = registry.histogram("server.batch_size")
+    assert hist is not None and hist.max > 1
+
+
+def test_single_request_batch_bit_identical_to_engine():
+    """A batch of one takes the kernel's q=1 GEMV path, so scores are
+    bit-identical to the engine, not merely allclose."""
+    state = _fresh_state()
+    engine = LSIRetrieval(state.current().model)
+
+    async def main():
+        service = QueryService(state, ServerConfig(max_wait_ms=0.0))
+        await service.start()
+        response = await service.search(QUERIES[0], top=7)
+        await service.drain()
+        return response
+
+    assert _pairs(asyncio.run(main())) == engine.search(QUERIES[0], top=7)
+
+
+def test_batches_respect_max_batch():
+    registry.reset("server.")
+    state = _fresh_state()
+
+    async def main():
+        service = QueryService(
+            state, ServerConfig(max_batch=4, max_wait_ms=50.0)
+        )
+        await service.start()
+        await asyncio.gather(
+            *(service.search(QUERIES[i % 6], top=3) for i in range(10))
+        )
+        await service.drain()
+
+    asyncio.run(main())
+    hist = registry.histogram("server.batch_size")
+    assert hist.max <= 4
+    assert registry.counter("server.batches_total") >= 3
+
+
+def test_sharded_batch_scoring_matches_flat():
+    state = _fresh_state()
+    snapshot = state.current()
+    rng = np.random.default_rng(11)
+    Q = rng.standard_normal((5, snapshot.k))
+    flat = snapshot.score_batch(Q, shards=1)
+    for shards, workers in ((2, None), (3, 2), (50, 2)):
+        assert np.allclose(
+            snapshot.score_batch(Q, shards=shards, workers=workers),
+            flat,
+            atol=1e-12,
+        )
+
+
+# --------------------------------------------------------------------- #
+# admission control: bounded queue, deadlines
+# --------------------------------------------------------------------- #
+def _slow_scorer(monkeypatch, seconds: float) -> None:
+    """Make every batch flush take at least ``seconds`` (executor side)."""
+    original = MicroBatcher._score_batch
+
+    def slow(self, snapshot, batch):
+        time.sleep(seconds)
+        return original(self, snapshot, batch)
+
+    monkeypatch.setattr(MicroBatcher, "_score_batch", slow)
+
+
+def test_overload_rejected_not_queued(monkeypatch):
+    registry.reset("server.")
+    _slow_scorer(monkeypatch, 0.05)
+    state = _fresh_state()
+
+    async def main():
+        service = QueryService(
+            state,
+            ServerConfig(max_batch=1, max_wait_ms=0.0, queue_depth=3),
+        )
+        await service.start()
+        results = await asyncio.gather(
+            *(service.search(QUERIES[i % 6], top=2) for i in range(10)),
+            return_exceptions=True,
+        )
+        await service.drain()
+        return results
+
+    results = asyncio.run(main())
+    rejected = [r for r in results if isinstance(r, ServerOverloadError)]
+    served = [r for r in results if isinstance(r, dict)]
+    # All 10 admissions happen before the first slow batch resolves, so
+    # exactly queue_depth requests fit and the rest bounce immediately.
+    assert len(served) == 3
+    assert len(rejected) == 7
+    assert all(exc.reason == "queue_full" for exc in rejected)
+    assert registry.counter("server.rejected_queue_full") == 7
+    for response in served:
+        assert response["results"]
+
+
+def test_deadline_expires_in_queue(monkeypatch):
+    registry.reset("server.")
+    _slow_scorer(monkeypatch, 0.05)
+    state = _fresh_state()
+
+    async def main():
+        service = QueryService(
+            state, ServerConfig(max_batch=1, max_wait_ms=0.0)
+        )
+        await service.start()
+        first = asyncio.ensure_future(service.search(QUERIES[0], top=2))
+        await asyncio.sleep(0.01)  # first batch is now in its slow flush
+        with pytest.raises(DeadlineExceededError):
+            await service.search(QUERIES[1], top=2, timeout_ms=1.0)
+        await first
+        await service.drain()
+
+    asyncio.run(main())
+    assert registry.counter("server.deadline_expired") == 1
+
+
+# --------------------------------------------------------------------- #
+# graceful drain
+# --------------------------------------------------------------------- #
+def test_drain_flushes_queue_then_rejects(monkeypatch):
+    _slow_scorer(monkeypatch, 0.02)
+    state = _fresh_state()
+
+    async def main():
+        service = QueryService(
+            state, ServerConfig(max_batch=2, max_wait_ms=1.0)
+        )
+        await service.start()
+        inflight = [
+            asyncio.ensure_future(service.search(QUERIES[i % 6], top=3))
+            for i in range(6)
+        ]
+        await asyncio.sleep(0)  # let every request pass admission
+        await service.drain()
+        # Every admitted request completed with a real result.
+        responses = await asyncio.gather(*inflight)
+        assert all(r["results"] for r in responses)
+        # New work is refused with the draining (503) reason.
+        with pytest.raises(ServerOverloadError) as info:
+            await service.search(QUERIES[0])
+        assert info.value.reason == "draining"
+
+    asyncio.run(main())
+
+
+# --------------------------------------------------------------------- #
+# live updates: epochs, no torn reads
+# --------------------------------------------------------------------- #
+def test_live_add_under_query_load_has_consistent_epochs():
+    # A small budget forces consolidation (recompute/SVD-update) along
+    # the way, so the epoch swap is exercised across all three actions.
+    state = _fresh_state(distortion_budget=0.05)
+    n0 = state.current().n_documents
+    observations: list[tuple[int, int, int]] = []
+
+    async def reader(service: QueryService):
+        for i in range(40):
+            response = await service.search(QUERIES[i % 6], top=4)
+            top_index = max((j for j, _, _ in response["results"]), default=-1)
+            observations.append(
+                (response["epoch"], response["n_documents"], top_index)
+            )
+            await asyncio.sleep(0)
+
+    async def writer(service: QueryService):
+        for i in range(6):
+            result = await service.add(
+                [f"additional study of blood oxygen level {i}"]
+            )
+            assert result["epoch"] == i + 1
+            await asyncio.sleep(0.002)
+
+    async def main():
+        service = QueryService(
+            state, ServerConfig(max_batch=4, max_wait_ms=1.0)
+        )
+        await service.start()
+        await asyncio.gather(reader(service), writer(service))
+        final = await service.search(QUERIES[0], top=3)
+        await service.drain()
+        return final
+
+    final = asyncio.run(main())
+    # Each add inserts exactly one document, so epoch e ↔ n0 + e: any
+    # response pairing an epoch with the wrong count is a torn read.
+    for epoch, n_documents, top_index in observations:
+        assert n_documents == n0 + epoch
+        assert top_index < n_documents
+    # A single reader observes monotonically non-decreasing epochs.
+    epochs = [e for e, _, _ in observations]
+    assert epochs == sorted(epochs)
+    assert final["epoch"] == 6
+    assert final["n_documents"] == n0 + 6
+    assert state.current().model.n_documents == n0 + 6
+
+
+def test_read_only_state_rejects_add(med_model):
+    state = ServingState.for_model(med_model)
+    assert not state.writable
+
+    async def main():
+        service = QueryService(state, ServerConfig(max_wait_ms=0.0))
+        await service.start()
+        with pytest.raises(ReproError, match="read-only"):
+            await service.add(["new document"])
+        response = await service.search("blood age", top=3)
+        await service.drain()
+        return response
+
+    assert asyncio.run(main())["n_documents"] == med_model.n_documents
+
+
+# --------------------------------------------------------------------- #
+# HTTP front end + blocking client
+# --------------------------------------------------------------------- #
+class _ServerThread:
+    """Run service + HTTP server on a private loop in a worker thread."""
+
+    def __init__(self, state: ServingState, config: ServerConfig):
+        self.state = state
+        self.config = config
+        self.port: int | None = None
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        async def main():
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            service = QueryService(self.state, self.config)
+            server = await start_http_server(service, "127.0.0.1", 0)
+            self.port = server.sockets[0].getsockname()[1]
+            self._ready.set()
+            await self._stop.wait()
+            server.close()
+            await server.wait_closed()
+            await service.drain()
+
+        asyncio.run(main())
+
+    def __enter__(self) -> "_ServerThread":
+        self._thread.start()
+        assert self._ready.wait(timeout=30), "server failed to start"
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)
+        assert not self._thread.is_alive(), "server failed to drain"
+
+
+def test_http_roundtrip_search_add_health_stats():
+    state = _fresh_state()
+    engine = LSIRetrieval(state.current().model)
+    n0 = state.current().n_documents
+    with _ServerThread(state, ServerConfig(max_wait_ms=1.0)) as server:
+        client = ServerClient(port=server.port)
+
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["n_documents"] == n0
+
+        for q in QUERIES[:3]:
+            got = client.search_pairs(q, top=5)
+            want = engine.search(q, top=5)
+            assert [j for j, _ in got] == [j for j, _ in want]
+            assert np.allclose(
+                [c for _, c in got], [c for _, c in want], atol=1e-12
+            )
+
+        added = client.add(["renal oxygen study in children"])
+        assert added["n_documents"] == n0 + 1
+        assert added["epoch"] == 1
+        follow_up = client.search("renal oxygen", top=3)
+        assert follow_up["epoch"] >= 1
+        assert follow_up["n_documents"] == n0 + 1
+
+        stats = client.stats()
+        assert stats["schema"] == "repro-obs/1"
+        assert stats["metrics"]["counters"]["server.requests_total"] >= 4
+        assert "server.queue_wait_seconds" in stats["metrics"]["histograms"]
+        assert stats["server"]["writable"]
+
+
+def test_http_error_mapping():
+    state = _fresh_state()
+    with _ServerThread(state, ServerConfig(max_wait_ms=0.0)) as server:
+        client = ServerClient(port=server.port)
+        # Unknown route → 404 → ReproError.
+        with pytest.raises(ReproError, match="404"):
+            client._request("GET", "/nope")
+        # Missing query field → 400.
+        with pytest.raises(ReproError, match="400"):
+            client._request("POST", "/search", {})
+        # Malformed JSON body → 400.
+        import http.client as http_client
+
+        conn = http_client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+        conn.request("POST", "/search", body=b"{not json")
+        assert conn.getresponse().status == 400
+        conn.close()
+
+
+# --------------------------------------------------------------------- #
+# CLI wiring
+# --------------------------------------------------------------------- #
+def test_cli_serve_parser_flags():
+    args = build_parser().parse_args(
+        [
+            "serve", "docs", "--port", "0", "--max-batch", "8",
+            "--max-wait-ms", "1.5", "--queue-depth", "16",
+            "--shards", "2", "--workers", "3", "--timeout-ms", "250",
+        ]
+    )
+    assert args.command == "serve"
+    assert args.port == 0
+    assert args.max_batch == 8
+    assert args.max_wait_ms == 1.5
+    assert args.queue_depth == 16
+    assert args.shards == 2
+    assert args.workers == 3
+    assert args.timeout_ms == 250.0

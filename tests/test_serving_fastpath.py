@@ -258,6 +258,34 @@ def test_sharded_batch_search_accepts_projected_vectors(small_lsi, small_collect
     assert a == b
 
 
+def test_sharded_batch_search_empty_query_batch(small_lsi):
+    """A (0, k) query matrix is a legal degenerate batch: no queries,
+    no results, no shard errors."""
+    Q = np.empty((0, small_lsi.k))
+    for shards in (1, 3):
+        assert sharded_batch_search(small_lsi, Q, top=4, shards=shards) == []
+
+
+def test_sharded_batch_search_top_exceeds_n_documents(small_lsi, small_collection):
+    """top > n clamps to the full ranking, identical to the sequential
+    path (the per-shard heaps just return whole shards)."""
+    queries = small_collection.queries[:3]
+    n = small_lsi.n_documents
+    flat = batch_search(small_lsi, queries, top=n + 25)
+    got = sharded_batch_search(small_lsi, queries, top=n + 25, shards=4)
+    assert got == flat
+    assert all(len(ranking) == n for ranking in got)
+
+
+def test_sharded_batch_search_single_shard_degenerate(small_lsi, small_collection):
+    """shards=1 is the degenerate split: one (lo, hi) covering all rows,
+    merge over one heap — must equal the flat batch path exactly."""
+    queries = small_collection.queries[:4]
+    assert sharded_batch_search(
+        small_lsi, queries, top=6, shards=1
+    ) == batch_search(small_lsi, queries, top=6)
+
+
 def test_sharded_batch_search_tie_order():
     """Ties spanning shard boundaries resolve by ascending doc index,
     exactly as the flat stable sort does."""
@@ -384,6 +412,42 @@ def test_query_cache_key_normalizes_token_order(small_lsi):
     c2 = np.zeros(6)
     c2[2] = 2.0
     assert QueryVectorCache.key_from_counts(c1) != QueryVectorCache.key_from_counts(c2)
+
+
+def test_query_cache_key_is_platform_independent():
+    """The index component of the key must hash as int64 regardless of
+    the platform's ``intp`` width: 8 bytes per nonzero index, always."""
+    c = np.zeros(12)
+    c[[1, 7, 9]] = (2.0, 1.0, 3.0)
+    size, index_bytes, value_bytes = QueryVectorCache.key_from_counts(c)
+    assert size == 12
+    assert len(index_bytes) == 3 * 8  # int64, not platform intp
+    assert np.array_equal(
+        np.frombuffer(index_bytes, dtype=np.int64), [1, 7, 9]
+    )
+    # A 32-bit index vector (what flatnonzero yields on 32-bit intp
+    # platforms) produces the same key after the cast.
+    original = np.flatnonzero
+    try:
+        np.flatnonzero = lambda a: original(a).astype(np.int32)
+        narrow = QueryVectorCache.key_from_counts(c)
+    finally:
+        np.flatnonzero = original
+    assert narrow == (size, index_bytes, value_bytes)
+
+
+def test_query_cache_size_gauge_published():
+    from repro.obs.metrics import registry
+
+    cache = QueryVectorCache(maxsize=2)
+    cache.put((1,), np.ones(2))
+    assert registry.gauge("serving.query_cache_size") == 1
+    assert registry.gauge("serving.query_cache_capacity") == 2
+    cache.put((2,), np.ones(2))
+    cache.put((3,), np.ones(2))  # evicts, size stays at the bound
+    assert registry.gauge("serving.query_cache_size") == 2
+    cache.clear()
+    assert registry.gauge("serving.query_cache_size") == 0
 
 
 def test_query_cache_cleared_on_model_swap(small_lsi, med_model):
