@@ -1,0 +1,191 @@
+"""Crash-recovery smoke test for ``python -m repro serve --data-dir``.
+
+The durability contract across a *process boundary*, with a real
+SIGKILL (no atexit handlers, no flush — the kernel just removes the
+process):
+
+1. boot the durable server, seed a data directory, POST a stream of
+   ``/add`` fold-ins, and SIGKILL the process mid-stream;
+2. restart the server on the same data directory and assert it
+   recovered **at least** every acknowledged add (acknowledged =
+   WAL-fsynced before the HTTP 200 went out);
+3. build an in-process reference manager that absorbs exactly the adds
+   the recovered server reports, and assert ``/search`` responses are
+   element-identical — the recovered index is bit-for-bit the index the
+   killed process had;
+4. run ``repro store verify`` (clean) and ``repro store compact``, then
+   re-serve and assert the same parity — compaction changes no result.
+
+Run directly (CI does)::
+
+    PYTHONPATH=src:benchmarks python benchmarks/store_crash_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.corpus.med import MED_TOPICS
+from repro.retrieval.engine import LSIRetrieval
+from repro.server import ServerClient, manager_from_texts
+
+K = 8
+N_ADDS = 10
+CHECKPOINT_EVERY = 4  # force checkpoint + WAL-suffix mixtures mid-stream
+QUERIES = [
+    "blood pressure age",
+    "renal blood flow",
+    "heart rate oxygen consumption",
+    "growth hormone in children",
+]
+ADDS = [
+    f"streamed document {i} about renal blood flow and hormone response {i}"
+    for i in range(N_ADDS)
+]
+
+
+def _corpus() -> list[str]:
+    extra = [
+        "renal blood flow measurement in anesthetized dogs",
+        "oxygen consumption and heart rate during moderate exercise",
+        "growth hormone levels in fasting children",
+        "spectral analysis of heart rate variability signals",
+    ]
+    return [MED_TOPICS[f"M{i}"] for i in range(1, 15)] + extra
+
+
+def _serve(data_dir: str, corpus_path: str) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ, PYTHONPATH="src", PYTHONUNBUFFERED="1")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "--no-obs", "serve", corpus_path,
+            "--data-dir", data_dir, "-k", str(K), "--port", "0",
+            "--checkpoint-every", str(CHECKPOINT_EVERY),
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    port = None
+    banner: list[str] = []
+    while port is None:
+        line = proc.stdout.readline()
+        if not line:
+            raise SystemExit(f"server died during boot:\n{''.join(banner)}")
+        banner.append(line)
+        if "on http://" in line:
+            port = int(line.strip().rsplit(":", 1)[1])
+    print("".join(f"  {line}" for line in banner), end="")
+    return proc, port
+
+
+def _repro(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ, PYTHONPATH="src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "--no-obs", *args],
+        env=env, capture_output=True, text=True,
+    )
+
+
+def _search_all(client: ServerClient) -> dict[str, list]:
+    return {q: client.search_pairs(q, top=5) for q in QUERIES}
+
+
+def _assert_parity(got: dict[str, list], want: dict[str, list], label: str):
+    for q in QUERIES:
+        assert [j for j, _ in got[q]] == [j for j, _ in want[q]], (
+            f"{label}: doc order diverged for {q!r}: {got[q]} != {want[q]}"
+        )
+        np.testing.assert_allclose(
+            [s for _, s in got[q]], [s for _, s in want[q]],
+            rtol=0, atol=0, err_msg=f"{label}: scores diverged for {q!r}",
+        )
+
+
+def main() -> None:
+    docs = _corpus()
+    with tempfile.TemporaryDirectory() as tmp:
+        corpus_path = os.path.join(tmp, "corpus.txt")
+        with open(corpus_path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(d.replace("\n", " ") for d in docs))
+        data_dir = os.path.join(tmp, "store")
+
+        # ---- phase 1: seed, stream adds, SIGKILL mid-stream ---------- #
+        proc, port = _serve(data_dir, corpus_path)
+        client = ServerClient(port=port)
+        acked = 0
+        try:
+            for i, text in enumerate(ADDS):
+                client.add([text], [f"S{i}"])
+                acked += 1
+        finally:
+            proc.kill()  # SIGKILL: no drain, no flush, no final checkpoint
+            proc.communicate(timeout=10)
+        print(f"  killed -9 after {acked} acknowledged adds")
+        assert acked == N_ADDS
+
+        # ---- phase 2: restart, assert every acked add survived ------- #
+        proc, port = _serve(data_dir, corpus_path)
+        try:
+            client = ServerClient(port=port)
+            n_recovered = client.healthz()["n_documents"]
+            recovered_adds = n_recovered - len(docs)
+            assert recovered_adds >= acked, (
+                f"acknowledged adds lost: served {recovered_adds} of "
+                f"{acked} acked (acknowledged = WAL-fsynced)"
+            )
+            print(f"  recovered {recovered_adds}/{acked} acked adds")
+
+            # The reference: the same seed corpus + exactly the adds the
+            # recovered server reports, through the same manager path.
+            manager = manager_from_texts(
+                docs, [f"L{i + 1}" for i in range(len(docs))], k=K
+            )
+            for i in range(recovered_adds):
+                manager.add_texts([ADDS[i]], doc_ids=[f"S{i}"])
+            engine = LSIRetrieval(manager.model)
+            expected = {
+                q: [(int(j), float(s)) for j, s in engine.search(q, top=5)]
+                for q in QUERIES
+            }
+            _assert_parity(_search_all(client), expected, "post-crash")
+            print(f"  parity: {len(QUERIES)} queries element-identical to "
+                  "the uninterrupted reference")
+        finally:
+            proc.send_signal(signal.SIGINT)
+            out, _ = proc.communicate(timeout=30)
+        assert "store flushed" in out and "drained cleanly" in out, out
+        print("  graceful drain: final checkpoint flushed")
+
+        # ---- phase 3: verify + compact + re-serve -------------------- #
+        r = _repro("store", "verify", data_dir)
+        assert r.returncode == 0 and "verified clean" in r.stdout, (
+            r.returncode, r.stdout, r.stderr,
+        )
+        print(f"  {r.stdout.strip()}")
+        r = _repro("store", "compact", data_dir)
+        assert r.returncode == 0, (r.returncode, r.stdout, r.stderr)
+        print(f"  {r.stdout.strip()}")
+
+        proc, port = _serve(data_dir, corpus_path)
+        try:
+            client = ServerClient(port=port)
+            assert client.healthz()["n_documents"] == n_recovered
+            _assert_parity(_search_all(client), expected, "post-compact")
+            print("  parity after compact: identical")
+        finally:
+            proc.send_signal(signal.SIGINT)
+            proc.communicate(timeout=30)
+
+    print("store crash smoke: OK")
+
+
+if __name__ == "__main__":
+    t0 = time.perf_counter()
+    main()
+    print(f"({time.perf_counter() - t0:.1f}s)")

@@ -22,6 +22,15 @@ terms or documents").  This CLI is the same toolbox over this library:
     Run the long-lived async query server (:mod:`repro.server`):
     micro-batched ``/search``, live ``/add`` through the index manager,
     ``/healthz`` and ``/stats``, graceful drain on SIGINT/SIGTERM.
+    With ``--data-dir`` the index is durable (:mod:`repro.store`):
+    every ``/add`` is write-ahead-logged before acknowledgment, a
+    background checkpointer snapshots on policy, and a warm restart
+    recovers the exact pre-crash index from the same directory.
+``store``
+    Maintain a durable data directory: ``inspect`` (checkpoints, WAL,
+    recovery state), ``verify`` (checksum audit of every array and log
+    record), ``compact`` (fold the WAL into a fresh checkpoint and
+    truncate it).
 ``stats``
     Print the observability snapshot: counters, gauges, latency
     histograms, and recent tracing spans.
@@ -137,9 +146,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the async query server (micro-batching, live /add)",
     )
     p_serve.add_argument(
-        "source", type=pathlib.Path,
+        "source", type=pathlib.Path, nargs="?", default=None,
         help=".txt directory / one-doc-per-line file (live-updatable) "
-             "or a saved .npz database (read-only)",
+             "or a saved .npz database (read-only); optional when "
+             "--data-dir holds a recoverable store",
     )
     p_serve.add_argument("-k", "--factors", type=int, default=50)
     p_serve.add_argument("--scheme", default="log_entropy")
@@ -162,9 +172,45 @@ def build_parser() -> argparse.ArgumentParser:
                          help="default per-request deadline")
     p_serve.add_argument("--distortion-budget", type=float, default=0.1,
                          help="folded fraction before /add consolidates")
+    p_serve.add_argument(
+        "--data-dir", type=pathlib.Path, default=None,
+        help="durable store directory: WAL-logged /add, background "
+             "checkpoints, crash-recoverable warm restarts",
+    )
+    p_serve.add_argument(
+        "--checkpoint-every", type=int, default=64,
+        help="checkpoint after this many WAL records (0 disables)",
+    )
+    p_serve.add_argument(
+        "--checkpoint-interval", type=float, default=300.0,
+        help="checkpoint dirty state older than this many seconds "
+             "(0 disables)",
+    )
+    p_serve.add_argument(
+        "--retain", type=int, default=3,
+        help="versioned checkpoints kept after pruning",
+    )
+
+    p_store = sub.add_parser(
+        "store", help="inspect/verify/compact a durable index store"
+    )
+    p_store.add_argument(
+        "action", choices=["inspect", "verify", "compact"],
+        help="inspect: describe checkpoints + WAL; verify: checksum "
+             "audit; compact: fold the WAL into a fresh checkpoint",
+    )
+    p_store.add_argument("data_dir", type=pathlib.Path,
+                         help="store directory (the serve --data-dir)")
+    p_store.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON (inspect)")
 
     p_stats = sub.add_parser(
         "stats", help="print the observability snapshot"
+    )
+    p_stats.add_argument(
+        "--data-dir", type=pathlib.Path, default=None,
+        help="also publish live store.* gauges from this durable "
+             "store directory",
     )
     p_stats.add_argument("--json", action="store_true",
                          help="emit the raw JSON blob instead of text")
@@ -186,10 +232,10 @@ def _cmd_index(args, out) -> int:
         doc_ids=ids,
         method=args.svd_method,
     )
-    save_model(model, args.output)
+    written = save_model(model, args.output)
     print(
         f"indexed {model.n_documents} documents, {model.n_terms} terms, "
-        f"k={model.k} → {args.output}",
+        f"k={model.k} → {written}",
         file=out,
     )
     return 0
@@ -228,9 +274,9 @@ def _cmd_add(args, out) -> int:
         )
         model = update_documents(model, counts, ids, exact=True)
     target = args.output or args.database
-    save_model(model, target)
+    written = save_model(model, target)
     print(
-        f"{args.method}: +{len(docs)} documents → {target} "
+        f"{args.method}: +{len(docs)} documents → {written} "
         f"(now {model.n_documents} documents, provenance "
         f"{model.provenance})",
         file=out,
@@ -257,6 +303,59 @@ def _cmd_terms(args, out) -> int:
     return 0
 
 
+def _durable_state(args, out):
+    """Recover or seed the durable store behind ``serve --data-dir``."""
+    from repro.server import manager_from_texts
+    from repro.store import (
+        CheckpointPolicy,
+        DurableIndexStore,
+        DurableServingState,
+    )
+
+    if DurableIndexStore.exists(args.data_dir):
+        store = DurableIndexStore.open(args.data_dir, retain=args.retain)
+        report = store.last_recovery
+        print(
+            f"recovered {report.n_documents} documents from "
+            f"{report.checkpoint_path.name} "
+            f"(+{report.replayed_records} WAL records replayed"
+            + (", torn tail dropped" if report.torn_tail else "")
+            + ")",
+            file=out, flush=True,
+        )
+        if args.source is not None:
+            print(
+                f"note: --data-dir {args.data_dir} is recoverable; "
+                f"ignoring source {args.source}",
+                file=out, flush=True,
+            )
+    else:
+        if args.source is None:
+            raise ReproError(
+                f"{args.data_dir} holds no recoverable store; provide a "
+                "document source to seed it"
+            )
+        docs, ids = _read_documents(args.source)
+        manager = manager_from_texts(
+            docs, ids,
+            k=args.factors,
+            scheme=args.scheme,
+            min_doc_freq=args.min_doc_freq,
+            distortion_budget=args.distortion_budget,
+        )
+        store = DurableIndexStore.initialize(
+            args.data_dir, manager, retain=args.retain
+        )
+        print(f"seeded durable store at {args.data_dir}", file=out, flush=True)
+    store.start_checkpointer(
+        CheckpointPolicy(
+            every_records=args.checkpoint_every or None,
+            every_seconds=args.checkpoint_interval or None,
+        )
+    )
+    return DurableServingState(store)
+
+
 def _cmd_serve(args, out) -> int:
     """Build the serving state and run the async server until SIGINT."""
     import asyncio
@@ -270,7 +369,13 @@ def _cmd_serve(args, out) -> int:
         state_from_texts,
     )
 
-    if args.source.suffix == ".npz":
+    store = None
+    if args.data_dir is not None:
+        state = _durable_state(args, out)
+        store = state.store
+    elif args.source is None:
+        raise ReproError("serve needs a document source or --data-dir")
+    elif args.source.suffix == ".npz":
         state = ServingState.for_model(load_model(args.source))
     else:
         docs, ids = _read_documents(args.source)
@@ -297,8 +402,9 @@ def _cmd_serve(args, out) -> int:
         port = server.sockets[0].getsockname()[1]
         print(
             f"serving {snapshot.n_documents} documents (k={snapshot.k}, "
-            f"{'live-updatable' if state.writable else 'read-only'}) "
-            f"on http://{args.host}:{port}",
+            f"{'live-updatable' if state.writable else 'read-only'}"
+            + (", durable" if store is not None else "")
+            + f") on http://{args.host}:{port}",
             file=out, flush=True,
         )
         stop = asyncio.Event()
@@ -314,10 +420,90 @@ def _cmd_serve(args, out) -> int:
         server.close()
         await server.wait_closed()
         await service.drain()
+        if store is not None:
+            # Graceful-drain flush: a clean restart replays zero records.
+            store.close(flush=True)
+            print("store flushed", file=out, flush=True)
         print("drained cleanly", file=out, flush=True)
 
     asyncio.run(run())
     return 0
+
+
+def _cmd_store(args, out) -> int:
+    """Maintain a durable data directory (inspect / verify / compact)."""
+    from repro.store import DurableIndexStore
+
+    if args.action == "verify":
+        checkpoints_dir, wal_path = DurableIndexStore.paths(args.data_dir)
+        from repro.store import list_checkpoints, verify_checkpoint, verify_wal
+
+        infos = list_checkpoints(checkpoints_dir)
+        if not infos and not wal_path.exists():
+            print(f"error: {args.data_dir} is not a store", file=sys.stderr)
+            return 1
+        problems: list[str] = []
+        for info in infos:
+            problems.extend(verify_checkpoint(info.path))
+        problems.extend(verify_wal(wal_path))
+        if problems:
+            for problem in problems:
+                print(f"CORRUPT  {problem}", file=out)
+            print(f"{len(problems)} integrity problem(s) found", file=out)
+            return 1
+        print(
+            f"ok: {len(infos)} checkpoint(s) and the WAL verified clean",
+            file=out,
+        )
+        return 0
+
+    if not DurableIndexStore.exists(args.data_dir):
+        print(f"error: {args.data_dir} is not a store", file=sys.stderr)
+        return 1
+    store = DurableIndexStore.open(args.data_dir)
+    try:
+        if args.action == "compact":
+            before = store.wal.n_records
+            path = store.compact()
+            print(
+                f"compacted: folded {before} WAL record(s) into "
+                f"{path.name}; WAL truncated",
+                file=out,
+            )
+            return 0
+        # inspect
+        description = store.inspect()
+        if args.json:
+            print(json.dumps(description, indent=2, sort_keys=True), file=out)
+            return 0
+        print(f"store     : {description['data_dir']}", file=out)
+        print(
+            f"documents : {description['n_documents']} "
+            f"({description['pending']} pending fold-in)",
+            file=out,
+        )
+        for ckpt in description["checkpoints"]:
+            print(
+                f"checkpoint: {pathlib.Path(ckpt['path']).name}  "
+                f"docs={ckpt['n_documents']}  wal_lsn={ckpt['wal_lsn']}  "
+                f"{ckpt['bytes']} bytes  ({ckpt['reason']})",
+                file=out,
+            )
+        wal = description["wal"]
+        print(
+            f"wal       : {wal['records']} record(s), {wal['bytes']} bytes, "
+            f"last LSN {wal['last_lsn']} "
+            f"({description['dirty_records']} not yet checkpointed)",
+            file=out,
+        )
+        print(
+            f"recovery  : replayed {description['last_recovery_replayed']} "
+            "record(s) at open",
+            file=out,
+        )
+        return 0
+    finally:
+        store.close(flush=False)
 
 
 def _state_path(args) -> pathlib.Path:
@@ -326,6 +512,19 @@ def _state_path(args) -> pathlib.Path:
 
 def _cmd_stats(args, out) -> int:
     """Render the persisted + live observability state."""
+    if args.data_dir is not None:
+        # Publish live store.* gauges (wal_records, checkpoint_age_seconds,
+        # last_recovery_replayed, ...) into this process's registry so they
+        # merge into the rendered snapshot below.
+        from repro.store import DurableIndexStore
+
+        if not DurableIndexStore.exists(args.data_dir):
+            raise ReproError(f"{args.data_dir} is not a durable store")
+        store = DurableIndexStore.open(args.data_dir, sync=False)
+        try:
+            store.publish_gauges()
+        finally:
+            store.close(flush=False)
     path = _state_path(args)
     state = obs.load_state(path) or {"metrics": {}, "spans": []}
     # Merge in anything recorded by this process (in-process callers see
@@ -360,6 +559,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "terms": _cmd_terms,
     "serve": _cmd_serve,
+    "store": _cmd_store,
     "stats": _cmd_stats,
 }
 

@@ -4,12 +4,27 @@ The paper's toolchain stores a retrieval database of ``U_k``, ``Σ_k``,
 ``V_k`` plus the labellings; ours serializes to a single ``.npz`` with the
 arrays and JSON-encoded metadata (vocabulary, doc ids, scheme) so a model
 round-trips bit-exactly.
+
+Durability contract (the :mod:`repro.store` subsystem builds on this):
+
+* :func:`save_model` is **atomic** — the arrays are written to a
+  temporary file in the destination directory, fsynced, and renamed
+  over the target with :func:`os.replace`, so a crash mid-save leaves
+  either the old file or the new one, never a torn hybrid;
+* :func:`save_model` returns the path actually written.  NumPy silently
+  appends ``.npz`` to suffix-less paths, so ``save_model(model, "m")``
+  writes ``m.npz`` — the return value records that, and
+  ``load_model("m.npz")`` agrees with it;
+* :func:`load_model` raises :class:`~repro.errors.ModelStateError` on
+  truncated or garbage files instead of leaking ``zipfile``/``numpy``
+  internals (a missing file still raises :class:`FileNotFoundError`).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import pathlib
 from typing import Union
 
 import numpy as np
@@ -19,13 +34,40 @@ from repro.errors import ModelStateError
 from repro.text.vocabulary import Vocabulary
 from repro.weighting.schemes import WeightingScheme
 
-__all__ = ["save_model", "load_model"]
+__all__ = ["save_model", "load_model", "fsync_directory"]
 
 _FORMAT_VERSION = 1
 
 
-def save_model(model: LSIModel, path: Union[str, os.PathLike]) -> None:
-    """Serialize ``model`` to ``path`` (``.npz``)."""
+def fsync_directory(path: Union[str, os.PathLike]) -> None:
+    """fsync a directory so a rename inside it is durable.
+
+    Best-effort: platforms/filesystems that refuse to open directories
+    (or lack fsync on them) are skipped silently — the rename itself is
+    still atomic there.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def save_model(model: LSIModel, path: Union[str, os.PathLike]) -> pathlib.Path:
+    """Serialize ``model`` to ``path`` (``.npz``) atomically.
+
+    Returns the path actually written: NumPy appends ``.npz`` when the
+    suffix is missing, and this function does the same *before* writing
+    so the temp-file + :func:`os.replace` dance targets the real name.
+    """
+    path = pathlib.Path(path)
+    if not path.name.endswith(".npz"):
+        path = path.with_name(path.name + ".npz")
     meta = {
         "version": _FORMAT_VERSION,
         "vocabulary": model.vocabulary.to_list(),
@@ -34,34 +76,71 @@ def save_model(model: LSIModel, path: Union[str, os.PathLike]) -> None:
         "scheme_global": model.scheme.global_,
         "provenance": model.provenance,
     }
-    np.savez(
-        path,
-        U=model.U,
-        s=model.s,
-        V=model.V,
-        global_weights=model.global_weights,
-        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
-    )
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez(
+                fh,
+                U=model.U,
+                s=model.s,
+                V=model.V,
+                global_weights=model.global_weights,
+                meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+            )
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    fsync_directory(path.parent)
+    return path
 
 
 def load_model(path: Union[str, os.PathLike]) -> LSIModel:
-    """Load a model previously written by :func:`save_model`."""
-    with np.load(path) as data:
-        try:
-            meta = json.loads(bytes(data["meta"]).decode("utf-8"))
-        except Exception as exc:  # malformed file
-            raise ModelStateError(f"cannot parse model metadata: {exc}") from exc
-        if meta.get("version") != _FORMAT_VERSION:
-            raise ModelStateError(
-                f"unsupported model format version {meta.get('version')}"
-            )
-        return LSIModel(
-            U=data["U"],
-            s=data["s"],
-            V=data["V"],
-            vocabulary=Vocabulary(meta["vocabulary"]).freeze(),
-            doc_ids=list(meta["doc_ids"]),
-            scheme=WeightingScheme(meta["scheme_local"], meta["scheme_global"]),
-            global_weights=data["global_weights"],
-            provenance=meta.get("provenance", "svd"),
-        )
+    """Load a model previously written by :func:`save_model`.
+
+    Raises :class:`~repro.errors.ModelStateError` when the file exists
+    but is not a complete model database (truncated write, wrong format,
+    arbitrary garbage); :class:`FileNotFoundError` when it is absent.
+    """
+    try:
+        with np.load(path) as data:
+            try:
+                meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+            except Exception as exc:  # malformed metadata member
+                raise ModelStateError(
+                    f"cannot parse model metadata in {path}: {exc}"
+                ) from exc
+            if meta.get("version") != _FORMAT_VERSION:
+                raise ModelStateError(
+                    f"unsupported model format version {meta.get('version')}"
+                )
+            try:
+                return LSIModel(
+                    U=data["U"],
+                    s=data["s"],
+                    V=data["V"],
+                    vocabulary=Vocabulary(meta["vocabulary"]).freeze(),
+                    doc_ids=list(meta["doc_ids"]),
+                    scheme=WeightingScheme(
+                        meta["scheme_local"], meta["scheme_global"]
+                    ),
+                    global_weights=data["global_weights"],
+                    provenance=meta.get("provenance", "svd"),
+                )
+            except KeyError as exc:
+                raise ModelStateError(
+                    f"model database {path} is missing {exc}"
+                ) from exc
+    except (ModelStateError, FileNotFoundError, IsADirectoryError):
+        raise
+    except Exception as exc:
+        # zipfile.BadZipFile, EOFError from a truncated member, ValueError
+        # from np.load on garbage — all mean "not a model database".
+        raise ModelStateError(
+            f"cannot load model database {path}: {exc}"
+        ) from exc

@@ -19,6 +19,8 @@ __all__ = [
     "EvaluationError",
     "ServerOverloadError",
     "DeadlineExceededError",
+    "StoreError",
+    "StoreCorruptError",
 ]
 
 
@@ -81,3 +83,22 @@ class ServerOverloadError(ReproError, RuntimeError):
 
 class DeadlineExceededError(ReproError, TimeoutError):
     """A request's deadline expired before the service could answer it."""
+
+
+class StoreError(ReproError, RuntimeError):
+    """The durable index store cannot satisfy a request.
+
+    Raised for structural problems that are not data corruption: no
+    checkpoint to recover from, a data directory that is not a store,
+    an attempt to reuse a closed store.
+    """
+
+
+class StoreCorruptError(StoreError):
+    """On-disk store state failed an integrity check.
+
+    A checkpoint array whose CRC32 does not match its manifest entry, a
+    write-ahead-log record whose checksum fails mid-log, or a recovered
+    index whose document count disagrees with the manifest all raise
+    this — the store refuses to serve silently wrong data.
+    """

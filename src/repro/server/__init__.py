@@ -36,7 +36,12 @@ from repro.server.batching import MicroBatcher, SearchRequest
 from repro.server.client import ServerClient
 from repro.server.http import start_http_server
 from repro.server.service import QueryService, ServerConfig
-from repro.server.state import EpochSnapshot, ServingState, state_from_texts
+from repro.server.state import (
+    EpochSnapshot,
+    ServingState,
+    manager_from_texts,
+    state_from_texts,
+)
 
 __all__ = [
     "AdmissionController",
@@ -48,5 +53,6 @@ __all__ = [
     "ServerConfig",
     "EpochSnapshot",
     "ServingState",
+    "manager_from_texts",
     "state_from_texts",
 ]

@@ -39,7 +39,12 @@ from repro.serving.kernel import cosine_scores
 from repro.serving.querycache import QueryVectorCache
 from repro.updating.manager import LSIIndexManager
 
-__all__ = ["EpochSnapshot", "ServingState", "state_from_texts"]
+__all__ = [
+    "EpochSnapshot",
+    "ServingState",
+    "manager_from_texts",
+    "state_from_texts",
+]
 
 
 class EpochSnapshot:
@@ -156,6 +161,7 @@ class ServingState:
         self._manager = manager
         self._query_cache_size = query_cache_size
         self._write_lock = threading.Lock()
+        self._swap_hooks: list = []
         initial = manager.model if manager is not None else model
         self._snapshot = EpochSnapshot(
             0, initial, query_cache_size=query_cache_size
@@ -182,7 +188,29 @@ class ServingState:
         """The snapshot new work should run against (lock-free read)."""
         return self._snapshot
 
+    def add_swap_hook(self, hook) -> None:
+        """Register ``hook(snapshot, event)`` to run after each epoch swap.
+
+        Hooks run under the write lock, after the new snapshot is
+        published — the durability layer uses this to wake its
+        background checkpointer without touching the query path.  Keep
+        hooks cheap; heavy work belongs on the hook's own thread.
+        """
+        self._swap_hooks.append(hook)
+
     # ------------------------------------------------------------------ #
+    def _apply_add(
+        self, texts: list[str], doc_ids: Sequence[str] | None
+    ):
+        """Route one addition into the manager; returns its IndexEvent.
+
+        The override point for durable serving: :class:`~repro.store.
+        durable.DurableServingState` write-ahead-logs the addition before
+        applying it here, so an fsync-acknowledged fold-in survives a
+        crash.  Called with the write lock held.
+        """
+        return self._manager.add_texts(texts, doc_ids)
+
     def add_texts(
         self, texts: Sequence[str], doc_ids: Sequence[str] | None = None
     ) -> dict:
@@ -198,7 +226,7 @@ class ServingState:
                 "index; restart with a document source to enable /add"
             )
         with self._write_lock:
-            event = self._manager.add_texts(list(texts), doc_ids)
+            event = self._apply_add(list(texts), doc_ids)
             fresh = EpochSnapshot(
                 self._snapshot.epoch + 1,
                 self._manager.model,
@@ -206,6 +234,8 @@ class ServingState:
             )
             self._snapshot = fresh  # the atomic reader/writer handoff
             self._publish_gauges(fresh)
+            for hook in self._swap_hooks:
+                hook(fresh, event)
         return {
             "epoch": fresh.epoch,
             "n_documents": fresh.n_documents,
@@ -219,7 +249,7 @@ class ServingState:
         registry.set_gauge("server.n_documents", snapshot.n_documents)
 
 
-def state_from_texts(
+def manager_from_texts(
     texts: Sequence[str],
     doc_ids: Sequence[str] | None = None,
     *,
@@ -228,22 +258,21 @@ def state_from_texts(
     min_doc_freq: int = 1,
     distortion_budget: float = 0.1,
     drift_cap: float = 2.0,
-    query_cache_size: int = 256,
     seed: int = 0,
-) -> ServingState:
-    """Build a live-updatable :class:`ServingState` from raw documents.
+) -> LSIIndexManager:
+    """Fit the live-updatable index manager ``repro serve`` runs on.
 
-    One deterministic path shared by ``repro serve`` and the CI smoke
-    harness (which rebuilds the same model in-process to check the
-    served results byte-for-byte): parse → TDM → manager fit, with
-    ``k`` clamped to the matrix rank bound.
+    One deterministic path shared by ``repro serve``, the durable store
+    seeding path, and the CI smoke harnesses (which rebuild the same
+    model in-process to check served results byte-for-byte): parse →
+    TDM → manager fit, with ``k`` clamped to the matrix rank bound.
     """
     from repro.text.parser import ParsingRules
     from repro.text.tdm import build_tdm
 
     rules = ParsingRules(min_doc_freq=min_doc_freq)
     tdm = build_tdm(list(texts), rules, doc_ids=doc_ids)
-    manager = LSIIndexManager(
+    return LSIIndexManager(
         tdm,
         k=max(1, min(k, min(tdm.shape))),
         scheme=scheme,
@@ -251,4 +280,20 @@ def state_from_texts(
         drift_cap=drift_cap,
         seed=seed,
     )
+
+
+def state_from_texts(
+    texts: Sequence[str],
+    doc_ids: Sequence[str] | None = None,
+    *,
+    query_cache_size: int = 256,
+    **manager_kwargs,
+) -> ServingState:
+    """Build a live-updatable :class:`ServingState` from raw documents.
+
+    Thin composition of :func:`manager_from_texts` and
+    :meth:`ServingState.for_manager`; keyword arguments pass through to
+    the manager fit.
+    """
+    manager = manager_from_texts(texts, doc_ids, **manager_kwargs)
     return ServingState.for_manager(manager, query_cache_size=query_cache_size)

@@ -1,0 +1,79 @@
+"""Durable index storage: checkpoints, write-ahead log, crash recovery.
+
+The paper's toolchain keeps a persistent "LSI database" of ``U_k``,
+``Σ_k``, ``V_k`` plus labellings (§2), and its updating machinery
+(folding-in Eq. 7–8, SVD-updating Eq. 10–12) assumes an index that
+survives and evolves across sessions.  This package is that substrate
+for the serving stack — the durability layer that turns the in-memory
+:class:`~repro.updating.manager.LSIIndexManager` into an index a
+production system can restart, kill, and audit:
+
+* :mod:`repro.store.checkpoint` — atomic, checksummed, versioned
+  snapshots (temp dir + fsync + rename; CRC32 per array; JSON manifest
+  with format version, epoch, doc count, scheme);
+* :mod:`repro.store.wal` — the append-only, torn-tail-tolerant
+  write-ahead log that records every fold-in / term update /
+  consolidation between checkpoints, fsynced before acknowledgment;
+* :mod:`repro.store.recovery` — cold start: load the newest valid
+  checkpoint, replay the WAL suffix through the manager, verify the
+  result against the manifest;
+* :mod:`repro.store.mmap_io` — zero-copy ``np.load(mmap_mode="r")``
+  model opening for read-only serving replicas;
+* :mod:`repro.store.checkpointer` — the background policy thread
+  (every N records / M seconds / on consolidation) that snapshots
+  without blocking the query path;
+* :mod:`repro.store.durable` — :class:`DurableIndexStore` (the data
+  directory owner) and :class:`DurableServingState` (the server
+  integration).
+
+CLI surface: ``python -m repro serve <src> --data-dir DIR`` (warm
+restarts resume the exact pre-crash index) and ``python -m repro store
+{inspect,verify,compact} DIR``.
+"""
+
+from repro.store.checkpoint import (
+    CheckpointInfo,
+    latest_valid_checkpoint,
+    list_checkpoints,
+    read_arrays,
+    verify_checkpoint,
+    write_checkpoint,
+)
+from repro.store.checkpointer import Checkpointer, CheckpointPolicy
+from repro.store.durable import (
+    STORE_LAYOUT,
+    DurableIndexStore,
+    DurableServingState,
+)
+from repro.store.mmap_io import open_checkpoint_model, open_latest_model
+from repro.store.recovery import (
+    RecoveryReport,
+    capture_manager,
+    recover_manager,
+    restore_manager,
+)
+from repro.store.wal import WalRecord, WriteAheadLog, scan_wal, verify_wal
+
+__all__ = [
+    "CheckpointInfo",
+    "latest_valid_checkpoint",
+    "list_checkpoints",
+    "read_arrays",
+    "verify_checkpoint",
+    "write_checkpoint",
+    "Checkpointer",
+    "CheckpointPolicy",
+    "STORE_LAYOUT",
+    "DurableIndexStore",
+    "DurableServingState",
+    "open_checkpoint_model",
+    "open_latest_model",
+    "RecoveryReport",
+    "capture_manager",
+    "recover_manager",
+    "restore_manager",
+    "WalRecord",
+    "WriteAheadLog",
+    "scan_wal",
+    "verify_wal",
+]

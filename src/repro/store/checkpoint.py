@@ -1,0 +1,306 @@
+"""Atomic, checksummed, versioned checkpoints of index state.
+
+One checkpoint is one directory under ``<data-dir>/checkpoints``::
+
+    checkpoints/
+      ckpt-00000001/
+        manifest.json      format version, epoch, doc count, scheme,
+                           WAL position, per-array CRC32 + shape + dtype
+        base_U.npy ...     one .npy file per array
+
+The write protocol makes a checkpoint appear atomically even across a
+crash: every array is written into a ``.tmp`` sibling directory and
+fsynced, the manifest (written last) is fsynced, the directory is
+renamed to its final ``ckpt-<id>`` name, and the parent directory is
+fsynced.  A reader therefore either sees a complete checkpoint or none;
+leftover ``.tmp`` directories are garbage from a crash and are skipped
+(and reaped) by :func:`list_checkpoints`.
+
+Arrays are stored as individual ``.npy`` files rather than one ``.npz``
+so read-only serving replicas can open them with
+``np.load(mmap_mode="r")`` (:mod:`repro.store.mmap_io`) — zero-copy,
+O(file-count) open time.  Each file's CRC32 (over the complete ``.npy``
+bytes, header included) lives in the manifest, so ``repro store
+verify`` detects any single flipped byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import shutil
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.core.persistence import fsync_directory
+from repro.errors import StoreCorruptError, StoreError
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "MANIFEST_NAME",
+    "CheckpointInfo",
+    "checkpoint_name",
+    "write_checkpoint",
+    "load_manifest",
+    "verify_checkpoint",
+    "read_arrays",
+    "list_checkpoints",
+    "latest_valid_checkpoint",
+    "checkpoint_bytes",
+]
+
+CHECKPOINT_FORMAT = 1
+MANIFEST_NAME = "manifest.json"
+
+_PREFIX = "ckpt-"
+_CRC_CHUNK = 1 << 20
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """One on-disk checkpoint: its directory, id, and parsed manifest."""
+
+    path: pathlib.Path
+    checkpoint_id: int
+    manifest: dict
+
+    @property
+    def meta(self) -> dict:
+        """The caller-supplied metadata block (epoch, doc count, ...)."""
+        return self.manifest.get("meta", {})
+
+
+def checkpoint_name(checkpoint_id: int) -> str:
+    """Directory name for checkpoint ``checkpoint_id`` (sorts by id)."""
+    return f"{_PREFIX}{checkpoint_id:08d}"
+
+
+def _parse_id(name: str) -> int | None:
+    if not name.startswith(_PREFIX):
+        return None
+    try:
+        return int(name[len(_PREFIX):])
+    except ValueError:
+        return None
+
+
+def _file_crc32(path: pathlib.Path) -> int:
+    crc = 0
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(_CRC_CHUNK)
+            if not chunk:
+                return crc
+            crc = zlib.crc32(chunk, crc)
+
+
+def _write_fsynced(path: pathlib.Path, writer) -> None:
+    with open(path, "wb") as fh:
+        writer(fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def write_checkpoint(
+    root: pathlib.Path,
+    arrays: Mapping[str, np.ndarray],
+    meta: dict,
+    *,
+    checkpoint_id: int | None = None,
+) -> CheckpointInfo:
+    """Write one checkpoint atomically; returns its :class:`CheckpointInfo`.
+
+    ``meta`` is the caller's JSON-serializable state block (epoch, doc
+    count, scheme, WAL position, labellings); it is stored verbatim
+    under the manifest's ``meta`` key next to the integrity data this
+    module owns.
+    """
+    root = pathlib.Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    if checkpoint_id is None:
+        existing = [info.checkpoint_id for info in list_checkpoints(root)]
+        checkpoint_id = (max(existing) + 1) if existing else 1
+    final = root / checkpoint_name(checkpoint_id)
+    if final.exists():
+        raise StoreError(f"checkpoint {final} already exists")
+    tmp = root / (final.name + ".tmp")
+    if tmp.exists():
+        shutil.rmtree(tmp)
+    tmp.mkdir()
+    try:
+        entries: dict[str, dict] = {}
+        for name, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            file = tmp / f"{name}.npy"
+            _write_fsynced(file, lambda fh, a=array: np.save(fh, a))
+            entries[name] = {
+                "file": file.name,
+                "bytes": file.stat().st_size,
+                "crc32": _file_crc32(file),
+                "shape": list(array.shape),
+                "dtype": str(array.dtype),
+            }
+        manifest = {
+            "format": CHECKPOINT_FORMAT,
+            "checkpoint_id": checkpoint_id,
+            "created_unix": time.time(),
+            "arrays": entries,
+            "meta": dict(meta),
+        }
+        blob = json.dumps(manifest, indent=2, sort_keys=True).encode("utf-8")
+        _write_fsynced(tmp / MANIFEST_NAME, lambda fh: fh.write(blob))
+        fsync_directory(tmp)
+        os.rename(tmp, final)
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    fsync_directory(root)
+    return CheckpointInfo(final, checkpoint_id, manifest)
+
+
+def load_manifest(path: pathlib.Path) -> dict:
+    """Parse a checkpoint directory's manifest (corruption → error)."""
+    path = pathlib.Path(path)
+    try:
+        manifest = json.loads((path / MANIFEST_NAME).read_text("utf-8"))
+    except FileNotFoundError:
+        raise StoreError(f"{path} has no {MANIFEST_NAME}") from None
+    except (OSError, ValueError) as exc:
+        raise StoreCorruptError(f"unreadable manifest in {path}: {exc}") from exc
+    if not isinstance(manifest, dict) or "arrays" not in manifest:
+        raise StoreCorruptError(f"malformed manifest in {path}")
+    if manifest.get("format") != CHECKPOINT_FORMAT:
+        raise StoreError(
+            f"unsupported checkpoint format {manifest.get('format')} in {path}"
+        )
+    return manifest
+
+
+def verify_checkpoint(path: pathlib.Path) -> list[str]:
+    """Integrity-check one checkpoint; returns problems (empty = valid).
+
+    Every array file is re-read and its CRC32 compared against the
+    manifest — a single flipped byte anywhere (array payload, ``.npy``
+    header, or manifest JSON) surfaces as a problem string.
+    """
+    path = pathlib.Path(path)
+    try:
+        manifest = load_manifest(path)
+    except StoreError as exc:
+        return [str(exc)]
+    problems = []
+    for name, entry in sorted(manifest["arrays"].items()):
+        file = path / entry["file"]
+        if not file.is_file():
+            problems.append(f"{path.name}: missing array file {entry['file']}")
+            continue
+        size = file.stat().st_size
+        if size != entry["bytes"]:
+            problems.append(
+                f"{path.name}/{entry['file']}: size {size} != "
+                f"recorded {entry['bytes']}"
+            )
+            continue
+        crc = _file_crc32(file)
+        if crc != entry["crc32"]:
+            problems.append(
+                f"{path.name}/{entry['file']}: crc32 {crc:#010x} != "
+                f"recorded {entry['crc32']:#010x}"
+            )
+    return problems
+
+
+def read_arrays(
+    path: pathlib.Path,
+    *,
+    mmap: bool = False,
+    verify: bool = True,
+) -> dict[str, np.ndarray]:
+    """Load every array of a checkpoint, optionally memory-mapped.
+
+    ``verify=True`` (the default for recovery) CRC-checks each file
+    before loading and raises :class:`StoreCorruptError` on mismatch;
+    mmap opens skip verification by default at the call sites that want
+    O(1) open time.
+    """
+    path = pathlib.Path(path)
+    manifest = load_manifest(path)
+    if verify:
+        problems = verify_checkpoint(path)
+        if problems:
+            raise StoreCorruptError(
+                f"checkpoint {path} failed verification: "
+                + "; ".join(problems)
+            )
+    arrays: dict[str, np.ndarray] = {}
+    for name, entry in manifest["arrays"].items():
+        try:
+            arrays[name] = np.load(
+                path / entry["file"], mmap_mode="r" if mmap else None
+            )
+        except Exception as exc:
+            raise StoreCorruptError(
+                f"cannot load array {name!r} from {path}: {exc}"
+            ) from exc
+    return arrays
+
+
+def list_checkpoints(root: pathlib.Path) -> list[CheckpointInfo]:
+    """All complete checkpoints under ``root``, ascending by id.
+
+    Incomplete ``.tmp`` directories (crash debris) are removed; a
+    directory whose manifest cannot be parsed is skipped here (it still
+    shows up in ``repro store verify``).
+    """
+    root = pathlib.Path(root)
+    if not root.is_dir():
+        return []
+    infos = []
+    for entry in sorted(root.iterdir()):
+        if entry.name.endswith(".tmp"):
+            shutil.rmtree(entry, ignore_errors=True)
+            continue
+        cid = _parse_id(entry.name)
+        if cid is None or not entry.is_dir():
+            continue
+        try:
+            manifest = load_manifest(entry)
+        except StoreError:
+            continue
+        infos.append(CheckpointInfo(entry, cid, manifest))
+    infos.sort(key=lambda info: info.checkpoint_id)
+    return infos
+
+
+def latest_valid_checkpoint(
+    root: pathlib.Path,
+) -> tuple[CheckpointInfo | None, list[str]]:
+    """Newest checkpoint that passes verification, plus skip diagnostics.
+
+    Walks newest → oldest so recovery degrades gracefully: a corrupt
+    latest checkpoint costs replaying a longer WAL suffix from the
+    previous one, not the whole index.
+    """
+    problems: list[str] = []
+    for info in reversed(list_checkpoints(root)):
+        bad = verify_checkpoint(info.path)
+        if not bad:
+            return info, problems
+        problems.extend(bad)
+    return None, problems
+
+
+def checkpoint_bytes(info: CheckpointInfo) -> int:
+    """Total on-disk array bytes of one checkpoint (manifest excluded)."""
+    return sum(int(e["bytes"]) for e in info.manifest["arrays"].values())
+
+
+def iter_array_files(info: CheckpointInfo) -> Iterator[pathlib.Path]:
+    """The array files of a checkpoint (for tooling/tests)."""
+    for entry in info.manifest["arrays"].values():
+        yield info.path / entry["file"]

@@ -1,0 +1,476 @@
+"""The durable index store: WAL-ahead mutations over versioned checkpoints.
+
+:class:`DurableIndexStore` owns one data directory::
+
+    <data-dir>/
+      checkpoints/ckpt-00000001/   versioned, checksummed snapshots
+      wal.log                      fold-ins since the newest snapshot
+
+and routes every index mutation through the write-ahead discipline:
+validate → append + fsync to the WAL → apply to the
+:class:`~repro.updating.manager.LSIIndexManager`.  An LSN handed back
+is the durability acknowledgment — after any crash,
+:func:`~repro.store.recovery.recover_manager` reproduces the exact
+index that had absorbed every acknowledged mutation (bit-identical
+``U, s, V``; see the determinism tests).
+
+:class:`DurableServingState` plugs the store into the serving layer
+(:mod:`repro.server`): it overrides the epoch-swap write path so every
+``/add`` is WAL-logged before the new epoch is published, and its swap
+hook nudges the background :class:`~repro.store.checkpointer.
+Checkpointer`.  The query path is untouched — readers still score
+pinned epoch snapshots lock-free, which is what keeps checkpointing off
+the latency profile.
+
+Maintenance: :meth:`DurableIndexStore.compact` folds the WAL into a
+fresh checkpoint and truncates it (search results bit-identical, replay
+cost reset to zero), :meth:`verify` audits every checksum on disk, and
+:meth:`close` performs the graceful-drain flush ``repro serve`` runs on
+SIGTERM.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import shutil
+import threading
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError, StoreError
+from repro.obs.metrics import registry
+from repro.obs.tracing import span
+from repro.server.state import ServingState
+from repro.store.checkpoint import (
+    checkpoint_bytes,
+    list_checkpoints,
+    verify_checkpoint,
+    write_checkpoint,
+)
+from repro.store.checkpointer import Checkpointer, CheckpointPolicy
+from repro.store.recovery import RecoveryReport, capture_manager, recover_manager
+from repro.store.wal import WriteAheadLog, verify_wal
+from repro.text.tdm import count_vector
+from repro.text.tokenizer import tokenize
+from repro.updating.manager import IndexEvent, LSIIndexManager
+
+__all__ = ["STORE_LAYOUT", "DurableIndexStore", "DurableServingState"]
+
+#: Fixed names inside a store data directory.
+STORE_LAYOUT = {"checkpoints": "checkpoints", "wal": "wal.log"}
+
+
+class DurableIndexStore:
+    """Crash-recoverable home of one incrementally maintained index."""
+
+    def __init__(
+        self,
+        data_dir: pathlib.Path,
+        manager: LSIIndexManager,
+        wal: WriteAheadLog,
+        *,
+        retain: int = 3,
+        last_checkpoint_lsn: int = 0,
+        last_recovery: RecoveryReport | None = None,
+    ):
+        self.data_dir = pathlib.Path(data_dir)
+        self.manager = manager
+        self.retain = max(1, int(retain))
+        self.last_recovery = last_recovery
+        self._wal = wal
+        self._lock = threading.RLock()  # serializes mutations + capture
+        self._checkpoint_lock = threading.Lock()  # one snapshot at a time
+        self._last_checkpoint_lsn = last_checkpoint_lsn
+        self._last_checkpoint_time = time.time()
+        self._last_checkpoint_bytes = 0
+        self._checkpointer: Checkpointer | None = None
+        self._closed = False
+        for info in list_checkpoints(self.checkpoints_dir):
+            self._last_checkpoint_time = float(info.manifest["created_unix"])
+            self._last_checkpoint_bytes = checkpoint_bytes(info)
+        registry.set_gauge(
+            "store.last_recovery_replayed",
+            last_recovery.replayed_records if last_recovery else 0,
+        )
+        self.publish_gauges()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def paths(data_dir: pathlib.Path) -> tuple[pathlib.Path, pathlib.Path]:
+        """(checkpoints directory, WAL path) under ``data_dir``."""
+        data_dir = pathlib.Path(data_dir)
+        return (
+            data_dir / STORE_LAYOUT["checkpoints"],
+            data_dir / STORE_LAYOUT["wal"],
+        )
+
+    @classmethod
+    def exists(cls, data_dir: pathlib.Path) -> bool:
+        """Whether ``data_dir`` holds recoverable store state."""
+        checkpoints_dir, wal_path = cls.paths(data_dir)
+        return bool(list_checkpoints(checkpoints_dir)) or wal_path.exists()
+
+    @classmethod
+    def initialize(
+        cls,
+        data_dir: pathlib.Path,
+        manager: LSIIndexManager,
+        *,
+        retain: int = 3,
+        sync: bool = True,
+    ) -> "DurableIndexStore":
+        """Seed a fresh store around an already-fitted manager.
+
+        Writes checkpoint 1 immediately, so the store is recoverable
+        from the moment this returns.
+        """
+        if cls.exists(data_dir):
+            raise StoreError(
+                f"{data_dir} already contains a durable index store; "
+                "open it instead of initializing over it"
+            )
+        checkpoints_dir, wal_path = cls.paths(data_dir)
+        checkpoints_dir.mkdir(parents=True, exist_ok=True)
+        wal = WriteAheadLog(wal_path, sync=sync)
+        store = cls(data_dir, manager, wal, retain=retain)
+        store.checkpoint(reason="initialize")
+        return store
+
+    @classmethod
+    def open(
+        cls,
+        data_dir: pathlib.Path,
+        *,
+        retain: int = 3,
+        sync: bool = True,
+    ) -> "DurableIndexStore":
+        """Recover a store: newest valid checkpoint + WAL replay.
+
+        The manager's configuration (``k``, scheme, budgets, seed) comes
+        from the checkpoint manifest — a warm restart needs nothing but
+        the data directory.
+        """
+        checkpoints_dir, wal_path = cls.paths(data_dir)
+        manager, report = recover_manager(checkpoints_dir, wal_path)
+        wal = WriteAheadLog(
+            wal_path, sync=sync, base_lsn=report.wal_lsn_start
+        )
+        return cls(
+            data_dir,
+            manager,
+            wal,
+            retain=retain,
+            last_checkpoint_lsn=report.wal_lsn_start,
+            last_recovery=report,
+        )
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping the checkpoint policy reads
+    # ------------------------------------------------------------------ #
+    @property
+    def checkpoints_dir(self) -> pathlib.Path:
+        """Where this store keeps its versioned checkpoints."""
+        return self.paths(self.data_dir)[0]
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        """The live write-ahead log handle."""
+        return self._wal
+
+    @property
+    def dirty_records(self) -> int:
+        """WAL records not yet covered by a checkpoint."""
+        return self._wal.last_lsn - self._last_checkpoint_lsn
+
+    @property
+    def seconds_since_checkpoint(self) -> float:
+        """Wall-clock age of the newest checkpoint."""
+        return max(0.0, time.time() - self._last_checkpoint_time)
+
+    def publish_gauges(self) -> None:
+        """Refresh the ``store.*`` gauges ``repro stats`` reports."""
+        registry.set_gauge("store.wal_records", self._wal.n_records)
+        registry.set_gauge("store.wal_bytes", self._wal.size_bytes)
+        registry.set_gauge("store.dirty_records", self.dirty_records)
+        registry.set_gauge(
+            "store.checkpoint_age_seconds", self.seconds_since_checkpoint
+        )
+        registry.set_gauge(
+            "store.checkpoint_bytes", self._last_checkpoint_bytes
+        )
+
+    # ------------------------------------------------------------------ #
+    # the write-ahead mutation path
+    # ------------------------------------------------------------------ #
+    def _apply(self, op: str, payload: dict, apply) -> IndexEvent | None:
+        """Append + fsync the record, then run ``apply`` on the manager."""
+        if self._closed:
+            raise StoreError(f"store {self.data_dir} is closed")
+        t0 = time.perf_counter()
+        self._wal.append(op, payload)
+        registry.observe("store.wal_append_seconds", time.perf_counter() - t0)
+        registry.inc("store.wal_appends_total")
+        event = apply()
+        if self._checkpointer is not None:
+            self._checkpointer.notify(
+                consolidated=event is not None and event.action != "fold-in"
+            )
+        self.publish_gauges()
+        return event
+
+    def add_texts(
+        self, texts: Sequence[str], doc_ids: Sequence[str] | None = None
+    ) -> IndexEvent:
+        """WAL-logged :meth:`LSIIndexManager.add_texts`.
+
+        Texts are normalized to raw count columns against the current
+        vocabulary *before* logging, so replay is independent of any
+        future tokenizer change — the log stores exactly what the
+        manager applied.
+        """
+        if not texts:
+            raise ShapeError("add_texts needs at least one document")
+        with self._lock:
+            manager = self.manager
+            if doc_ids is None:
+                start = manager.n_documents + manager.pending + 1
+                doc_ids = [f"D{start + i}" for i in range(len(texts))]
+            elif len(doc_ids) != len(texts):
+                raise ShapeError("doc_ids length mismatch")
+            counts = np.stack(
+                [
+                    count_vector(tokenize(t), manager.model.vocabulary)
+                    for t in texts
+                ],
+                axis=1,
+            )
+            return self.add_counts(counts, doc_ids)
+
+    def add_counts(
+        self, counts: np.ndarray, doc_ids: Sequence[str]
+    ) -> IndexEvent:
+        """WAL-logged :meth:`LSIIndexManager.add_counts`."""
+        counts = np.atleast_2d(np.asarray(counts, dtype=np.float64))
+        with self._lock:
+            manager = self.manager
+            if counts.shape[0] != manager.model.n_terms:
+                raise ShapeError(
+                    f"count block has {counts.shape[0]} rows for "
+                    f"m={manager.model.n_terms}"
+                )
+            if counts.shape[1] != len(doc_ids):
+                raise ShapeError("doc_ids length mismatch")
+            return self._apply(
+                "add_counts",
+                {"counts": counts, "doc_ids": list(doc_ids)},
+                lambda: manager.add_counts(counts, list(doc_ids)),
+            )
+
+    def add_terms(
+        self,
+        counts: np.ndarray,
+        terms: Sequence[str],
+        *,
+        global_weights: np.ndarray | None = None,
+    ) -> IndexEvent:
+        """WAL-logged :meth:`LSIIndexManager.add_terms`."""
+        counts = np.atleast_2d(np.asarray(counts, dtype=np.float64))
+        with self._lock:
+            manager = self.manager
+            expected = manager.tdm.n_documents + manager.pending
+            if counts.shape[1] != expected:
+                raise ShapeError(
+                    f"term block has {counts.shape[1]} columns for "
+                    f"n={expected}"
+                )
+            gw = (
+                None
+                if global_weights is None
+                else np.asarray(global_weights, dtype=np.float64)
+            )
+            return self._apply(
+                "add_terms",
+                {"counts": counts, "terms": list(terms), "global_weights": gw},
+                lambda: manager.add_terms(
+                    counts, list(terms), global_weights=gw
+                ),
+            )
+
+    def consolidate(self) -> IndexEvent | None:
+        """WAL-logged :meth:`LSIIndexManager.consolidate` (no-op when
+        nothing is pending — nothing is logged either)."""
+        with self._lock:
+            if not self.manager.pending:
+                return None
+            return self._apply(
+                "consolidate", {}, lambda: self.manager.consolidate()
+            )
+
+    # ------------------------------------------------------------------ #
+    # snapshots and maintenance
+    # ------------------------------------------------------------------ #
+    def checkpoint(self, reason: str = "manual") -> pathlib.Path:
+        """Snapshot current state into a fresh versioned checkpoint.
+
+        Holds the writer lock only long enough to capture array
+        references (the manager never mutates arrays in place);
+        serialization, checksumming, and fsync run unlocked, so queries
+        — which never take these locks — are unaffected and concurrent
+        ``/add`` s block for microseconds at worst.
+        """
+        with self._checkpoint_lock:
+            t0 = time.perf_counter()
+            with span("store.checkpoint", reason=reason):
+                with self._lock:
+                    arrays, meta = capture_manager(self.manager)
+                    wal_lsn = self._wal.last_lsn
+                meta["wal_lsn"] = wal_lsn
+                meta["epoch"] = wal_lsn  # logical index version
+                meta["reason"] = reason
+                info = write_checkpoint(self.checkpoints_dir, arrays, meta)
+            self._last_checkpoint_lsn = wal_lsn
+            self._last_checkpoint_time = time.time()
+            self._last_checkpoint_bytes = checkpoint_bytes(info)
+            elapsed = time.perf_counter() - t0
+            registry.inc("store.checkpoints_total")
+            registry.observe("store.checkpoint_seconds", elapsed)
+            self._prune_checkpoints()
+            self.publish_gauges()
+            return info.path
+
+    def _prune_checkpoints(self) -> None:
+        infos = list_checkpoints(self.checkpoints_dir)
+        for info in infos[: max(0, len(infos) - self.retain)]:
+            shutil.rmtree(info.path, ignore_errors=True)
+
+    def compact(self) -> pathlib.Path:
+        """Fold the WAL into a fresh checkpoint and truncate it.
+
+        Blocks writers for the duration (an append between capture and
+        truncation would be silently dropped otherwise); queries are
+        unaffected.  Search results are bit-identical before and after
+        — the checkpoint *is* the replayed state.
+        """
+        with self._checkpoint_lock, self._lock:
+            arrays, meta = capture_manager(self.manager)
+            wal_lsn = self._wal.last_lsn
+            meta["wal_lsn"] = wal_lsn
+            meta["epoch"] = wal_lsn
+            meta["reason"] = "compact"
+            with span("store.compact"):
+                info = write_checkpoint(self.checkpoints_dir, arrays, meta)
+                self._wal.truncate()
+            self._last_checkpoint_lsn = wal_lsn
+            self._last_checkpoint_time = time.time()
+            self._last_checkpoint_bytes = checkpoint_bytes(info)
+            registry.inc("store.checkpoints_total")
+            registry.inc("store.compactions_total")
+            self._prune_checkpoints()
+            self.publish_gauges()
+            return info.path
+
+    def verify(self) -> list[str]:
+        """Checksum-audit every checkpoint and the WAL; [] means clean."""
+        problems: list[str] = []
+        for info in list_checkpoints(self.checkpoints_dir):
+            problems.extend(verify_checkpoint(info.path))
+        problems.extend(verify_wal(self.paths(self.data_dir)[1]))
+        return problems
+
+    def inspect(self) -> dict:
+        """A JSON-ready description of the on-disk store state."""
+        checkpoints = [
+            {
+                "id": info.checkpoint_id,
+                "path": str(info.path),
+                "created_unix": info.manifest["created_unix"],
+                "bytes": checkpoint_bytes(info),
+                "n_documents": info.meta.get("n_documents"),
+                "wal_lsn": info.meta.get("wal_lsn"),
+                "reason": info.meta.get("reason"),
+            }
+            for info in list_checkpoints(self.checkpoints_dir)
+        ]
+        return {
+            "data_dir": str(self.data_dir),
+            "checkpoints": checkpoints,
+            "wal": {
+                "path": str(self._wal.path),
+                "records": self._wal.n_records,
+                "bytes": self._wal.size_bytes,
+                "last_lsn": self._wal.last_lsn,
+            },
+            "dirty_records": self.dirty_records,
+            "n_documents": self.manager.n_documents,
+            "pending": self.manager.pending,
+            "last_recovery_replayed": (
+                self.last_recovery.replayed_records
+                if self.last_recovery
+                else 0
+            ),
+        }
+
+    # ------------------------------------------------------------------ #
+    # background checkpointing + lifecycle
+    # ------------------------------------------------------------------ #
+    def start_checkpointer(
+        self,
+        policy: CheckpointPolicy | None = None,
+        *,
+        poll_seconds: float = 1.0,
+    ) -> Checkpointer:
+        """Attach and start the background policy checkpointer."""
+        if self._checkpointer is None:
+            self._checkpointer = Checkpointer(
+                self, policy, poll_seconds=poll_seconds
+            )
+        self._checkpointer.start()
+        return self._checkpointer
+
+    @property
+    def checkpointer(self) -> Checkpointer | None:
+        """The attached background checkpointer, if any."""
+        return self._checkpointer
+
+    def close(self, *, flush: bool = True) -> None:
+        """Graceful shutdown: stop the checkpointer, flush, release.
+
+        ``flush=True`` writes a final checkpoint when the WAL holds
+        records no checkpoint covers — the SIGTERM drain path, so a
+        clean restart replays nothing.
+        """
+        if self._closed:
+            return
+        if self._checkpointer is not None:
+            self._checkpointer.stop()
+        if flush and self.dirty_records > 0:
+            self.checkpoint(reason="close")
+        self._closed = True
+        self._wal.close()
+
+
+class DurableServingState(ServingState):
+    """A :class:`~repro.server.state.ServingState` whose writes survive.
+
+    Same epoch-swap reader/writer contract as the base class; the only
+    difference is the write path: each addition goes through the
+    store's WAL-ahead discipline before the new epoch is published, and
+    the registered swap hook pokes the background checkpointer's policy
+    via the store.  Readers never touch the store.
+    """
+
+    def __init__(self, store: DurableIndexStore, **kwargs):
+        super().__init__(manager=store.manager, **kwargs)
+        self.store = store
+        self.add_swap_hook(self._on_swap)
+
+    def _apply_add(self, texts, doc_ids):
+        return self.store.add_texts(texts, doc_ids)
+
+    @staticmethod
+    def _on_swap(snapshot, event) -> None:
+        registry.set_gauge("store.serving_epoch", snapshot.epoch)

@@ -1,0 +1,286 @@
+"""Cold-start recovery: checkpoint load + write-ahead-log replay.
+
+This module owns the mapping between a live
+:class:`~repro.updating.manager.LSIIndexManager` and its durable form:
+
+* :func:`capture_manager` flattens a manager into the ``(arrays, meta)``
+  pair :mod:`repro.store.checkpoint` writes.  The split exploits the
+  manager's structural invariant that the serving model differs from the
+  consolidated base model only by folded-in document rows — ``U``,
+  ``Σ``, and the global weights are stored once;
+* :func:`restore_manager` is the exact inverse (bit-identical arrays,
+  no refit);
+* :func:`recover_manager` is the cold-start path: load the newest valid
+  checkpoint (walking back past corrupt ones), cross-check the manifest
+  document count against the rebuilt manager, then replay every WAL
+  record past the checkpoint's LSN through the manager's normal entry
+  points.  Because each maintenance action is a deterministic function
+  of manager state, the replayed index is bit-identical to the one the
+  crashed process would have had after its last fsynced record.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.model import LSIModel
+from repro.errors import StoreCorruptError, StoreError
+from repro.obs.metrics import registry
+from repro.obs.tracing import span
+from repro.sparse.csc import CSCMatrix
+from repro.store.checkpoint import latest_valid_checkpoint, read_arrays
+from repro.store.wal import WalRecord, scan_wal
+from repro.text.tdm import TermDocumentMatrix
+from repro.text.vocabulary import Vocabulary
+from repro.updating.manager import IndexEvent, LSIIndexManager
+from repro.weighting.schemes import WeightingScheme
+
+__all__ = [
+    "RecoveryReport",
+    "capture_manager",
+    "restore_manager",
+    "apply_record",
+    "recover_manager",
+]
+
+
+@dataclass
+class RecoveryReport:
+    """What one cold start did, for logs and the ``store inspect`` view."""
+
+    checkpoint_id: int
+    checkpoint_path: pathlib.Path
+    wal_lsn_start: int
+    replayed_records: int
+    torn_tail: bool
+    n_documents: int
+    problems: list[str] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------- #
+# scheme (de)serialization — the manager accepts None, a name string, or
+# a WeightingScheme; all three must round-trip through manifest JSON.
+# --------------------------------------------------------------------- #
+def _scheme_to_json(scheme) -> dict | str | None:
+    if scheme is None or isinstance(scheme, str):
+        return scheme
+    if isinstance(scheme, WeightingScheme):
+        return {"local": scheme.local, "global": scheme.global_}
+    raise StoreError(f"cannot serialize weighting scheme {scheme!r}")
+
+
+def _scheme_from_json(obj):
+    if obj is None or isinstance(obj, str):
+        return obj
+    return WeightingScheme(obj["local"], obj["global"])
+
+
+# --------------------------------------------------------------------- #
+# capture / restore
+# --------------------------------------------------------------------- #
+def capture_manager(
+    manager: LSIIndexManager,
+) -> tuple[dict[str, np.ndarray], dict]:
+    """Flatten a manager into checkpointable ``(arrays, meta)``.
+
+    Cheap: every returned array is a reference to state the manager
+    never mutates in place (maintenance replaces arrays wholesale), so
+    the caller can release any lock before the arrays hit disk.  Only
+    the small pending block is concatenated here.
+    """
+    base = manager._base_model
+    model = manager.model
+    vocab = model.vocabulary.to_list()
+    if base.vocabulary.to_list() != vocab or (
+        manager.tdm.vocabulary.to_list() != vocab
+    ):
+        raise StoreError(
+            "manager vocabulary diverged between model, base model, and "
+            "raw matrix — cannot checkpoint"
+        )
+    pending = (
+        np.hstack([np.asarray(b) for b in manager._pending_counts])
+        if manager._pending_counts
+        else np.empty((model.n_terms, 0))
+    )
+    arrays = {
+        "base_U": base.U,
+        "base_s": base.s,
+        "base_V": base.V,
+        "base_gw": base.global_weights,
+        "model_V": model.V,
+        "tdm_indptr": manager.tdm.matrix.indptr,
+        "tdm_indices": manager.tdm.matrix.indices,
+        "tdm_data": manager.tdm.matrix.data,
+        "pending": pending,
+    }
+    meta = {
+        "k": manager.k,
+        "seed": manager.seed,
+        "scheme": _scheme_to_json(manager.scheme),
+        "model_scheme": {
+            "local": model.scheme.local,
+            "global": model.scheme.global_,
+        },
+        "distortion_budget": manager.distortion_budget,
+        "drift_cap": manager.drift_cap,
+        "exact_updates": manager.exact_updates,
+        "vocabulary": vocab,
+        "doc_ids": list(model.doc_ids),
+        "base_doc_ids": list(base.doc_ids),
+        "tdm_doc_ids": list(manager.tdm.doc_ids),
+        "tdm_shape": list(manager.tdm.shape),
+        "pending_ids": list(manager._pending_ids),
+        "provenance": model.provenance,
+        "base_provenance": base.provenance,
+        "n_documents": model.n_documents,
+        "events": [
+            {
+                "action": e.action,
+                "n_documents": e.n_documents,
+                "pending_before": e.pending_before,
+                "doc_loss": e.doc_loss,
+                "reason": e.reason,
+            }
+            for e in manager.events
+        ],
+    }
+    return arrays, meta
+
+
+def restore_manager(
+    arrays: dict[str, np.ndarray], meta: dict
+) -> LSIIndexManager:
+    """Inverse of :func:`capture_manager` — a manager with no refit."""
+    vocabulary = Vocabulary(meta["vocabulary"]).freeze()
+    model_scheme = WeightingScheme(
+        meta["model_scheme"]["local"], meta["model_scheme"]["global"]
+    )
+    base = LSIModel(
+        U=np.asarray(arrays["base_U"]),
+        s=np.asarray(arrays["base_s"]),
+        V=np.asarray(arrays["base_V"]),
+        vocabulary=vocabulary,
+        doc_ids=list(meta["base_doc_ids"]),
+        scheme=model_scheme,
+        global_weights=np.asarray(arrays["base_gw"]),
+        provenance=meta["base_provenance"],
+    )
+    from dataclasses import replace
+
+    model = replace(
+        base,
+        V=np.asarray(arrays["model_V"]),
+        doc_ids=list(meta["doc_ids"]),
+        provenance=meta["provenance"],
+    )
+    m, n = (int(x) for x in meta["tdm_shape"])
+    tdm = TermDocumentMatrix(
+        CSCMatrix(
+            (m, n),
+            np.asarray(arrays["tdm_indptr"]),
+            np.asarray(arrays["tdm_indices"]),
+            np.asarray(arrays["tdm_data"]),
+        ),
+        vocabulary,
+        list(meta["tdm_doc_ids"]),
+    )
+    pending = np.asarray(arrays["pending"], dtype=np.float64)
+    return LSIIndexManager.restore(
+        tdm=tdm,
+        k=int(meta["k"]),
+        model=model,
+        base_model=base,
+        pending_counts=[pending] if pending.shape[1] else [],
+        pending_ids=meta["pending_ids"],
+        events=[IndexEvent(**e) for e in meta["events"]],
+        scheme=_scheme_from_json(meta["scheme"]),
+        distortion_budget=float(meta["distortion_budget"]),
+        drift_cap=float(meta["drift_cap"]),
+        exact_updates=bool(meta["exact_updates"]),
+        seed=int(meta["seed"]),
+    )
+
+
+# --------------------------------------------------------------------- #
+# replay
+# --------------------------------------------------------------------- #
+def apply_record(manager: LSIIndexManager, record: WalRecord) -> None:
+    """Apply one WAL record through the manager's normal entry points."""
+    if record.op == "add_counts":
+        manager.add_counts(
+            record.payload["counts"], list(record.payload["doc_ids"])
+        )
+    elif record.op == "add_terms":
+        manager.add_terms(
+            record.payload["counts"],
+            list(record.payload["terms"]),
+            global_weights=record.payload.get("global_weights"),
+        )
+    elif record.op == "consolidate":
+        manager.consolidate()
+    else:
+        raise StoreCorruptError(
+            f"write-ahead log record {record.lsn} has unknown op "
+            f"{record.op!r}"
+        )
+
+
+def recover_manager(
+    checkpoints_dir: pathlib.Path, wal_path: pathlib.Path
+) -> tuple[LSIIndexManager, RecoveryReport]:
+    """Cold-start: newest valid checkpoint + WAL suffix replay.
+
+    Raises :class:`StoreError` when no valid checkpoint exists, and
+    :class:`StoreCorruptError` when the surviving state is internally
+    inconsistent (manifest/doc-count mismatch, a gap between the
+    checkpoint's WAL position and the log's first surviving record).
+    """
+    with span("store.recover"):
+        info, skipped = latest_valid_checkpoint(checkpoints_dir)
+        if info is None:
+            detail = f" ({'; '.join(skipped)})" if skipped else ""
+            raise StoreError(
+                f"no valid checkpoint under {checkpoints_dir}{detail}"
+            )
+        manager = restore_manager(
+            read_arrays(info.path, verify=True), info.meta
+        )
+        if manager.n_documents != int(info.meta["n_documents"]):
+            raise StoreCorruptError(
+                f"checkpoint {info.path.name} manifest records "
+                f"{info.meta['n_documents']} documents but the recovered "
+                f"index has {manager.n_documents}"
+            )
+        wal_lsn = int(info.meta.get("wal_lsn", 0))
+        scan = scan_wal(wal_path)
+        replayed = 0
+        expected = wal_lsn + 1
+        for record in scan.records:
+            if record.lsn <= wal_lsn:
+                continue
+            if record.lsn != expected:
+                raise StoreCorruptError(
+                    f"write-ahead log gap: checkpoint "
+                    f"{info.path.name} ends at LSN {wal_lsn} but the "
+                    f"next surviving record is LSN {record.lsn} "
+                    f"(expected {expected})"
+                )
+            apply_record(manager, record)
+            replayed += 1
+            expected += 1
+        registry.set_gauge("store.last_recovery_replayed", replayed)
+        registry.inc("store.recoveries_total")
+        report = RecoveryReport(
+            checkpoint_id=info.checkpoint_id,
+            checkpoint_path=info.path,
+            wal_lsn_start=wal_lsn,
+            replayed_records=replayed,
+            torn_tail=scan.torn_tail,
+            n_documents=manager.n_documents,
+            problems=list(skipped) + list(scan.problems),
+        )
+        return manager, report

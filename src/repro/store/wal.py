@@ -1,0 +1,329 @@
+"""Append-only write-ahead log for index mutations.
+
+Every mutation the index manager applies between checkpoints —
+``add_counts`` (which ``add_texts`` normalizes into), ``add_terms``,
+``consolidate`` — is appended here and fsynced *before* it is applied,
+so an acknowledged fold-in is never lost: after a crash, recovery
+replays the log suffix on top of the newest checkpoint.
+
+File layout::
+
+    [8B magic "RPWAL001"][8B little-endian base LSN]        header
+    [4B payload length][4B CRC32(payload)][payload] ...     records
+
+Payloads are UTF-8 JSON with NumPy arrays encoded losslessly (dtype +
+shape + base64 of the raw little-endian bytes), so a replayed
+``add_counts`` block is bit-identical to the one the crashed process
+applied.  Each record carries its log sequence number (LSN); the header
+stores the base LSN so truncation (``repro store compact``) preserves
+the global numbering checkpoint manifests refer to.
+
+Torn tails are expected, not fatal: a crash mid-append leaves a final
+record with too few bytes or a failing checksum.  :func:`scan_wal`
+stops at the first invalid record and reports it; opening the log for
+appending truncates the torn suffix so new records never land after
+garbage.  A checksum failure *before* the end of file means real data
+corruption — ``repro store verify`` reports every such record.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pathlib
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import StoreCorruptError, StoreError
+
+__all__ = [
+    "WAL_MAGIC",
+    "WalRecord",
+    "WalScan",
+    "WriteAheadLog",
+    "scan_wal",
+    "verify_wal",
+    "encode_array",
+    "decode_array",
+]
+
+WAL_MAGIC = b"RPWAL001"
+_HEADER = struct.Struct("<8sQ")  # magic, base LSN
+_FRAME = struct.Struct("<II")  # payload length, CRC32(payload)
+
+#: Upper bound on one record's payload; anything larger is corruption.
+MAX_RECORD_BYTES = 1 << 31
+
+
+def encode_array(array: np.ndarray) -> dict:
+    """Lossless JSON encoding of an ndarray (dtype + shape + base64)."""
+    shape = list(array.shape)  # ascontiguousarray promotes 0-d to (1,)
+    array = np.ascontiguousarray(array)
+    return {
+        "__ndarray__": True,
+        "dtype": array.dtype.str,
+        "shape": shape,
+        "data": base64.b64encode(array.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(obj: dict) -> np.ndarray:
+    """Inverse of :func:`encode_array` (bit-exact round trip)."""
+    raw = base64.b64decode(obj["data"])
+    array = np.frombuffer(raw, dtype=np.dtype(obj["dtype"]))
+    return array.reshape(obj["shape"]).copy()
+
+
+def _decode_payload(payload: dict) -> dict:
+    return {
+        key: decode_array(value)
+        if isinstance(value, dict) and value.get("__ndarray__")
+        else value
+        for key, value in payload.items()
+    }
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded log record: its LSN, operation, and payload."""
+
+    lsn: int
+    op: str
+    payload: dict
+
+
+@dataclass
+class WalScan:
+    """Result of walking a log file front to back."""
+
+    records: list[WalRecord] = field(default_factory=list)
+    valid_end: int = _HEADER.size
+    base_lsn: int = 0
+    problems: list[str] = field(default_factory=list)
+    torn_tail: bool = False
+
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the final valid record (base LSN when empty)."""
+        return self.records[-1].lsn if self.records else self.base_lsn
+
+
+def scan_wal(path: pathlib.Path) -> WalScan:
+    """Walk the log, collecting valid records and tail diagnostics.
+
+    Never raises on content: a missing file yields an empty scan, and
+    any invalid byte sequence ends the walk with ``torn_tail=True`` and
+    a problem string saying what was wrong at which offset.  (After the
+    first bad frame the record boundaries are unknowable, so whether
+    the cause was a crash or corruption, everything beyond it is
+    unrecoverable — callers decide how loud to be.)
+    """
+    path = pathlib.Path(path)
+    scan = WalScan()
+    try:
+        blob = path.read_bytes()
+    except FileNotFoundError:
+        return scan
+    if len(blob) < _HEADER.size:
+        scan.problems.append(f"{path.name}: short header ({len(blob)} bytes)")
+        scan.torn_tail = True
+        scan.valid_end = 0
+        return scan
+    magic, base_lsn = _HEADER.unpack_from(blob, 0)
+    if magic != WAL_MAGIC:
+        scan.problems.append(f"{path.name}: bad magic {magic!r}")
+        scan.torn_tail = True
+        scan.valid_end = 0
+        return scan
+    scan.base_lsn = base_lsn
+    offset = _HEADER.size
+    while offset < len(blob):
+        if offset + _FRAME.size > len(blob):
+            scan.problems.append(
+                f"{path.name}: torn frame header at offset {offset}"
+            )
+            scan.torn_tail = True
+            break
+        length, crc = _FRAME.unpack_from(blob, offset)
+        start = offset + _FRAME.size
+        if length > MAX_RECORD_BYTES or start + length > len(blob):
+            scan.problems.append(
+                f"{path.name}: torn record at offset {offset} "
+                f"(length {length}, {len(blob) - start} bytes remain)"
+            )
+            scan.torn_tail = True
+            break
+        payload = blob[start:start + length]
+        if zlib.crc32(payload) != crc:
+            scan.problems.append(
+                f"{path.name}: checksum mismatch at offset {offset}"
+            )
+            scan.torn_tail = True
+            break
+        try:
+            decoded = json.loads(payload.decode("utf-8"))
+            record = WalRecord(
+                int(decoded.pop("lsn")),
+                str(decoded.pop("op")),
+                _decode_payload(decoded),
+            )
+        except Exception as exc:
+            scan.problems.append(
+                f"{path.name}: undecodable record at offset {offset}: {exc}"
+            )
+            scan.torn_tail = True
+            break
+        scan.records.append(record)
+        offset = start + length
+        scan.valid_end = offset
+    return scan
+
+
+def verify_wal(path: pathlib.Path) -> list[str]:
+    """Problem strings for a log file (empty = fully valid)."""
+    return scan_wal(path).problems
+
+
+class WriteAheadLog:
+    """The append handle a live store writes through.
+
+    Opening an existing log scans it once: torn tails from a crash are
+    truncated away (the dropped byte count is reported via
+    :attr:`recovered_drop`), the LSN counter resumes from the last valid
+    record, and the file handle stays open for the store's lifetime so
+    an append is one write + flush + fsync.
+    """
+
+    def __init__(
+        self,
+        path: pathlib.Path,
+        *,
+        sync: bool = True,
+        base_lsn: int = 0,
+    ):
+        self.path = pathlib.Path(path)
+        self.sync = sync
+        self.recovered_drop = 0
+        if self.path.exists():
+            scan = scan_wal(self.path)
+            if scan.valid_end == 0:
+                raise StoreCorruptError(
+                    f"{self.path} is not a write-ahead log: "
+                    + "; ".join(scan.problems)
+                )
+            size = self.path.stat().st_size
+            if size > scan.valid_end:
+                self.recovered_drop = size - scan.valid_end
+                with open(self.path, "r+b") as fh:
+                    fh.truncate(scan.valid_end)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+            self._base_lsn = scan.base_lsn
+            self._next_lsn = scan.last_lsn + 1
+            self._n_records = len(scan.records)
+            self._bytes = scan.valid_end
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "wb") as fh:
+                fh.write(_HEADER.pack(WAL_MAGIC, base_lsn))
+                fh.flush()
+                os.fsync(fh.fileno())
+            self._base_lsn = base_lsn
+            self._next_lsn = base_lsn + 1
+            self._n_records = 0
+            self._bytes = _HEADER.size
+        self._fh = open(self.path, "ab")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_records(self) -> int:
+        """Valid records currently in the file."""
+        return self._n_records
+
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the most recent record (base LSN when empty)."""
+        return self._next_lsn - 1
+
+    @property
+    def size_bytes(self) -> int:
+        """Current file size in bytes (header + records)."""
+        return self._bytes
+
+    # ------------------------------------------------------------------ #
+    def append(self, op: str, payload: dict | None = None) -> int:
+        """Durably append one record; returns its LSN.
+
+        NumPy arrays in ``payload`` are encoded losslessly.  The record
+        is fsynced before this returns (unless the log was opened with
+        ``sync=False``, e.g. for benchmarks) — an LSN handed back is the
+        acknowledgment contract recovery honors.
+        """
+        if self._fh.closed:
+            raise StoreError(f"write-ahead log {self.path} is closed")
+        record = {"lsn": self._next_lsn, "op": op}
+        for key, value in (payload or {}).items():
+            record[key] = (
+                encode_array(value) if isinstance(value, np.ndarray) else value
+            )
+        blob = json.dumps(record).encode("utf-8")
+        self._fh.write(_FRAME.pack(len(blob), zlib.crc32(blob)) + blob)
+        self._fh.flush()
+        if self.sync:
+            os.fsync(self._fh.fileno())
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        self._n_records += 1
+        self._bytes += _FRAME.size + len(blob)
+        return lsn
+
+    def records(self, after_lsn: int = 0) -> Iterator[WalRecord]:
+        """Valid records with ``lsn > after_lsn``, oldest first."""
+        for record in scan_wal(self.path).records:
+            if record.lsn > after_lsn:
+                yield record
+
+    def truncate(self) -> None:
+        """Drop every record; the LSN counter continues where it was.
+
+        Used by ``repro store compact`` after the log's contents have
+        been folded into a fresh checkpoint: the file is rewritten as
+        header-only with the base LSN advanced to the last assigned LSN,
+        so record numbering stays globally monotonic.
+        """
+        if self._fh.closed:
+            raise StoreError(f"write-ahead log {self.path} is closed")
+        self._fh.close()
+        self._base_lsn = self._next_lsn - 1
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(_HEADER.pack(WAL_MAGIC, self._base_lsn))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self._n_records = 0
+        self._bytes = _HEADER.size
+        self._fh = open(self.path, "ab")
+
+    def close(self) -> None:
+        """Release the file handle (idempotent)."""
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteAheadLog({self.path}, records={self._n_records}, "
+            f"last_lsn={self.last_lsn})"
+        )

@@ -101,6 +101,58 @@ class LSIIndexManager:
         self.model = self._base_model
 
     # ------------------------------------------------------------------ #
+    @classmethod
+    def restore(
+        cls,
+        *,
+        tdm: TermDocumentMatrix,
+        k: int,
+        model: LSIModel,
+        base_model: LSIModel,
+        pending_counts: Sequence[np.ndarray] = (),
+        pending_ids: Sequence[str] = (),
+        events: Sequence[IndexEvent] = (),
+        scheme: object = None,
+        distortion_budget: float = 0.1,
+        drift_cap: float = 2.0,
+        exact_updates: bool = True,
+        seed: int = 0,
+    ) -> "LSIIndexManager":
+        """Rebuild a manager from previously captured state — no refit.
+
+        The durability layer (:mod:`repro.store`) checkpoints a manager's
+        full state (consolidated base model, folded serving model, raw
+        counts, pending fold-in block) and recovers by calling this and
+        then replaying the write-ahead log.  Because every maintenance
+        action is a deterministic function of that state, a restored
+        manager replaying the same events reproduces bit-identical
+        ``U, s, V`` (asserted in the test suite) — which is exactly the
+        property crash recovery relies on.
+        """
+        manager = object.__new__(cls)
+        manager.tdm = tdm
+        manager.k = k
+        manager.scheme = scheme
+        manager.distortion_budget = distortion_budget
+        manager.drift_cap = drift_cap
+        manager.exact_updates = exact_updates
+        manager.seed = seed
+        manager._base_model = base_model
+        manager.model = model
+        manager.events = list(events)
+        manager._pending_counts = [
+            np.asarray(block, dtype=np.float64) for block in pending_counts
+        ]
+        manager._pending_ids = list(pending_ids)
+        total = sum(b.shape[1] for b in manager._pending_counts)
+        if total != len(manager._pending_ids):
+            raise ShapeError(
+                f"pending block has {total} columns for "
+                f"{len(manager._pending_ids)} pending ids"
+            )
+        return manager
+
+    # ------------------------------------------------------------------ #
     @property
     def n_documents(self) -> int:
         """Documents visible to queries (consolidated + folded)."""

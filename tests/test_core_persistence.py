@@ -63,3 +63,57 @@ def test_reject_corrupt_metadata(med_model, tmp_path):
     np.savez(path, **arrays)
     with pytest.raises(ModelStateError):
         load_model(path)
+
+
+def test_save_returns_actual_path_with_forced_suffix(med_model, tmp_path):
+    # numpy appends .npz silently; save_model must report where the
+    # bytes actually landed so `repro index model && repro query model`
+    # round-trips.
+    written = save_model(med_model, tmp_path / "model")
+    assert written == tmp_path / "model.npz"
+    assert written.is_file()
+    assert load_model(written).n_documents == med_model.n_documents
+    # An explicit .npz path is used verbatim.
+    assert save_model(med_model, tmp_path / "m2.npz") == tmp_path / "m2.npz"
+
+
+def test_save_is_atomic_no_temp_leftovers(med_model, tmp_path):
+    path = save_model(med_model, tmp_path / "model.npz")
+    assert sorted(p.name for p in tmp_path.iterdir()) == ["model.npz"]
+    # Overwrite in place: a concurrent reader sees old-complete or
+    # new-complete, never a partial file; afterwards still no debris.
+    save_model(med_model, path)
+    assert sorted(p.name for p in tmp_path.iterdir()) == ["model.npz"]
+
+
+def test_save_failure_cleans_temp_file(med_model, tmp_path, monkeypatch):
+    import repro.core.persistence as persistence
+
+    def boom(*args, **kwargs):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(persistence.np, "savez", boom)
+    with pytest.raises(OSError):
+        save_model(med_model, tmp_path / "model.npz")
+    assert list(tmp_path.iterdir()) == []  # no temp litter, no partial file
+
+
+def test_load_truncated_file_raises_model_state_error(med_model, tmp_path):
+    path = save_model(med_model, tmp_path / "model.npz")
+    blob = path.read_bytes()
+    for cut in (len(blob) // 2, 10):
+        path.write_bytes(blob[:cut])
+        with pytest.raises(ModelStateError, match="cannot load model database"):
+            load_model(path)
+
+
+def test_load_garbage_bytes_raises_model_state_error(tmp_path):
+    path = tmp_path / "model.npz"
+    path.write_bytes(b"\x00\x01garbage not a zip archive\xff" * 10)
+    with pytest.raises(ModelStateError):
+        load_model(path)
+
+
+def test_load_missing_file_still_file_not_found(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_model(tmp_path / "absent.npz")

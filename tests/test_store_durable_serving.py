@@ -1,0 +1,304 @@
+"""Tests for the durable serving layer: store, checkpointer, CLI glue."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import SyntheticSpec, topic_collection
+from repro.errors import ShapeError, StoreError
+from repro.obs.metrics import registry
+from repro.server import manager_from_texts
+from repro.store import (
+    CheckpointPolicy,
+    DurableIndexStore,
+    DurableServingState,
+    list_checkpoints,
+    open_latest_model,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    col = topic_collection(
+        SyntheticSpec(n_topics=3, docs_per_topic=10, doc_length=25,
+                      concepts_per_topic=8, queries_per_topic=2),
+        seed=11,
+    )
+    return col.documents[:20], col.documents[20:], col.queries
+
+
+def seeded_store(corpus, tmp_path, **kwargs):
+    train, _, _ = corpus
+    manager = manager_from_texts(train, k=6, distortion_budget=0.2)
+    return DurableIndexStore.initialize(tmp_path / "store", manager, **kwargs)
+
+
+# --------------------------------------------------------------------- #
+# the store itself
+# --------------------------------------------------------------------- #
+def test_initialize_writes_checkpoint_and_refuses_overwrite(corpus, tmp_path):
+    store = seeded_store(corpus, tmp_path)
+    assert DurableIndexStore.exists(tmp_path / "store")
+    assert len(list_checkpoints(store.checkpoints_dir)) == 1
+    assert store.dirty_records == 0
+    with pytest.raises(StoreError, match="open it instead"):
+        DurableIndexStore.initialize(tmp_path / "store", store.manager)
+    store.close()
+
+
+def test_every_add_is_wal_logged_before_apply(corpus, tmp_path):
+    _, later, _ = corpus
+    store = seeded_store(corpus, tmp_path)
+    store.add_texts([later[0]], doc_ids=["A"])
+    store.add_texts([later[1]])
+    assert store.wal.n_records == 2
+    assert store.dirty_records == 2
+    ops = [r.op for r in store.wal.records()]
+    assert ops == ["add_counts", "add_counts"]  # texts normalized first
+    store.close(flush=False)
+
+
+def test_invalid_mutation_is_not_logged(corpus, tmp_path):
+    store = seeded_store(corpus, tmp_path)
+    with pytest.raises(ShapeError):
+        store.add_counts(np.zeros((3, 1)), ["bad"])
+    with pytest.raises(ShapeError):
+        store.add_texts([])
+    with pytest.raises(ShapeError):
+        store.add_terms(np.zeros((2, 999)), ["t1", "t2"])
+    assert store.wal.n_records == 0  # the WAL never saw the rejects
+    store.close(flush=False)
+
+
+def test_consolidate_noop_is_unlogged(corpus, tmp_path):
+    _, later, _ = corpus
+    store = seeded_store(corpus, tmp_path)
+    assert store.consolidate() is None
+    assert store.wal.n_records == 0
+    store.add_texts([later[0]])
+    event = store.consolidate()
+    assert event is not None and event.action != "fold-in"
+    assert [r.op for r in store.wal.records()] == [
+        "add_counts", "consolidate",
+    ]
+    store.close(flush=False)
+
+
+def test_close_flush_writes_final_checkpoint(corpus, tmp_path):
+    _, later, _ = corpus
+    store = seeded_store(corpus, tmp_path)
+    store.add_texts([later[0]])
+    assert store.dirty_records == 1
+    store.close(flush=True)
+    reopened = DurableIndexStore.open(tmp_path / "store")
+    assert reopened.last_recovery.replayed_records == 0  # nothing to replay
+    assert reopened.manager.n_documents == 21
+    with pytest.raises(StoreError, match="closed"):
+        store.add_texts([later[1]])
+    reopened.close(flush=False)
+
+
+def test_retain_prunes_old_checkpoints(corpus, tmp_path):
+    _, later, _ = corpus
+    store = seeded_store(corpus, tmp_path, retain=2)
+    for i in range(4):
+        store.add_texts([later[i]])
+        store.checkpoint(reason=f"step{i}")
+    infos = list_checkpoints(store.checkpoints_dir)
+    assert len(infos) == 2
+    assert infos[-1].checkpoint_id == 5  # ids keep counting past pruning
+    store.close(flush=False)
+
+
+def test_store_gauges_published(corpus, tmp_path):
+    _, later, _ = corpus
+    store = seeded_store(corpus, tmp_path)
+    store.add_texts([later[0]])
+    snap = registry.snapshot()["gauges"]
+    assert snap["store.wal_records"] == 1
+    assert snap["store.dirty_records"] == 1
+    assert snap["store.checkpoint_age_seconds"] >= 0.0
+    assert "store.last_recovery_replayed" in snap
+    store.close(flush=False)
+
+
+# --------------------------------------------------------------------- #
+# checkpoint policy + background checkpointer
+# --------------------------------------------------------------------- #
+def test_checkpoint_policy_triggers():
+    policy = CheckpointPolicy(every_records=4, every_seconds=60.0)
+    assert policy.due(dirty_records=0, seconds_since=0, consolidated=False) is None
+    assert policy.due(dirty_records=4, seconds_since=0, consolidated=False)
+    assert policy.due(dirty_records=1, seconds_since=61, consolidated=False)
+    # idle time alone never fires
+    assert policy.due(dirty_records=0, seconds_since=999, consolidated=False) is None
+    assert policy.due(dirty_records=1, seconds_since=0, consolidated=True) == (
+        "consolidation"
+    )
+    off = CheckpointPolicy(every_records=None, every_seconds=None,
+                           on_consolidate=False)
+    assert off.due(dirty_records=99, seconds_since=999, consolidated=True) is None
+
+
+def test_maybe_checkpoint_follows_policy(corpus, tmp_path):
+    _, later, _ = corpus
+    store = seeded_store(corpus, tmp_path)
+    checkpointer = store.start_checkpointer(
+        CheckpointPolicy(every_records=2, every_seconds=None)
+    )
+    checkpointer.stop()  # drive it synchronously below
+    store.add_texts([later[0]])
+    assert checkpointer.maybe_checkpoint() is None
+    store.add_texts([later[1]])
+    assert checkpointer.maybe_checkpoint() == "wal_records>=2"
+    assert store.dirty_records == 0
+    assert len(list_checkpoints(store.checkpoints_dir)) == 2
+    store.close(flush=False)
+
+
+def test_background_checkpointer_thread(corpus, tmp_path):
+    import time
+
+    _, later, _ = corpus
+    store = seeded_store(corpus, tmp_path)
+    store.start_checkpointer(
+        CheckpointPolicy(every_records=1, every_seconds=None),
+        poll_seconds=0.05,
+    )
+    assert store.checkpointer.running
+    store.add_texts([later[0]])
+    deadline = time.time() + 10.0
+    while store.dirty_records > 0 and time.time() < deadline:
+        time.sleep(0.02)
+    assert store.dirty_records == 0
+    store.close()
+    assert not store.checkpointer.running
+
+
+# --------------------------------------------------------------------- #
+# durable serving state
+# --------------------------------------------------------------------- #
+def test_durable_serving_routes_adds_through_wal(corpus, tmp_path):
+    _, later, _ = corpus
+    store = seeded_store(corpus, tmp_path)
+    state = DurableServingState(store)
+    assert state.writable
+    before = state.current()
+    result = state.add_texts([later[0]], doc_ids=["NEW"])
+    after = state.current()
+    assert after.epoch == before.epoch + 1
+    assert result["n_documents"] == after.n_documents == 21
+    assert store.wal.n_records == 1  # the add went through the WAL
+    assert registry.snapshot()["gauges"]["store.serving_epoch"] == after.epoch
+    store.close(flush=False)
+
+
+def test_recovered_serving_state_search_parity(corpus, tmp_path):
+    _, later, queries = corpus
+    store = seeded_store(corpus, tmp_path)
+    state = DurableServingState(store)
+    for i, text in enumerate(later[:4]):
+        state.add_texts([text], doc_ids=[f"N{i}"])
+    snapshot = state.current()
+    Q = np.stack([snapshot.project(q) for q in queries])
+    expected = snapshot.score_batch(Q)
+    store.close(flush=False)  # crash-like exit
+
+    recovered = DurableServingState(DurableIndexStore.open(tmp_path / "store"))
+    snap2 = recovered.current()
+    assert snap2.n_documents == snapshot.n_documents
+    got = snap2.score_batch(np.stack([snap2.project(q) for q in queries]))
+    assert np.array_equal(expected, got)
+    recovered.store.close(flush=False)
+
+
+def test_mmap_replica_scores_match_writer(corpus, tmp_path):
+    _, later, queries = corpus
+    store = seeded_store(corpus, tmp_path)
+    state = DurableServingState(store)
+    for text in later[:3]:
+        state.add_texts([text])
+    store.checkpoint(reason="replica-sync")
+    snapshot = state.current()
+    expected = snapshot.score_batch(
+        np.stack([snapshot.project(q) for q in queries])
+    )
+    store.close(flush=False)
+
+    from repro.server import ServingState
+
+    replica = ServingState.for_model(
+        open_latest_model(tmp_path / "store", mmap=True)
+    )
+    assert not replica.writable
+    snap = replica.current()
+    got = snap.score_batch(np.stack([snap.project(q) for q in queries]))
+    assert np.array_equal(expected, got)
+
+
+# --------------------------------------------------------------------- #
+# CLI glue
+# --------------------------------------------------------------------- #
+def test_cli_store_inspect_verify_compact(corpus, tmp_path, capsys):
+    import io
+
+    from repro.cli import main
+
+    _, later, _ = corpus
+    store = seeded_store(corpus, tmp_path)
+    store.add_texts([later[0]])
+    store.close(flush=False)
+    data_dir = str(tmp_path / "store")
+
+    out = io.StringIO()
+    assert main(["--no-obs", "store", "inspect", data_dir], out=out) == 0
+    text = out.getvalue()
+    assert "ckpt-00000001" in text and "1 record(s)" in text
+
+    out = io.StringIO()
+    assert main(["--no-obs", "store", "verify", data_dir], out=out) == 0
+    assert "verified clean" in out.getvalue()
+
+    out = io.StringIO()
+    assert main(["--no-obs", "store", "compact", data_dir], out=out) == 0
+    assert "folded 1 WAL record(s)" in out.getvalue()
+
+    # Corrupt one checkpoint array; verify must fail with exit code 1.
+    from repro.store.checkpoint import iter_array_files
+
+    victim = next(iter_array_files(list_checkpoints(store.checkpoints_dir)[-1]))
+    blob = bytearray(victim.read_bytes())
+    blob[-1] ^= 0x01
+    victim.write_bytes(bytes(blob))
+    out = io.StringIO()
+    assert main(["--no-obs", "store", "verify", data_dir], out=out) == 1
+    assert "CORRUPT" in out.getvalue()
+
+
+def test_cli_store_rejects_non_store(tmp_path):
+    import io
+
+    from repro.cli import main
+
+    assert main(
+        ["--no-obs", "store", "inspect", str(tmp_path)], out=io.StringIO()
+    ) == 1
+
+
+def test_cli_stats_data_dir_publishes_store_gauges(corpus, tmp_path):
+    import io
+
+    from repro.cli import main
+
+    _, later, _ = corpus
+    store = seeded_store(corpus, tmp_path)
+    store.add_texts([later[0]])
+    store.close(flush=False)
+
+    out = io.StringIO()
+    assert main(
+        ["stats", "--data-dir", str(tmp_path / "store")], out=out
+    ) == 0
+    text = out.getvalue()
+    assert "store.wal_records" in text
+    assert "store.checkpoint_age_seconds" in text
+    assert "store.last_recovery_replayed" in text

@@ -1,0 +1,175 @@
+"""Tests for cold-start recovery: capture/restore + WAL replay parity."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import SyntheticSpec, topic_collection
+from repro.errors import StoreCorruptError, StoreError
+from repro.store import (
+    DurableIndexStore,
+    capture_manager,
+    recover_manager,
+    restore_manager,
+)
+from repro.store.checkpoint import MANIFEST_NAME, iter_array_files
+from repro.text import ParsingRules, build_tdm
+from repro.updating import LSIIndexManager
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    col = topic_collection(
+        SyntheticSpec(n_topics=3, docs_per_topic=12, doc_length=25,
+                      concepts_per_topic=8, queries_per_topic=1),
+        seed=7,
+    )
+    return col.documents[:24], col.documents[24:]
+
+
+def fresh_manager(corpus, **kwargs):
+    train, _ = corpus
+    tdm = build_tdm(train, ParsingRules())
+    kwargs.setdefault("distortion_budget", 0.15)
+    return LSIIndexManager(tdm, k=6, scheme="log_entropy", **kwargs)
+
+
+def assert_managers_identical(a, b):
+    assert np.array_equal(a.model.U, b.model.U)
+    assert np.array_equal(a.model.s, b.model.s)
+    assert np.array_equal(a.model.V, b.model.V)
+    assert np.array_equal(a.model.global_weights, b.model.global_weights)
+    assert a.model.doc_ids == b.model.doc_ids
+    assert a.model.provenance == b.model.provenance
+    assert a.pending == b.pending
+    assert a.n_documents == b.n_documents
+    assert np.array_equal(a.tdm.matrix.data, b.tdm.matrix.data)
+    assert [e.action for e in a.events] == [e.action for e in b.events]
+
+
+def test_capture_restore_bit_identical(corpus):
+    mgr = fresh_manager(corpus)
+    later = corpus[1]
+    for text in later[:3]:
+        mgr.add_texts([text])  # leave pending + consolidation history
+    restored = restore_manager(*capture_manager(mgr))
+    assert_managers_identical(mgr, restored)
+    # The restored manager keeps evolving identically.
+    e1 = mgr.add_texts([later[3]], doc_ids=["NEXT"])
+    e2 = restored.add_texts([later[3]], doc_ids=["NEXT"])
+    assert e1.action == e2.action
+    assert_managers_identical(mgr, restored)
+
+
+def test_recovery_replay_matches_live_manager(corpus, tmp_path):
+    train, later = corpus
+    mgr = fresh_manager(corpus)
+    store = DurableIndexStore.initialize(tmp_path / "store", mgr)
+    for i, text in enumerate(later[:6]):
+        store.add_texts([text], doc_ids=[f"W{i}"])
+    store.close(flush=False)  # crash-like: no final checkpoint
+
+    recovered, report = recover_manager(*DurableIndexStore.paths(tmp_path / "store"))
+    assert report.replayed_records > 0
+    assert_managers_identical(mgr, recovered)
+
+
+def test_recovery_from_mid_stream_checkpoint(corpus, tmp_path):
+    _, later = corpus
+    store = DurableIndexStore.initialize(tmp_path / "s", fresh_manager(corpus))
+    for text in later[:3]:
+        store.add_texts([text])
+    store.checkpoint(reason="mid")
+    for text in later[3:6]:
+        store.add_texts([text])
+    live = store.manager
+    store.close(flush=False)
+
+    recovered, report = recover_manager(*DurableIndexStore.paths(tmp_path / "s"))
+    # Only the records after the mid-stream checkpoint are replayed.
+    assert 0 < report.replayed_records < 6
+    assert_managers_identical(live, recovered)
+
+
+def test_torn_tail_drops_only_last_record(corpus, tmp_path):
+    _, later = corpus
+    store = DurableIndexStore.initialize(tmp_path / "s", fresh_manager(corpus))
+    sizes = []
+    for i, text in enumerate(later[:4]):
+        store.add_texts([text], doc_ids=[f"W{i}"])
+        sizes.append(store.wal.size_bytes)
+    store.close(flush=False)
+
+    # Crash mid-append: cut into the final record's bytes.
+    checkpoints_dir, wal_path = DurableIndexStore.paths(tmp_path / "s")
+    with open(wal_path, "r+b") as fh:
+        fh.truncate(sizes[-1] - 5)
+
+    recovered, report = recover_manager(checkpoints_dir, wal_path)
+    assert report.torn_tail
+    assert recovered.n_documents == 24 + 3  # W3 lost, W0..W2 survive
+    assert "W2" in recovered.model.doc_ids
+    assert "W3" not in recovered.model.doc_ids
+
+
+def test_manifest_doc_count_tamper_detected(corpus, tmp_path):
+    import json
+
+    store = DurableIndexStore.initialize(tmp_path / "s", fresh_manager(corpus))
+    store.close(flush=False)
+    checkpoints_dir, wal_path = DurableIndexStore.paths(tmp_path / "s")
+    [ckpt] = list(checkpoints_dir.iterdir())
+    manifest_path = ckpt / MANIFEST_NAME
+    manifest = json.loads(manifest_path.read_text())
+    manifest["meta"]["n_documents"] = 999
+    manifest_path.write_text(json.dumps(manifest))
+    # The CRC audit does not cover meta consistency; the doc-count
+    # cross-check in recovery is what refuses to serve the wrong index.
+    with pytest.raises(StoreCorruptError, match="999"):
+        recover_manager(checkpoints_dir, wal_path)
+
+
+def test_corrupt_array_falls_back_to_older_checkpoint(corpus, tmp_path):
+    _, later = corpus
+    store = DurableIndexStore.initialize(tmp_path / "s", fresh_manager(corpus))
+    store.add_texts([later[0]], doc_ids=["W0"])
+    store.checkpoint(reason="second")
+    store.close(flush=False)
+    checkpoints_dir, wal_path = DurableIndexStore.paths(tmp_path / "s")
+
+    from repro.store import list_checkpoints
+
+    newest = list_checkpoints(checkpoints_dir)[-1]
+    victim = next(iter_array_files(newest))
+    blob = bytearray(victim.read_bytes())
+    blob[-3] ^= 0x40
+    victim.write_bytes(bytes(blob))
+
+    recovered, report = recover_manager(checkpoints_dir, wal_path)
+    # Fell back to checkpoint 1 and replayed the WAL over it.
+    assert report.checkpoint_id == 1
+    assert report.problems
+    assert report.replayed_records == 1
+    assert "W0" in recovered.model.doc_ids
+
+
+def test_no_checkpoint_raises(tmp_path):
+    with pytest.raises(StoreError, match="no valid checkpoint"):
+        recover_manager(tmp_path / "checkpoints", tmp_path / "wal.log")
+
+
+def test_compact_is_bit_identical_and_resets_replay(corpus, tmp_path):
+    _, later = corpus
+    store = DurableIndexStore.initialize(tmp_path / "s", fresh_manager(corpus))
+    for text in later[:5]:
+        store.add_texts([text])
+    live = store.manager
+    before = store.wal.n_records
+    assert before == 5
+    store.compact()
+    assert store.wal.n_records == 0
+    assert store.verify() == []
+    store.close(flush=False)
+
+    recovered, report = recover_manager(*DurableIndexStore.paths(tmp_path / "s"))
+    assert report.replayed_records == 0
+    assert_managers_identical(live, recovered)
