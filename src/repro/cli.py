@@ -196,8 +196,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_store.add_argument(
         "action", choices=["inspect", "verify", "compact"],
-        help="inspect: describe checkpoints + WAL; verify: checksum "
-             "audit; compact: fold the WAL into a fresh checkpoint",
+        help="inspect: describe checkpoints + WAL (read-only); verify: "
+             "checksum audit (read-only); compact: fold the WAL into a "
+             "fresh checkpoint (takes the writer lock)",
     )
     p_store.add_argument("data_dir", type=pathlib.Path,
                          help="store directory (the serve --data-dir)")
@@ -209,8 +210,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_stats.add_argument(
         "--data-dir", type=pathlib.Path, default=None,
-        help="also publish live store.* gauges from this durable "
-             "store directory",
+        help="also publish store.* gauges from this durable store "
+             "directory (read-only scan; safe while a server is live)",
     )
     p_stats.add_argument("--json", action="store_true",
                          help="emit the raw JSON blob instead of text")
@@ -431,7 +432,14 @@ def _cmd_serve(args, out) -> int:
 
 
 def _cmd_store(args, out) -> int:
-    """Maintain a durable data directory (inspect / verify / compact)."""
+    """Maintain a durable data directory (inspect / verify / compact).
+
+    ``inspect`` and ``verify`` are read-only: they scan manifests and
+    the WAL without opening the store, so they are safe against a data
+    directory a live server owns.  ``compact`` rewrites the WAL and
+    therefore takes the single-writer lock — it refuses (with a clear
+    error) while a server holds the directory.
+    """
     from repro.store import DurableIndexStore
 
     if args.action == "verify":
@@ -460,9 +468,10 @@ def _cmd_store(args, out) -> int:
     if not DurableIndexStore.exists(args.data_dir):
         print(f"error: {args.data_dir} is not a store", file=sys.stderr)
         return 1
-    store = DurableIndexStore.open(args.data_dir)
-    try:
-        if args.action == "compact":
+
+    if args.action == "compact":
+        store = DurableIndexStore.open(args.data_dir)
+        try:
             before = store.wal.n_records
             path = store.compact()
             print(
@@ -471,39 +480,44 @@ def _cmd_store(args, out) -> int:
                 file=out,
             )
             return 0
-        # inspect
-        description = store.inspect()
-        if args.json:
-            print(json.dumps(description, indent=2, sort_keys=True), file=out)
-            return 0
-        print(f"store     : {description['data_dir']}", file=out)
-        print(
-            f"documents : {description['n_documents']} "
-            f"({description['pending']} pending fold-in)",
-            file=out,
-        )
-        for ckpt in description["checkpoints"]:
-            print(
-                f"checkpoint: {pathlib.Path(ckpt['path']).name}  "
-                f"docs={ckpt['n_documents']}  wal_lsn={ckpt['wal_lsn']}  "
-                f"{ckpt['bytes']} bytes  ({ckpt['reason']})",
-                file=out,
-            )
-        wal = description["wal"]
-        print(
-            f"wal       : {wal['records']} record(s), {wal['bytes']} bytes, "
-            f"last LSN {wal['last_lsn']} "
-            f"({description['dirty_records']} not yet checkpointed)",
-            file=out,
-        )
-        print(
-            f"recovery  : replayed {description['last_recovery_replayed']} "
-            "record(s) at open",
-            file=out,
-        )
+        finally:
+            store.close(flush=False)
+
+    # inspect: lock-free read-only scan, safe while a server is live
+    from repro.store import read_store_status
+
+    description = read_store_status(args.data_dir)
+    if args.json:
+        print(json.dumps(description, indent=2, sort_keys=True), file=out)
         return 0
-    finally:
-        store.close(flush=False)
+    print(f"store     : {description['data_dir']}", file=out)
+    print(
+        f"documents : {description['n_documents']} "
+        f"({description['pending']} pending fold-in)",
+        file=out,
+    )
+    for ckpt in description["checkpoints"]:
+        print(
+            f"checkpoint: {pathlib.Path(ckpt['path']).name}  "
+            f"docs={ckpt['n_documents']}  wal_lsn={ckpt['wal_lsn']}  "
+            f"{ckpt['bytes']} bytes  ({ckpt['reason']})",
+            file=out,
+        )
+    wal = description["wal"]
+    print(
+        f"wal       : {wal['records']} record(s), {wal['bytes']} bytes, "
+        f"last LSN {wal['last_lsn']} "
+        f"({description['dirty_records']} not yet checkpointed)",
+        file=out,
+    )
+    print(
+        f"recovery  : a cold start would replay "
+        f"{description['last_recovery_replayed']} record(s)",
+        file=out,
+    )
+    for problem in description["problems"]:
+        print(f"PROBLEM   : {problem}", file=out)
+    return 0
 
 
 def _state_path(args) -> pathlib.Path:
@@ -513,18 +527,16 @@ def _state_path(args) -> pathlib.Path:
 def _cmd_stats(args, out) -> int:
     """Render the persisted + live observability state."""
     if args.data_dir is not None:
-        # Publish live store.* gauges (wal_records, checkpoint_age_seconds,
+        # Publish store.* gauges (wal_records, checkpoint_age_seconds,
         # last_recovery_replayed, ...) into this process's registry so they
-        # merge into the rendered snapshot below.
-        from repro.store import DurableIndexStore
+        # merge into the rendered snapshot below.  Read-only: the store is
+        # never opened (no lock, no WAL handle, no tail truncation), so
+        # this is safe to run against a live server's data directory.
+        from repro.store import DurableIndexStore, publish_store_gauges
 
         if not DurableIndexStore.exists(args.data_dir):
             raise ReproError(f"{args.data_dir} is not a durable store")
-        store = DurableIndexStore.open(args.data_dir, sync=False)
-        try:
-            store.publish_gauges()
-        finally:
-            store.close(flush=False)
+        publish_store_gauges(args.data_dir)
     path = _state_path(args)
     state = obs.load_state(path) or {"metrics": {}, "spans": []}
     # Merge in anything recorded by this process (in-process callers see

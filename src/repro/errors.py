@@ -21,6 +21,7 @@ __all__ = [
     "DeadlineExceededError",
     "StoreError",
     "StoreCorruptError",
+    "StoreLockedError",
 ]
 
 
@@ -101,4 +102,15 @@ class StoreCorruptError(StoreError):
     write-ahead-log record whose checksum fails mid-log, or a recovered
     index whose document count disagrees with the manifest all raise
     this — the store refuses to serve silently wrong data.
+    """
+
+
+class StoreLockedError(StoreError):
+    """Another process holds the store's single-writer lock.
+
+    Every read-write open of a data directory (``serve --data-dir``,
+    ``store compact``) takes an exclusive lock; a second writer would
+    truncate the live WAL tail or swap files under the owner, so it is
+    refused instead.  Read-only surfaces (``store inspect``, ``store
+    verify``, ``stats --data-dir``) never take the lock.
     """

@@ -22,6 +22,9 @@ production system can restart, kill, and audit:
 * :mod:`repro.store.checkpointer` — the background policy thread
   (every N records / M seconds / on consolidation) that snapshots
   without blocking the query path;
+* :mod:`repro.store.lock` — the single-writer ``flock`` every
+  read-write open holds, so a second writer cannot truncate or swap
+  the live WAL under a running server;
 * :mod:`repro.store.durable` — :class:`DurableIndexStore` (the data
   directory owner) and :class:`DurableServingState` (the server
   integration).
@@ -44,7 +47,10 @@ from repro.store.durable import (
     STORE_LAYOUT,
     DurableIndexStore,
     DurableServingState,
+    publish_store_gauges,
+    read_store_status,
 )
+from repro.store.lock import StoreLock
 from repro.store.mmap_io import open_checkpoint_model, open_latest_model
 from repro.store.recovery import (
     RecoveryReport,
@@ -66,6 +72,9 @@ __all__ = [
     "STORE_LAYOUT",
     "DurableIndexStore",
     "DurableServingState",
+    "StoreLock",
+    "publish_store_gauges",
+    "read_store_status",
     "open_checkpoint_model",
     "open_latest_model",
     "RecoveryReport",

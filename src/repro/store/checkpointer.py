@@ -88,7 +88,13 @@ class Checkpointer:
         self.poll_seconds = poll_seconds
         self._wake = threading.Event()
         self._stop = threading.Event()
-        self._consolidated = False
+        # Pending consolidation notifications.  A counter (not a flag)
+        # under its own lock, debited only by the amount observed before
+        # a *successful* checkpoint: a notify() landing mid-checkpoint
+        # stays pending and retriggers, and a failed checkpoint loses
+        # nothing.
+        self._consolidations = 0
+        self._flag_lock = threading.Lock()
         self._thread: threading.Thread | None = None
 
     # ------------------------------------------------------------------ #
@@ -119,25 +125,30 @@ class Checkpointer:
         """Signal that the store applied a mutation (called under its
         writer lock — must stay O(1))."""
         if consolidated:
-            self._consolidated = True
+            with self._flag_lock:
+                self._consolidations += 1
         self._wake.set()
 
     def maybe_checkpoint(self) -> str | None:
         """Evaluate the policy once, synchronously; returns the reason
         if a checkpoint was written (test/maintenance entry point)."""
+        with self._flag_lock:
+            seen = self._consolidations
         reason = self.policy.due(
             dirty_records=self.store.dirty_records,
             seconds_since=self.store.seconds_since_checkpoint,
-            consolidated=self._consolidated,
+            consolidated=seen > 0,
         )
         if reason is None:
             return None
-        self._consolidated = False
         try:
             self.store.checkpoint(reason=reason)
         except Exception:
             registry.inc("store.checkpoint_errors")
             return None
+        if seen:
+            with self._flag_lock:
+                self._consolidations -= seen
         return reason
 
     def _run(self) -> None:

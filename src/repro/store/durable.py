@@ -1,8 +1,11 @@
 """The durable index store: WAL-ahead mutations over versioned checkpoints.
 
-:class:`DurableIndexStore` owns one data directory::
+:class:`DurableIndexStore` owns one data directory *exclusively* — an
+``flock`` on ``LOCK`` (:mod:`repro.store.lock`) refuses a second
+writer, whose WAL open would truncate the live log's tail::
 
     <data-dir>/
+      LOCK                         single-writer flock (advisory)
       checkpoints/ckpt-00000001/   versioned, checksummed snapshots
       wal.log                      fold-ins since the newest snapshot
 
@@ -12,7 +15,17 @@ validate → append + fsync to the WAL → apply to the
 is the durability acknowledgment — after any crash,
 :func:`~repro.store.recovery.recover_manager` reproduces the exact
 index that had absorbed every acknowledged mutation (bit-identical
-``U, s, V``; see the determinism tests).
+``U, s, V``; see the determinism tests).  If the in-memory apply fails
+*after* the WAL append, the record is rolled back (physically
+truncated) before the error propagates — the log never holds a
+mutation the live index refused, so recovery cannot diverge from what
+was served.
+
+Read-only surfaces — ``repro stats --data-dir`` and ``repro store
+inspect`` — go through :func:`read_store_status` /
+:func:`publish_store_gauges` instead of opening the store: they scan
+checkpoint manifests and the WAL file without a write handle or the
+lock, so they are safe to run against a directory a live server owns.
 
 :class:`DurableServingState` plugs the store into the serving layer
 (:mod:`repro.server`): it overrides the epoch-swap write path so every
@@ -50,16 +63,27 @@ from repro.store.checkpoint import (
     write_checkpoint,
 )
 from repro.store.checkpointer import Checkpointer, CheckpointPolicy
+from repro.store.lock import LOCK_NAME, StoreLock
 from repro.store.recovery import RecoveryReport, capture_manager, recover_manager
-from repro.store.wal import WriteAheadLog, verify_wal
+from repro.store.wal import WriteAheadLog, scan_wal, verify_wal
 from repro.text.tdm import count_vector
 from repro.text.tokenizer import tokenize
 from repro.updating.manager import IndexEvent, LSIIndexManager
 
-__all__ = ["STORE_LAYOUT", "DurableIndexStore", "DurableServingState"]
+__all__ = [
+    "STORE_LAYOUT",
+    "DurableIndexStore",
+    "DurableServingState",
+    "read_store_status",
+    "publish_store_gauges",
+]
 
 #: Fixed names inside a store data directory.
-STORE_LAYOUT = {"checkpoints": "checkpoints", "wal": "wal.log"}
+STORE_LAYOUT = {
+    "checkpoints": "checkpoints",
+    "wal": "wal.log",
+    "lock": LOCK_NAME,
+}
 
 
 class DurableIndexStore:
@@ -74,12 +98,14 @@ class DurableIndexStore:
         retain: int = 3,
         last_checkpoint_lsn: int = 0,
         last_recovery: RecoveryReport | None = None,
+        dir_lock: StoreLock | None = None,
     ):
         self.data_dir = pathlib.Path(data_dir)
         self.manager = manager
         self.retain = max(1, int(retain))
         self.last_recovery = last_recovery
         self._wal = wal
+        self._dir_lock = dir_lock  # single-writer flock on the data dir
         self._lock = threading.RLock()  # serializes mutations + capture
         self._checkpoint_lock = threading.Lock()  # one snapshot at a time
         self._last_checkpoint_lsn = last_checkpoint_lsn
@@ -133,11 +159,17 @@ class DurableIndexStore:
                 f"{data_dir} already contains a durable index store; "
                 "open it instead of initializing over it"
             )
-        checkpoints_dir, wal_path = cls.paths(data_dir)
-        checkpoints_dir.mkdir(parents=True, exist_ok=True)
-        wal = WriteAheadLog(wal_path, sync=sync)
-        store = cls(data_dir, manager, wal, retain=retain)
-        store.checkpoint(reason="initialize")
+        dir_lock = StoreLock.acquire(data_dir)
+        try:
+            checkpoints_dir, wal_path = cls.paths(data_dir)
+            checkpoints_dir.mkdir(parents=True, exist_ok=True)
+            wal = WriteAheadLog(wal_path, sync=sync)
+            store = cls(data_dir, manager, wal, retain=retain,
+                        dir_lock=dir_lock)
+            store.checkpoint(reason="initialize")
+        except BaseException:
+            dir_lock.release()
+            raise
         return store
 
     @classmethod
@@ -152,13 +184,20 @@ class DurableIndexStore:
 
         The manager's configuration (``k``, scheme, budgets, seed) comes
         from the checkpoint manifest — a warm restart needs nothing but
-        the data directory.
+        the data directory.  Raises :class:`~repro.errors.
+        StoreLockedError` when another process owns the directory; use
+        :func:`read_store_status` for lock-free read-only access.
         """
-        checkpoints_dir, wal_path = cls.paths(data_dir)
-        manager, report = recover_manager(checkpoints_dir, wal_path)
-        wal = WriteAheadLog(
-            wal_path, sync=sync, base_lsn=report.wal_lsn_start
-        )
+        dir_lock = StoreLock.acquire(data_dir)
+        try:
+            checkpoints_dir, wal_path = cls.paths(data_dir)
+            manager, report = recover_manager(checkpoints_dir, wal_path)
+            wal = WriteAheadLog(
+                wal_path, sync=sync, base_lsn=report.wal_lsn_start
+            )
+        except BaseException:
+            dir_lock.release()
+            raise
         return cls(
             data_dir,
             manager,
@@ -166,6 +205,7 @@ class DurableIndexStore:
             retain=retain,
             last_checkpoint_lsn=report.wal_lsn_start,
             last_recovery=report,
+            dir_lock=dir_lock,
         )
 
     # ------------------------------------------------------------------ #
@@ -207,14 +247,33 @@ class DurableIndexStore:
     # the write-ahead mutation path
     # ------------------------------------------------------------------ #
     def _apply(self, op: str, payload: dict, apply) -> IndexEvent | None:
-        """Append + fsync the record, then run ``apply`` on the manager."""
+        """Append + fsync the record, then run ``apply`` on the manager.
+
+        If ``apply`` raises past the upfront shape checks, the record is
+        rolled back (physically truncated from the WAL) before the error
+        propagates: its LSN was never acknowledged, and a record the
+        live index never absorbed must not survive for recovery to
+        replay — that either fails the next open or diverges recovered
+        state from what was actually served.
+        """
         if self._closed:
             raise StoreError(f"store {self.data_dir} is closed")
         t0 = time.perf_counter()
+        mark = self._wal.mark()
         self._wal.append(op, payload)
         registry.observe("store.wal_append_seconds", time.perf_counter() - t0)
         registry.inc("store.wal_appends_total")
-        event = apply()
+        try:
+            event = apply()
+        except BaseException:
+            try:
+                self._wal.rollback(mark)
+                registry.inc("store.wal_rollbacks_total")
+            except Exception:
+                # The apply failure is the actionable error; a rollback
+                # failure additionally halts the WAL (no further appends).
+                registry.inc("store.wal_rollback_failures_total")
+            raise
         if self._checkpointer is not None:
             self._checkpointer.notify(
                 consolidated=event is not None and event.action != "fold-in"
@@ -451,6 +510,98 @@ class DurableIndexStore:
             self.checkpoint(reason="close")
         self._closed = True
         self._wal.close()
+        if self._dir_lock is not None:
+            self._dir_lock.release()
+
+
+# --------------------------------------------------------------------- #
+# lock-free read-only views (safe against a directory a live server owns)
+# --------------------------------------------------------------------- #
+def read_store_status(data_dir: pathlib.Path) -> dict:
+    """Describe a store directory without opening it (same shape as
+    :meth:`DurableIndexStore.inspect`).
+
+    Scans checkpoint manifests and the WAL file read-only: no
+    :class:`~repro.store.wal.WriteAheadLog` handle is created (so no
+    tail truncation), nothing is written, and the single-writer lock is
+    not taken.  Document and pending counts are reconstructed from the
+    newest checkpoint's manifest plus the WAL suffix arithmetic
+    (``add_counts`` grows both, ``consolidate`` zeroes pending), and
+    ``last_recovery_replayed`` reports what a cold start *would* replay.
+    """
+    data_dir = pathlib.Path(data_dir)
+    checkpoints_dir, wal_path = DurableIndexStore.paths(data_dir)
+    infos = list_checkpoints(checkpoints_dir)
+    scan = scan_wal(wal_path)
+    newest = infos[-1] if infos else None
+    ckpt_lsn = int(newest.meta.get("wal_lsn", 0)) if newest else 0
+    n_documents = int(newest.meta.get("n_documents", 0)) if newest else 0
+    pending = len(newest.meta.get("pending_ids", [])) if newest else 0
+    would_replay = 0
+    for record in scan.records:
+        if record.lsn <= ckpt_lsn:
+            continue
+        would_replay += 1
+        if record.op == "add_counts":
+            added = len(record.payload.get("doc_ids", []))
+            n_documents += added
+            pending += added
+        elif record.op == "consolidate":
+            pending = 0
+    return {
+        "data_dir": str(data_dir),
+        "checkpoints": [
+            {
+                "id": info.checkpoint_id,
+                "path": str(info.path),
+                "created_unix": info.manifest["created_unix"],
+                "bytes": checkpoint_bytes(info),
+                "n_documents": info.meta.get("n_documents"),
+                "wal_lsn": info.meta.get("wal_lsn"),
+                "reason": info.meta.get("reason"),
+            }
+            for info in infos
+        ],
+        "wal": {
+            "path": str(wal_path),
+            "records": len(scan.records),
+            "bytes": scan.valid_end if wal_path.exists() else 0,
+            "last_lsn": scan.last_lsn,
+        },
+        "dirty_records": max(0, scan.last_lsn - ckpt_lsn),
+        "n_documents": n_documents,
+        "pending": pending,
+        "last_recovery_replayed": would_replay,
+        "problems": list(scan.problems),
+    }
+
+
+def publish_store_gauges(data_dir: pathlib.Path) -> dict:
+    """Publish the ``store.*`` gauges for ``repro stats --data-dir``.
+
+    Read-only (see :func:`read_store_status`): unlike opening the
+    store, this never recovers the index, takes the lock, or touches
+    the live server's WAL.  Returns the status dict it derived the
+    gauges from.
+    """
+    status = read_store_status(data_dir)
+    newest = status["checkpoints"][-1] if status["checkpoints"] else None
+    registry.set_gauge("store.wal_records", status["wal"]["records"])
+    registry.set_gauge("store.wal_bytes", status["wal"]["bytes"])
+    registry.set_gauge("store.dirty_records", status["dirty_records"])
+    registry.set_gauge(
+        "store.checkpoint_age_seconds",
+        max(0.0, time.time() - float(newest["created_unix"]))
+        if newest
+        else 0.0,
+    )
+    registry.set_gauge(
+        "store.checkpoint_bytes", newest["bytes"] if newest else 0
+    )
+    registry.set_gauge(
+        "store.last_recovery_replayed", status["last_recovery_replayed"]
+    )
+    return status
 
 
 class DurableServingState(ServingState):

@@ -1,0 +1,86 @@
+"""Single-writer exclusion for a store data directory.
+
+A :class:`~repro.store.durable.DurableIndexStore` owns its directory
+exclusively while open: its :class:`~repro.store.wal.WriteAheadLog`
+handle truncates torn tails on open and ``compact`` replaces the WAL
+inode, both of which corrupt or orphan a concurrent writer's log.
+:class:`StoreLock` makes that ownership explicit — an exclusive
+``flock(2)`` on ``<data-dir>/LOCK`` held for the store's lifetime.
+
+``flock`` locks die with their process, so a SIGKILLed server never
+leaves a stale lock behind; the ``LOCK`` file itself persisting is
+harmless (the next writer locks the same inode).  The lock is advisory:
+read-only surfaces (``store inspect``, ``store verify``, ``stats
+--data-dir``) deliberately never take it — they scan manifests and the
+WAL file without opening a write handle.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+from repro.errors import StoreLockedError
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX: exclusion unavailable
+    fcntl = None
+
+__all__ = ["LOCK_NAME", "StoreLock"]
+
+#: Fixed lockfile name inside a store data directory.
+LOCK_NAME = "LOCK"
+
+
+class StoreLock:
+    """An exclusive, non-blocking ``flock`` on ``<data-dir>/LOCK``."""
+
+    def __init__(self, path: pathlib.Path, fd: int | None):
+        self.path = path
+        self._fd = fd
+
+    @classmethod
+    def acquire(cls, data_dir: pathlib.Path) -> "StoreLock":
+        """Take the directory's writer lock or raise :class:`StoreLockedError`.
+
+        Never blocks: a held lock means a live server or maintenance
+        command owns the store right now, and waiting for it would just
+        trade corruption for a deadlock-prone queue.
+        """
+        data_dir = pathlib.Path(data_dir)
+        data_dir.mkdir(parents=True, exist_ok=True)
+        path = data_dir / LOCK_NAME
+        fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+        if fcntl is not None:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                os.close(fd)
+                raise StoreLockedError(
+                    f"{data_dir} is locked by another process (a live "
+                    "server or maintenance command owns this store); "
+                    "read-only commands (store inspect/verify, stats "
+                    "--data-dir) work without the lock"
+                ) from None
+        try:  # advisory diagnostics only; the flock is the lock
+            os.ftruncate(fd, 0)
+            os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+        except OSError:
+            pass
+        return cls(path, fd)
+
+    def release(self) -> None:
+        """Drop the lock (idempotent); closing the fd releases the flock."""
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    @property
+    def held(self) -> bool:
+        """Whether this handle still owns the lock."""
+        return self._fd is not None
+
+    def __repr__(self) -> str:
+        state = "held" if self.held else "released"
+        return f"StoreLock({self.path}, {state})"

@@ -11,12 +11,16 @@ File layout::
     [8B magic "RPWAL001"][8B little-endian base LSN]        header
     [4B payload length][4B CRC32(payload)][payload] ...     records
 
-Payloads are UTF-8 JSON with NumPy arrays encoded losslessly (dtype +
-shape + base64 of the raw little-endian bytes), so a replayed
-``add_counts`` block is bit-identical to the one the crashed process
-applied.  Each record carries its log sequence number (LSN); the header
-stores the base LSN so truncation (``repro store compact``) preserves
-the global numbering checkpoint manifests refer to.
+Payloads are UTF-8 JSON with NumPy arrays encoded losslessly: dense
+(dtype + shape + base64 of the raw little-endian bytes) or, when the
+array is mostly zeros — the shape of every fold-in count block — sparse
+(flat indices + values), chosen per array by :func:`encode_array_auto`.
+Both decode bit-identically, so a replayed ``add_counts`` block is
+exactly the one the crashed process applied, and the log grows with the
+*sparse* size of the data it records.  Each record carries its log
+sequence number (LSN); the header stores the base LSN so truncation
+(``repro store compact``) preserves the global numbering checkpoint
+manifests refer to.
 
 Torn tails are expected, not fatal: a crash mid-append leaves a final
 record with too few bytes or a failing checksum.  :func:`scan_wal`
@@ -49,6 +53,7 @@ __all__ = [
     "scan_wal",
     "verify_wal",
     "encode_array",
+    "encode_array_auto",
     "decode_array",
 ]
 
@@ -72,10 +77,64 @@ def encode_array(array: np.ndarray) -> dict:
     }
 
 
+#: Flat-index dtype of the sparse encoding (fixed for cross-platform logs).
+_INDEX_DTYPE = np.dtype("<i8")
+
+#: dtype kinds eligible for sparse encoding (float / signed / unsigned int).
+_SPARSE_KINDS = "fiu"
+
+
+def encode_array_auto(array: np.ndarray) -> dict:
+    """Pick the smaller lossless encoding: sparse when mostly zeros.
+
+    Fold-in count blocks are overwhelmingly zero, so storing (flat
+    index, value) pairs shrinks the log by orders of magnitude; dense
+    arrays fall back to :func:`encode_array`.  Sparse is only used when
+    it at least halves the raw byte count, and every dropped entry is
+    bitwise ``+0.0`` (negative zeros are kept), so decoding is
+    bit-identical either way.
+    """
+    if array.ndim == 0 or array.size == 0 or array.dtype.kind not in _SPARSE_KINDS:
+        return encode_array(array)
+    shape = list(array.shape)
+    flat = np.ascontiguousarray(array).ravel()
+    nonzero = flat != 0
+    if flat.dtype.kind == "f":
+        nonzero |= np.signbit(flat) & (flat == 0)
+    indices = np.flatnonzero(nonzero)
+    sparse_bytes = indices.size * (_INDEX_DTYPE.itemsize + flat.itemsize)
+    if sparse_bytes * 2 >= flat.size * flat.itemsize:
+        return encode_array(array)
+    return {
+        "__ndarray__": True,
+        "dtype": array.dtype.str,
+        "shape": shape,
+        "indices": base64.b64encode(
+            indices.astype(_INDEX_DTYPE, copy=False).tobytes()
+        ).decode("ascii"),
+        "values": base64.b64encode(
+            np.ascontiguousarray(flat[indices]).tobytes()
+        ).decode("ascii"),
+    }
+
+
 def decode_array(obj: dict) -> np.ndarray:
-    """Inverse of :func:`encode_array` (bit-exact round trip)."""
+    """Inverse of :func:`encode_array` / :func:`encode_array_auto`
+    (bit-exact round trip for both encodings)."""
+    dtype = np.dtype(obj["dtype"])
+    if "indices" in obj:
+        indices = np.frombuffer(
+            base64.b64decode(obj["indices"]), dtype=_INDEX_DTYPE
+        )
+        values = np.frombuffer(base64.b64decode(obj["values"]), dtype=dtype)
+        size = 1
+        for dim in obj["shape"]:
+            size *= int(dim)
+        flat = np.zeros(size, dtype=dtype)
+        flat[indices] = values
+        return flat.reshape(obj["shape"])
     raw = base64.b64decode(obj["data"])
-    array = np.frombuffer(raw, dtype=np.dtype(obj["dtype"]))
+    array = np.frombuffer(raw, dtype=dtype)
     return array.reshape(obj["shape"]).copy()
 
 
@@ -126,61 +185,80 @@ def scan_wal(path: pathlib.Path) -> WalScan:
     path = pathlib.Path(path)
     scan = WalScan()
     try:
-        blob = path.read_bytes()
+        fh = open(path, "rb")
     except FileNotFoundError:
         return scan
-    if len(blob) < _HEADER.size:
-        scan.problems.append(f"{path.name}: short header ({len(blob)} bytes)")
-        scan.torn_tail = True
-        scan.valid_end = 0
-        return scan
-    magic, base_lsn = _HEADER.unpack_from(blob, 0)
-    if magic != WAL_MAGIC:
-        scan.problems.append(f"{path.name}: bad magic {magic!r}")
-        scan.torn_tail = True
-        scan.valid_end = 0
-        return scan
-    scan.base_lsn = base_lsn
-    offset = _HEADER.size
-    while offset < len(blob):
-        if offset + _FRAME.size > len(blob):
+    # Buffered, frame-at-a-time reads: the log is never slurped whole,
+    # so scanning a long-lived WAL costs O(largest record) memory for
+    # the I/O (the decoded records the caller asked for still accrue).
+    with fh:
+        header = fh.read(_HEADER.size)
+        if len(header) < _HEADER.size:
             scan.problems.append(
-                f"{path.name}: torn frame header at offset {offset}"
+                f"{path.name}: short header ({len(header)} bytes)"
             )
             scan.torn_tail = True
-            break
-        length, crc = _FRAME.unpack_from(blob, offset)
-        start = offset + _FRAME.size
-        if length > MAX_RECORD_BYTES or start + length > len(blob):
-            scan.problems.append(
-                f"{path.name}: torn record at offset {offset} "
-                f"(length {length}, {len(blob) - start} bytes remain)"
-            )
+            scan.valid_end = 0
+            return scan
+        magic, base_lsn = _HEADER.unpack(header)
+        if magic != WAL_MAGIC:
+            scan.problems.append(f"{path.name}: bad magic {magic!r}")
             scan.torn_tail = True
-            break
-        payload = blob[start:start + length]
-        if zlib.crc32(payload) != crc:
-            scan.problems.append(
-                f"{path.name}: checksum mismatch at offset {offset}"
-            )
-            scan.torn_tail = True
-            break
-        try:
-            decoded = json.loads(payload.decode("utf-8"))
-            record = WalRecord(
-                int(decoded.pop("lsn")),
-                str(decoded.pop("op")),
-                _decode_payload(decoded),
-            )
-        except Exception as exc:
-            scan.problems.append(
-                f"{path.name}: undecodable record at offset {offset}: {exc}"
-            )
-            scan.torn_tail = True
-            break
-        scan.records.append(record)
-        offset = start + length
-        scan.valid_end = offset
+            scan.valid_end = 0
+            return scan
+        scan.base_lsn = base_lsn
+        offset = _HEADER.size
+        while True:
+            frame = fh.read(_FRAME.size)
+            if not frame:
+                break
+            if len(frame) < _FRAME.size:
+                scan.problems.append(
+                    f"{path.name}: torn frame header at offset {offset}"
+                )
+                scan.torn_tail = True
+                break
+            length, crc = _FRAME.unpack(frame)
+            start = offset + _FRAME.size
+            if length > MAX_RECORD_BYTES:
+                remain = max(0, os.fstat(fh.fileno()).st_size - start)
+                scan.problems.append(
+                    f"{path.name}: torn record at offset {offset} "
+                    f"(length {length}, {remain} bytes remain)"
+                )
+                scan.torn_tail = True
+                break
+            payload = fh.read(length)
+            if len(payload) < length:
+                scan.problems.append(
+                    f"{path.name}: torn record at offset {offset} "
+                    f"(length {length}, {len(payload)} bytes remain)"
+                )
+                scan.torn_tail = True
+                break
+            if zlib.crc32(payload) != crc:
+                scan.problems.append(
+                    f"{path.name}: checksum mismatch at offset {offset}"
+                )
+                scan.torn_tail = True
+                break
+            try:
+                decoded = json.loads(payload.decode("utf-8"))
+                record = WalRecord(
+                    int(decoded.pop("lsn")),
+                    str(decoded.pop("op")),
+                    _decode_payload(decoded),
+                )
+            except Exception as exc:
+                scan.problems.append(
+                    f"{path.name}: undecodable record at offset {offset}: "
+                    f"{exc}"
+                )
+                scan.torn_tail = True
+                break
+            scan.records.append(record)
+            offset = start + length
+            scan.valid_end = offset
     return scan
 
 
@@ -209,6 +287,7 @@ class WriteAheadLog:
         self.path = pathlib.Path(path)
         self.sync = sync
         self.recovered_drop = 0
+        self._halted = False
         if self.path.exists():
             scan = scan_wal(self.path)
             if scan.valid_end == 0:
@@ -264,23 +343,90 @@ class WriteAheadLog:
         ``sync=False``, e.g. for benchmarks) — an LSN handed back is the
         acknowledgment contract recovery honors.
         """
+        if self._halted:
+            raise StoreError(
+                f"write-ahead log {self.path} halted after an unrepairable "
+                "write failure; reopen the store to recover"
+            )
         if self._fh.closed:
             raise StoreError(f"write-ahead log {self.path} is closed")
         record = {"lsn": self._next_lsn, "op": op}
         for key, value in (payload or {}).items():
             record[key] = (
-                encode_array(value) if isinstance(value, np.ndarray) else value
+                encode_array_auto(value)
+                if isinstance(value, np.ndarray)
+                else value
             )
         blob = json.dumps(record).encode("utf-8")
-        self._fh.write(_FRAME.pack(len(blob), zlib.crc32(blob)) + blob)
-        self._fh.flush()
-        if self.sync:
-            os.fsync(self._fh.fileno())
+        try:
+            self._fh.write(_FRAME.pack(len(blob), zlib.crc32(blob)) + blob)
+            self._fh.flush()
+            if self.sync:
+                os.fsync(self._fh.fileno())
+        except BaseException:
+            # A failed or partial write leaves a torn frame mid-file; if
+            # later appends landed after it they would be unreachable
+            # (scan stops at the first bad frame) and silently dropped
+            # at the next open.  Restore the last-good boundary first.
+            self._repair_tail()
+            raise
         lsn = self._next_lsn
         self._next_lsn += 1
         self._n_records += 1
         self._bytes += _FRAME.size + len(blob)
         return lsn
+
+    def _repair_tail(self) -> None:
+        """Truncate back to the last-good record boundary after a failed
+        append; on failure, halt the log so nothing writes after a torn
+        frame."""
+        try:
+            try:
+                # Close (not flush) the buffered handle: a partial frame
+                # may still sit in its userspace buffer, and it must not
+                # leak onto disk ahead of a future record.
+                self._fh.close()
+            except OSError:
+                pass
+            with open(self.path, "r+b") as fh:
+                fh.truncate(self._bytes)
+                fh.flush()
+                os.fsync(fh.fileno())
+            self._fh = open(self.path, "ab")
+        except OSError:
+            self._halted = True
+
+    def mark(self) -> tuple[int, int, int]:
+        """Opaque log position (for :meth:`rollback`) before an append."""
+        return (self._bytes, self._next_lsn, self._n_records)
+
+    def rollback(self, mark: tuple[int, int, int]) -> None:
+        """Physically truncate the log back to ``mark``.
+
+        Used by the store when the in-memory apply of a just-appended
+        record fails: the record's LSN was never acknowledged to any
+        caller, and leaving it in the log would make recovery replay a
+        mutation the live index never absorbed.  Failure to truncate
+        halts the log (appends refuse) rather than leave the orphan.
+        """
+        bytes_, next_lsn, n_records = mark
+        if bytes_ > self._bytes:
+            raise StoreError("cannot roll a write-ahead log forward")
+        if self._fh.closed:
+            raise StoreError(f"write-ahead log {self.path} is closed")
+        try:
+            self._fh.flush()
+            os.ftruncate(self._fh.fileno(), bytes_)
+            os.fsync(self._fh.fileno())
+        except OSError as exc:
+            self._halted = True
+            raise StoreError(
+                f"write-ahead log {self.path} rollback failed ({exc}); "
+                "log halted"
+            ) from exc
+        self._bytes = bytes_
+        self._next_lsn = next_lsn
+        self._n_records = n_records
 
     def records(self, after_lsn: int = 0) -> Iterator[WalRecord]:
         """Valid records with ``lsn > after_lsn``, oldest first."""

@@ -1,5 +1,6 @@
 """Tests for the store primitives: checkpoints and the write-ahead log."""
 
+import json
 import os
 
 import numpy as np
@@ -22,6 +23,7 @@ from repro.store.wal import (
     WriteAheadLog,
     decode_array,
     encode_array,
+    encode_array_auto,
     scan_wal,
     verify_wal,
 )
@@ -219,6 +221,94 @@ def test_ndarray_codec_bit_exact(rng):
         assert decoded.dtype == array.dtype
         assert decoded.shape == array.shape
         assert np.array_equal(decoded, array)
+
+
+def test_wal_append_failure_leaves_clean_boundary(tmp_path):
+    class FlakyFile:
+        """Writes half the frame, then fails — a mid-append ENOSPC."""
+
+        def __init__(self, fh):
+            self._fh = fh
+            self.fail = False
+
+        def write(self, data):
+            if self.fail:
+                self._fh.write(data[: len(data) // 2])
+                raise OSError("disk glitch mid-write")
+            return self._fh.write(data)
+
+        def __getattr__(self, name):
+            return getattr(self._fh, name)
+
+    path = tmp_path / "wal.log"
+    wal = WriteAheadLog(path)
+    wal.append("add_counts", {"n": 1})
+    clean_size = wal.size_bytes
+    flaky = FlakyFile(wal._fh)
+    flaky.fail = True
+    wal._fh = flaky
+    with pytest.raises(OSError, match="disk glitch"):
+        wal.append("add_counts", {"n": 2})
+    # The torn frame was truncated away: the file is back on the
+    # last-good record boundary, not hiding a bad frame mid-file.
+    assert path.stat().st_size == clean_size
+    assert verify_wal(path) == []
+    # The next append (on the handle the repair reopened) lands cleanly
+    # and reuses the never-acknowledged LSN.
+    assert wal.append("add_counts", {"n": 3}) == 2
+    wal.close()
+    scan = scan_wal(path)
+    assert not scan.torn_tail and scan.problems == []
+    assert [(r.lsn, r.payload["n"]) for r in scan.records] == [(1, 1), (2, 3)]
+
+
+def test_wal_rollback_unappends_record(tmp_path):
+    path = tmp_path / "wal.log"
+    wal = WriteAheadLog(path)
+    wal.append("add_counts", {"n": 1})
+    mark = wal.mark()
+    wal.append("add_counts", {"n": 2})
+    wal.rollback(mark)
+    assert wal.n_records == 1 and wal.last_lsn == 1
+    assert path.stat().st_size == wal.size_bytes
+    # the rolled-back LSN was never acknowledged, so it is reassigned
+    assert wal.append("add_counts", {"n": 3}) == 2
+    with pytest.raises(StoreError, match="forward"):
+        wal.rollback((wal.size_bytes + 10, 99, 99))
+    wal.close()
+    assert [(r.lsn, r.payload["n"]) for r in scan_wal(path).records] == [
+        (1, 1), (2, 3),
+    ]
+
+
+def test_sparse_codec_bit_exact_and_smaller(rng):
+    dense = rng.standard_normal((8, 4))
+    assert "data" in encode_array_auto(dense)  # dense stays dense
+
+    sparse = np.zeros((300, 5))
+    sparse[rng.integers(0, 300, size=12), rng.integers(0, 5, size=12)] = 3.0
+    sparse[7, 0] = -0.0  # must survive bitwise, not collapse to +0.0
+    encoded = encode_array_auto(sparse)
+    assert "indices" in encoded and "data" not in encoded
+    decoded = decode_array(encoded)
+    assert decoded.dtype == sparse.dtype and decoded.shape == sparse.shape
+    assert np.array_equal(decoded, sparse)
+    assert np.array_equal(np.signbit(decoded), np.signbit(sparse))
+    # The point: the record is a fraction of the dense base64 encoding.
+    assert len(json.dumps(encoded)) < len(json.dumps(encode_array(sparse))) / 5
+
+
+def test_wal_append_uses_sparse_encoding_for_count_blocks(tmp_path, rng):
+    path = tmp_path / "wal.log"
+    block = np.zeros((500, 2))
+    block[rng.integers(0, 500, size=10), rng.integers(0, 2, size=10)] = 1.0
+    with WriteAheadLog(path) as wal:
+        wal.append("add_counts", {"counts": block, "doc_ids": ["a", "b"]})
+        sparse_size = wal.size_bytes
+    dense_size = len(json.dumps({"counts": encode_array(block)}))
+    assert sparse_size < dense_size / 5
+    scan = scan_wal(path)
+    assert np.array_equal(scan.records[0].payload["counts"], block)
 
 
 def test_fsync_called_per_append(tmp_path, monkeypatch):

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.corpus import SyntheticSpec, topic_collection
-from repro.errors import ShapeError, StoreError
+from repro.errors import ShapeError, StoreError, StoreLockedError
 from repro.obs.metrics import registry
 from repro.server import manager_from_texts
 from repro.store import (
@@ -13,6 +13,7 @@ from repro.store import (
     DurableServingState,
     list_checkpoints,
     open_latest_model,
+    read_store_status,
 )
 
 
@@ -121,6 +122,92 @@ def test_store_gauges_published(corpus, tmp_path):
     store.close(flush=False)
 
 
+def test_single_writer_lock_excludes_second_open(corpus, tmp_path):
+    store = seeded_store(corpus, tmp_path)
+    with pytest.raises(StoreLockedError, match="locked"):
+        DurableIndexStore.open(tmp_path / "store")
+    store.close(flush=False)  # close releases the lock ...
+    reopened = DurableIndexStore.open(tmp_path / "store")  # ... so this works
+    reopened.close(flush=False)
+
+
+def test_readonly_status_and_stats_against_live_store(corpus, tmp_path):
+    import io
+
+    from repro.cli import main
+
+    _, later, _ = corpus
+    store = seeded_store(corpus, tmp_path)
+    store.add_texts([later[0]])
+    wal_size = store.wal.size_bytes
+    data_dir = str(tmp_path / "store")
+
+    # Read-only views work while the live store holds the writer lock.
+    status = read_store_status(data_dir)
+    assert status["wal"]["records"] == 1
+    assert status["dirty_records"] == 1
+    assert status["n_documents"] == 21 and status["pending"] == 1
+    assert status["last_recovery_replayed"] == 1  # what a cold start replays
+    assert status["problems"] == []
+
+    out = io.StringIO()
+    assert main(["stats", "--data-dir", data_dir], out=out) == 0
+    assert "store.wal_records" in out.getvalue()
+    out = io.StringIO()
+    assert main(["--no-obs", "store", "inspect", data_dir], out=out) == 0
+    assert "would replay 1 record(s)" in out.getvalue()
+
+    # None of that touched the live WAL (no truncation, no writes) ...
+    assert (tmp_path / "store" / "wal.log").stat().st_size == wal_size
+
+    # ... while compact, a writer, is refused with the lock held.
+    out = io.StringIO()
+    assert main(["--no-obs", "store", "compact", data_dir], out=out) == 1
+
+    # The live store is unharmed and still writable.
+    store.add_texts([later[1]])
+    assert store.wal.n_records == 2
+    store.close(flush=False)
+
+
+def test_readonly_status_tracks_consolidation(corpus, tmp_path):
+    _, later, _ = corpus
+    store = seeded_store(corpus, tmp_path)
+    store.add_texts([later[0]])
+    store.add_texts([later[1]])
+    store.consolidate()
+    status = read_store_status(tmp_path / "store")
+    assert status["n_documents"] == 22
+    assert status["pending"] == 0  # the consolidate record zeroes pending
+    assert status["dirty_records"] == 3
+    store.close(flush=False)
+
+
+def test_apply_failure_rolls_back_wal(corpus, tmp_path, monkeypatch):
+    _, later, _ = corpus
+    store = seeded_store(corpus, tmp_path)
+
+    def boom(counts, doc_ids):
+        raise RuntimeError("numerical failure after the WAL append")
+
+    monkeypatch.setattr(store.manager, "add_counts", boom)
+    with pytest.raises(RuntimeError, match="numerical failure"):
+        store.add_texts([later[0]], doc_ids=["X"])
+    monkeypatch.undo()
+
+    # The unapplied record was physically rolled back: recovery will
+    # never replay a mutation the live index refused.
+    assert store.wal.n_records == 0
+    store.add_texts([later[0]], doc_ids=["X"])
+    assert [r.lsn for r in store.wal.records()] == [1]  # LSN not burned
+    store.close(flush=False)
+
+    reopened = DurableIndexStore.open(tmp_path / "store")
+    assert reopened.last_recovery.replayed_records == 1
+    assert reopened.manager.n_documents == 21
+    reopened.close(flush=False)
+
+
 # --------------------------------------------------------------------- #
 # checkpoint policy + background checkpointer
 # --------------------------------------------------------------------- #
@@ -152,6 +239,32 @@ def test_maybe_checkpoint_follows_policy(corpus, tmp_path):
     assert checkpointer.maybe_checkpoint() == "wal_records>=2"
     assert store.dirty_records == 0
     assert len(list_checkpoints(store.checkpoints_dir)) == 2
+    store.close(flush=False)
+
+
+def test_consolidation_trigger_survives_checkpoint_failure(
+    corpus, tmp_path, monkeypatch
+):
+    _, later, _ = corpus
+    store = seeded_store(corpus, tmp_path)
+    checkpointer = store.start_checkpointer(
+        CheckpointPolicy(every_records=None, every_seconds=None,
+                         on_consolidate=True)
+    )
+    checkpointer.stop()  # drive it synchronously
+    store.add_texts([later[0]])
+    store.consolidate()
+
+    def failing(reason="manual"):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(store, "checkpoint", failing)
+    assert checkpointer.maybe_checkpoint() is None  # failed ...
+    monkeypatch.undo()
+    # ... but the consolidation notification was not lost with it.
+    assert checkpointer.maybe_checkpoint() == "consolidation"
+    # Debited only after the success: no spurious re-trigger.
+    assert checkpointer.maybe_checkpoint() is None
     store.close(flush=False)
 
 
