@@ -1,0 +1,164 @@
+"""Cluster scaling: 4 shard worker processes vs 1, same checkpoint.
+
+The cluster's performance claim is that sharding the document matrix
+across worker *processes* buys real CPU parallelism for the scoring
+GEMM + top-k ranking, which a single Python process cannot get from
+threads.  This bench serves one synthetic serving-scale checkpoint two
+ways — ``workers=1`` (the whole matrix in one process) and
+``workers=4`` — and drives both with identical pre-projected query
+waves through the real router (scatter, per-shard wire frames, exact
+merge).
+
+Worker BLAS is pinned to one thread (the env is inherited by the
+spawned processes), so the comparison isolates process-level scaling
+rather than racing OpenBLAS's internal pool against the supervisor.
+
+Acceptance: with >= 4 usable cores, the 4-worker cluster sustains
+>= 2x the single-worker QPS.  On smaller machines the table still
+prints (and parity is still asserted) but the floor is reported, not
+enforced — four processes on one core cannot beat one process on one
+core.
+
+``BENCH_SMOKE=1`` shrinks the corpus for CI.
+"""
+
+import os
+
+# Pin worker BLAS *before* anything imports numpy; spawned shard
+# workers inherit this environment.
+for _var in ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS", "MKL_NUM_THREADS"):
+    os.environ.setdefault(_var, "1")
+
+import asyncio
+import tempfile
+import time
+
+import numpy as np
+
+from conftest import emit
+from obs_export import maybe_export_obs
+from repro.cluster import ClusterConfig, ClusterService
+from repro.store.checkpoint import write_checkpoint
+from repro.store.durable import STORE_LAYOUT
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+N_DOCS = 12_000 if SMOKE else 60_000
+K = 48
+M_TERMS = 64
+TOP = 10
+WAVE = 32  # queries per scatter
+WAVES = 12 if SMOKE else 30
+WORKER_COUNTS = (1, 4)
+MIN_SPEEDUP_AT_4 = 2.0
+
+
+def _seed_serving_checkpoint(data_dir: str) -> None:
+    """A serving-only checkpoint straight from random factors.
+
+    The cluster never touches the raw matrix or the WAL — workers map
+    ``base_U``/``base_s``/``model_V``/``base_gw`` and the projection
+    metadata, so that is all this checkpoint carries.
+    """
+    rng = np.random.default_rng(97)
+    arrays = {
+        "base_U": rng.standard_normal((M_TERMS, K)),
+        "base_s": np.sort(rng.random(K) + 0.5)[::-1],
+        "model_V": rng.standard_normal((N_DOCS, K)),
+        "base_gw": np.ones(M_TERMS),
+    }
+    meta = {
+        "model_scheme": {"local": "tf", "global": "none"},
+        "vocabulary": [f"term{i}" for i in range(M_TERMS)],
+        "doc_ids": [f"D{j}" for j in range(N_DOCS)],
+        "provenance": "svd",
+        "epoch": 0,
+        "n_documents": N_DOCS,
+    }
+    write_checkpoint(
+        os.path.join(data_dir, STORE_LAYOUT["checkpoints"]), arrays, meta
+    )
+
+
+def _query_waves(k: int, seed: int = 5) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal((WAVE, k)) for _ in range(WAVES)]
+
+
+def _cluster_qps(
+    data_dir: str, workers: int, waves: list[np.ndarray]
+) -> tuple[float, list]:
+    """QPS of one cluster size, plus the first wave's merged results."""
+
+    async def main() -> tuple[float, list]:
+        service = ClusterService(
+            data_dir,
+            ClusterConfig(workers=workers, hedge=False,
+                          worker_timeout_ms=60_000.0),
+        )
+        await service.start()
+        try:
+            # Warm-up scatter (page faults, connection setup).
+            first = await service.search_many(waves[0], top=TOP)
+            assert first.partial is False
+            t0 = time.perf_counter()
+            for wave in waves:
+                result = await service.search_many(wave, top=TOP)
+                assert result.partial is False
+            elapsed = time.perf_counter() - t0
+            return WAVE * len(waves) / elapsed, first.results
+        finally:
+            await service.drain()
+
+    return asyncio.run(main())
+
+
+def test_cluster_throughput_scales_with_workers():
+    cores = len(os.sched_getaffinity(0))
+    with tempfile.TemporaryDirectory() as tmp:
+        data_dir = os.path.join(tmp, "store")
+        _seed_serving_checkpoint(data_dir)
+        waves = _query_waves(K)
+
+        qps = {}
+        reference = None
+        rows = [f"{'workers':>8s}  {'QPS':>10s}  {'speedup':>8s}"]
+        for workers in WORKER_COUNTS:
+            qps[workers], results = _cluster_qps(data_dir, workers, waves)
+            # Every cluster size merges to element-identical results.
+            if reference is None:
+                reference = results
+            else:
+                assert results == reference
+            rows.append(
+                f"{workers:>8d}  {qps[workers]:>10.0f}  "
+                f"{qps[workers] / qps[WORKER_COUNTS[0]]:>7.2f}x"
+            )
+
+    speedup = qps[4] / qps[1]
+    rows.append(f"cores available: {cores}")
+    emit(
+        f"cluster throughput (n={N_DOCS}, k={K}, top={TOP}, "
+        f"{WAVES} waves of {WAVE} queries)",
+        rows,
+    )
+    maybe_export_obs(
+        "cluster_throughput",
+        extra={
+            "n_docs": N_DOCS,
+            "k": K,
+            "cores": cores,
+            "qps": {str(w): q for w, q in qps.items()},
+            "speedup_4_over_1": speedup,
+        },
+    )
+    if cores >= 4:
+        assert speedup >= MIN_SPEEDUP_AT_4, (
+            f"4-worker/1-worker QPS = {speedup:.2f}x on {cores} cores, "
+            f"need >= {MIN_SPEEDUP_AT_4}x"
+        )
+    else:
+        print(
+            f"NOTE: only {cores} core(s) — speedup floor "
+            f"({MIN_SPEEDUP_AT_4}x) reported, not enforced: "
+            f"{speedup:.2f}x"
+        )

@@ -1,0 +1,200 @@
+"""End-to-end smoke test for ``python -m repro cluster serve``.
+
+Boots the real cluster — HTTP front end, scatter-gather router, and
+three shard worker *subprocesses* over one durable-store checkpoint —
+and checks the acceptance criteria that only hold across process
+boundaries:
+
+* ``/search`` responses are element-identical to the in-process
+  ``sharded_batch_search`` over the same checkpoint (same shard count,
+  so the same kernel paths);
+* SIGKILL-ing one worker degrades to ``partial=true`` with exactly
+  that worker's ``[lo, hi)`` row range listed as missing — the other
+  shards' rows stay exact;
+* the supervisor restarts the dead worker and full parity returns;
+* SIGTERM drains cleanly — the process prints ``drained cleanly`` and
+  exits 0.
+
+Run directly (CI does)::
+
+    PYTHONPATH=src:benchmarks python benchmarks/cluster_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.parallel.sharding import sharded_batch_search
+from repro.server import ServerClient
+from repro.server.state import manager_from_texts
+from repro.store.durable import DurableIndexStore
+from repro.store.mmap_io import open_latest_model
+
+K = 10
+SHARDS = 3
+TOP = 10
+RESTART_BACKOFF = 3.0  # wide enough to observe the degraded window
+
+
+def _corpus() -> list[str]:
+    rng = np.random.default_rng(43)
+    vocab = [f"w{i}" for i in range(50)]
+    return [" ".join(rng.choice(vocab, size=15)) for _ in range(61)]
+
+
+def _seed_store(data_dir: str, texts: list[str]) -> None:
+    ids = [f"D{i}" for i in range(len(texts))]
+    store = DurableIndexStore.initialize(
+        data_dir, manager_from_texts(texts, ids, k=K)
+    )
+    store.close(flush=False)
+
+
+def _start_cluster(data_dir: str) -> tuple[subprocess.Popen, int]:
+    """Launch ``repro cluster serve``; return (proc, http port)."""
+    env = dict(os.environ, PYTHONPATH="src", PYTHONUNBUFFERED="1")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "--no-obs", "cluster", "serve",
+            "--data-dir", data_dir, "--workers", str(SHARDS),
+            "--port", "0", "--heartbeat-interval", "0.25",
+            "--restart-backoff", str(RESTART_BACKOFF),
+            "--restart-backoff-cap", str(RESTART_BACKOFF),
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env,
+    )
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise SystemExit(
+                f"cluster exited before its banner (rc={proc.poll()})"
+            )
+        line = line.strip()
+        print(f"  | {line}")
+        if line.startswith("cluster serving ") and "on http://" in line:
+            return proc, int(line.rsplit(":", 1)[1])
+    proc.kill()
+    raise SystemExit("cluster banner never appeared")
+
+
+def _search_pairs(client: ServerClient, query: str) -> tuple[dict, list]:
+    data = client.search(query, top=TOP)
+    return data, [(int(j), float(s)) for j, s, _ in data["results"]]
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        data_dir = os.path.join(tmp, "store")
+        texts = _corpus()
+        _seed_store(data_dir, texts)
+        model = open_latest_model(data_dir)
+        queries = texts[:5]
+        # Single-query HTTP requests take the q=1 kernel path, so the
+        # reference is computed one query at a time as well.
+        expected = {
+            q: sharded_batch_search(model, [q], top=TOP, shards=SHARDS)[0]
+            for q in queries
+        }
+        full = {
+            q: sharded_batch_search(
+                model, [q], top=model.n_documents, shards=SHARDS
+            )[0]
+            for q in queries
+        }
+
+        proc, port = _start_cluster(data_dir)
+        try:
+            client = ServerClient(port=port)
+            health = client.healthz()
+            assert health["status"] == "ok", health
+            assert health["workers_live"] == SHARDS, health
+
+            # Phase 1: parity with the flat in-process sharded search.
+            for q in queries:
+                data, got = _search_pairs(client, q)
+                assert data["partial"] is False, data
+                assert got == expected[q], (q, got, expected[q])
+            print(f"parity: {len(queries)} responses element-identical "
+                  f"to sharded_batch_search (shards={SHARDS})")
+
+            # Phase 2: SIGKILL one worker → partial with its range.
+            victim = 1
+            row = health["workers"][victim]
+            lo, hi = row["lo"], row["hi"]
+            os.kill(row["pid"], signal.SIGKILL)
+            degraded = None
+            deadline = time.monotonic() + 20
+            while time.monotonic() < deadline:
+                data, got = _search_pairs(client, queries[0])
+                if data["partial"]:
+                    degraded = (data, got)
+                    break
+                time.sleep(0.05)
+            assert degraded is not None, "never observed a partial response"
+            data, got = degraded
+            assert data["missing"] == [[lo, hi]], data["missing"]
+            survivors = [
+                p for p in full[queries[0]] if not lo <= p[0] < hi
+            ][:TOP]
+            assert got == survivors, (got, survivors)
+            print(f"degradation: SIGKILL shard {victim} -> partial=true, "
+                  f"missing=[[{lo},{hi})], survivors exact")
+
+            # Phase 3: the supervisor restarts it → full parity again.
+            deadline = time.monotonic() + 45
+            while time.monotonic() < deadline:
+                if client.healthz()["workers_live"] == SHARDS:
+                    break
+                time.sleep(0.1)
+            health = client.healthz()
+            assert health["workers_live"] == SHARDS, health
+            for q in queries:
+                data, got = _search_pairs(client, q)
+                assert data["partial"] is False, data
+                assert got == expected[q], (q, got, expected[q])
+            restarts = health["workers"][victim]["restarts"]
+            assert restarts >= 1, health["workers"]
+            print(f"recovery: worker {victim} restarted "
+                  f"(restarts={restarts}), full parity restored")
+
+            # The status verb agrees with what we just saw.
+            status = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "--no-obs", "cluster",
+                    "status", "--port", str(port), "--json",
+                ],
+                capture_output=True, text=True,
+                env=dict(os.environ, PYTHONPATH="src"),
+                timeout=30,
+            )
+            assert status.returncode == 0, status.stderr
+            assert json.loads(status.stdout)["workers_live"] == SHARDS
+
+            # Phase 4: graceful drain on SIGTERM.
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=45)
+            assert proc.returncode == 0, (proc.returncode, out)
+            assert "drained cleanly" in out, out
+            print("drain: exit 0, drained cleanly")
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=10)
+
+    print("cluster smoke: OK")
+
+
+if __name__ == "__main__":
+    t0 = time.perf_counter()
+    main()
+    print(f"({time.perf_counter() - t0:.1f}s)")

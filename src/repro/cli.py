@@ -31,6 +31,12 @@ terms or documents").  This CLI is the same toolbox over this library:
     recovery state), ``verify`` (checksum audit of every array and log
     record), ``compact`` (fold the WAL into a fresh checkpoint and
     truncate it).
+``cluster``
+    Multi-process serving over a durable store (:mod:`repro.cluster`):
+    ``serve`` spawns shard worker processes that memory-map the newest
+    checkpoint and mounts a scatter-gather router behind the HTTP front
+    end; ``status`` queries a running cluster's health; ``worker`` is
+    the per-shard process entry point the supervisor launches.
 ``stats``
     Print the observability snapshot: counters, gauges, latency
     histograms, and recent tracing spans.
@@ -204,6 +210,66 @@ def build_parser() -> argparse.ArgumentParser:
                          help="store directory (the serve --data-dir)")
     p_store.add_argument("--json", action="store_true",
                          help="emit machine-readable JSON (inspect)")
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="multi-process shard cluster over a durable store",
+    )
+    cluster_sub = p_cluster.add_subparsers(dest="action", required=True)
+
+    pc_serve = cluster_sub.add_parser(
+        "serve",
+        help="spawn shard workers + scatter-gather router over HTTP",
+    )
+    pc_serve.add_argument(
+        "--data-dir", type=pathlib.Path, required=True,
+        help="durable store directory whose newest checkpoint to serve",
+    )
+    pc_serve.add_argument("--workers", type=int, default=4,
+                          help="shard worker processes (= shards)")
+    pc_serve.add_argument("--host", default="127.0.0.1")
+    pc_serve.add_argument("--port", type=int, default=8080,
+                          help="HTTP port (0 picks an ephemeral port)")
+    pc_serve.add_argument("--worker-timeout-ms", type=float, default=2000.0,
+                          help="per-worker scatter deadline; a shard past "
+                               "it is left out of a partial response")
+    pc_serve.add_argument("--timeout-ms", type=float, default=None,
+                          help="default whole-request deadline")
+    pc_serve.add_argument("--hedge-quantile", type=float, default=0.95,
+                          help="hedge a straggling worker after this "
+                               "quantile of its own latency history")
+    pc_serve.add_argument("--no-hedge", action="store_true",
+                          help="disable hedged requests")
+    pc_serve.add_argument("--heartbeat-interval", type=float, default=1.0,
+                          help="seconds between worker heartbeats")
+    pc_serve.add_argument("--heartbeat-misses", type=int, default=3,
+                          help="consecutive missed heartbeats before a "
+                               "worker is evicted and restarted")
+    pc_serve.add_argument("--restart-backoff", type=float, default=0.5,
+                          help="first restart delay (doubles per retry)")
+    pc_serve.add_argument("--restart-backoff-cap", type=float, default=10.0,
+                          help="restart delay ceiling")
+
+    pc_status = cluster_sub.add_parser(
+        "status", help="query a running cluster's health"
+    )
+    pc_status.add_argument("--host", default="127.0.0.1")
+    pc_status.add_argument("--port", type=int, default=8080)
+    pc_status.add_argument("--json", action="store_true",
+                           help="emit the raw healthz JSON")
+
+    pc_worker = cluster_sub.add_parser(
+        "worker",
+        help="one shard worker process (launched by the supervisor)",
+    )
+    pc_worker.add_argument("--data-dir", type=pathlib.Path, required=True)
+    pc_worker.add_argument("--shard", type=int, required=True,
+                           help="shard id within the plan")
+    pc_worker.add_argument("--plan", required=True,
+                           help="canonical shard-plan JSON")
+    pc_worker.add_argument("--host", default="127.0.0.1")
+    pc_worker.add_argument("--port", type=int, default=0,
+                           help="worker port (0 picks ephemeral)")
 
     p_stats = sub.add_parser(
         "stats", help="print the observability snapshot"
@@ -431,6 +497,96 @@ def _cmd_serve(args, out) -> int:
     return 0
 
 
+def _cmd_cluster(args, out) -> int:
+    """Dispatch the ``cluster`` verbs: serve / status / worker."""
+    if args.action == "worker":
+        from repro.cluster.worker import run_worker
+
+        return run_worker(
+            args.data_dir, args.plan, args.shard,
+            host=args.host, port=args.port, out=out,
+        )
+
+    if args.action == "status":
+        from repro.server.client import ServerClient
+
+        with ServerClient(args.host, args.port) as client:
+            health = client.healthz()
+        if args.json:
+            print(json.dumps(health, indent=2, sort_keys=True), file=out)
+            return 0
+        print(f"status    : {health.get('status')}", file=out)
+        print(f"epoch     : {health.get('epoch')}", file=out)
+        print(f"checkpoint: {health.get('checkpoint')}", file=out)
+        print(f"documents : {health.get('n_documents')}", file=out)
+        print(
+            f"shards    : {health.get('workers_live')}/"
+            f"{health.get('n_shards')} live",
+            file=out,
+        )
+        for row in health.get("workers", []):
+            print(
+                f"shard {row['shard']:<4}: {row['state']:<10} "
+                f"rows=[{row['lo']},{row['hi']}) pid={row['pid']} "
+                f"port={row['port']} restarts={row['restarts']}",
+                file=out,
+            )
+        return 0
+
+    # serve
+    import asyncio
+    import signal
+
+    from repro.cluster import ClusterConfig, ClusterService
+    from repro.server import start_http_server
+
+    config = ClusterConfig(
+        workers=args.workers,
+        worker_timeout_ms=args.worker_timeout_ms,
+        hedge_quantile=args.hedge_quantile,
+        hedge=not args.no_hedge,
+        heartbeat_interval=args.heartbeat_interval,
+        miss_limit=args.heartbeat_misses,
+        restart_backoff=args.restart_backoff,
+        restart_backoff_cap=args.restart_backoff_cap,
+        default_timeout_ms=args.timeout_ms,
+    )
+
+    async def run() -> None:
+        service = ClusterService(
+            args.data_dir, config,
+            announce=lambda line: print(
+                f"[supervisor] {line}", file=out, flush=True
+            ),
+        )
+        server = await start_http_server(service, args.host, args.port)
+        port = server.sockets[0].getsockname()[1]
+        print(
+            f"cluster serving {service.model.n_documents} documents "
+            f"across {service.plan.n_shards} shards "
+            f"(epoch {service.epoch}, checkpoint {service.checkpoint}) "
+            f"on http://{args.host}:{port}",
+            file=out, flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # platforms without loop signals
+                signal.signal(sig, lambda *_: stop.set())
+        await stop.wait()
+        print("draining: stopping the router and workers",
+              file=out, flush=True)
+        server.close()
+        await server.wait_closed()
+        await service.drain()
+        print("drained cleanly", file=out, flush=True)
+
+    asyncio.run(run())
+    return 0
+
+
 def _cmd_store(args, out) -> int:
     """Maintain a durable data directory (inspect / verify / compact).
 
@@ -571,6 +727,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "terms": _cmd_terms,
     "serve": _cmd_serve,
+    "cluster": _cmd_cluster,
     "store": _cmd_store,
     "stats": _cmd_stats,
 }

@@ -1,0 +1,47 @@
+"""Multi-process cluster serving: shard workers behind a scatter router.
+
+The single-process server (:mod:`repro.server`) scores every query in
+one address space.  This package scales the same exact-search semantics
+across *processes*: a deterministic :class:`~repro.cluster.plan.
+ShardPlan` splits one checkpointed LSI space into contiguous row
+ranges; each :mod:`~repro.cluster.worker` process memory-maps the
+checkpoint (zero-copy — the page cache is shared between workers) and
+scores only its rows; the :mod:`~repro.cluster.router` scatters query
+batches, hedges stragglers, and merges per-shard top-k lists with the
+same ``merge_topk`` the in-process sharded search uses — so with all
+workers live, answers are element-identical to ``sharded_batch_search``.
+The :mod:`~repro.cluster.supervisor` keeps workers alive (heartbeats,
+eviction, backoff restarts), and while one is down the router serves
+``partial=True`` responses naming the unscored row ranges instead of
+failing.  :class:`~repro.cluster.service.ClusterService` packages the
+whole thing behind the existing HTTP front end (``repro cluster
+serve``).
+"""
+
+from repro.cluster.plan import PLAN_FORMAT, ShardPlan, ShardRange
+from repro.cluster.router import (
+    ClusterResult,
+    ClusterRouter,
+    RouterConfig,
+    WorkerChannel,
+)
+from repro.cluster.service import ClusterConfig, ClusterService
+from repro.cluster.supervisor import ClusterSupervisor, SupervisorConfig
+from repro.cluster.worker import ShardWorker, WorkerServer, run_worker
+
+__all__ = [
+    "PLAN_FORMAT",
+    "ShardPlan",
+    "ShardRange",
+    "ClusterResult",
+    "ClusterRouter",
+    "RouterConfig",
+    "WorkerChannel",
+    "ClusterConfig",
+    "ClusterService",
+    "ClusterSupervisor",
+    "SupervisorConfig",
+    "ShardWorker",
+    "WorkerServer",
+    "run_worker",
+]

@@ -1,0 +1,160 @@
+"""Deterministic shard plans: who scores which rows of the shared space.
+
+A cluster serves one LSI model — the paper's single-space TREC design —
+split into contiguous document-row ranges, one per worker process.  The
+router and every worker must agree on that split *exactly*: the merge
+(:func:`repro.parallel.sharding.merge_topk`) is only element-identical
+to a flat search when shard lists arrive in document order with no row
+claimed twice or dropped.  So the plan is not negotiated, it is
+computed — :meth:`ShardPlan.compute` derives the ranges from the same
+:func:`~repro.parallel.sharding.shard_bounds` partition the in-process
+sharded search uses — and then pinned: the supervisor hands each worker
+the plan's canonical JSON on its command line, and the worker refuses
+to serve unless (a) re-serializing the parsed plan reproduces those
+bytes, (b) recomputing the partition from ``(n_documents, n_shards)``
+reproduces the ranges, and (c) the checkpoint it opened matches the
+plan's ``epoch``/``checkpoint`` stamp.  Any version or state skew
+between router and worker fails at spawn, not as silently wrong merges.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.errors import ClusterError, ShapeError
+from repro.parallel.sharding import shard_bounds
+
+__all__ = ["PLAN_FORMAT", "ShardRange", "ShardPlan"]
+
+#: Bumped on any change to the plan's JSON shape or partition math.
+PLAN_FORMAT = "repro-cluster-plan/1"
+
+
+@dataclass(frozen=True)
+class ShardRange:
+    """One worker's slice of the document rows: ``[lo, hi)``."""
+
+    shard_id: int
+    lo: int
+    hi: int
+
+    @property
+    def n_rows(self) -> int:
+        """Documents this shard scores (may be 0 for tiny corpora)."""
+        return max(0, self.hi - self.lo)
+
+    def as_pair(self) -> list[int]:
+        """``[lo, hi]`` — the JSON/readback form of the range."""
+        return [self.lo, self.hi]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The full cluster layout, serializable to canonical JSON.
+
+    ``epoch`` and ``checkpoint`` stamp which durable-store snapshot the
+    plan covers; workers opening a *different* checkpoint (a compaction
+    or writer restart racing the spawn) refuse to start rather than
+    serve rows from a space the router is not merging in.
+    """
+
+    n_documents: int
+    n_shards: int
+    epoch: int
+    checkpoint: str
+    shards: tuple[ShardRange, ...]
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def compute(
+        cls,
+        n_documents: int,
+        n_shards: int,
+        *,
+        epoch: int = 0,
+        checkpoint: str = "",
+    ) -> "ShardPlan":
+        """The canonical plan for ``n_documents`` rows over ``n_shards``."""
+        ranges = tuple(
+            ShardRange(i, lo, hi)
+            for i, (lo, hi) in enumerate(shard_bounds(n_documents, n_shards))
+        )
+        return cls(
+            n_documents=int(n_documents),
+            n_shards=int(n_shards),
+            epoch=int(epoch),
+            checkpoint=str(checkpoint),
+            shards=ranges,
+        )
+
+    # ------------------------------------------------------------------ #
+    def shard(self, shard_id: int) -> ShardRange:
+        """The range assigned to ``shard_id``."""
+        if not 0 <= shard_id < len(self.shards):
+            raise ShapeError(
+                f"shard {shard_id} out of range for {len(self.shards)} shards"
+            )
+        return self.shards[shard_id]
+
+    def ranges(self) -> list[tuple[int, int]]:
+        """All ``(lo, hi)`` pairs in shard (= document) order."""
+        return [(s.lo, s.hi) for s in self.shards]
+
+    # ------------------------------------------------------------------ #
+    def to_json(self) -> str:
+        """Canonical byte-stable serialization (sorted keys, no spaces).
+
+        Two processes computing the same plan produce the *same bytes*,
+        which is what lets a worker verify agreement by comparison
+        instead of trust.
+        """
+        return json.dumps(
+            {
+                "format": PLAN_FORMAT,
+                "n_documents": self.n_documents,
+                "n_shards": self.n_shards,
+                "epoch": self.epoch,
+                "checkpoint": self.checkpoint,
+                "shards": [s.as_pair() for s in self.shards],
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ShardPlan":
+        """Parse and *verify* a plan: the ranges must be recomputable.
+
+        A plan whose shard table differs from the canonical partition of
+        its own ``(n_documents, n_shards)`` — hand-edited, truncated, or
+        produced by a process with different partition math — raises
+        :class:`~repro.errors.ClusterError`.
+        """
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ClusterError(f"shard plan is not valid JSON: {exc}")
+        if not isinstance(data, dict) or data.get("format") != PLAN_FORMAT:
+            raise ClusterError(
+                f"shard plan format {data.get('format')!r} is not "
+                f"{PLAN_FORMAT!r}" if isinstance(data, dict)
+                else "shard plan must be a JSON object"
+            )
+        try:
+            plan = cls.compute(
+                int(data["n_documents"]),
+                int(data["n_shards"]),
+                epoch=int(data["epoch"]),
+                checkpoint=str(data["checkpoint"]),
+            )
+            claimed = [list(map(int, pair)) for pair in data["shards"]]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ClusterError(f"shard plan is missing fields: {exc!r}")
+        if claimed != [s.as_pair() for s in plan.shards]:
+            raise ClusterError(
+                "shard plan ranges do not match the canonical partition "
+                f"of n={plan.n_documents} over {plan.n_shards} shards — "
+                "router/worker partition math disagrees"
+            )
+        return plan

@@ -1,0 +1,437 @@
+"""The scatter-gather router: fan out, hedge stragglers, merge exactly.
+
+One :class:`ClusterRouter` holds a persistent, id-multiplexed frame
+connection to each live shard worker.  A query batch is scaled once
+(``Q Σ``, mirroring :meth:`DocumentIndex.prepare_queries`), scattered to
+every shard, and the per-shard stable top-k lists are merged per query
+with :func:`repro.parallel.sharding.merge_topk` — the same function the
+in-process sharded search uses, over byte-identical inputs, so with all
+workers live the cluster's answer is element-identical to
+``sharded_batch_search``: indices, scores, tie order.
+
+Failure is degradation, not an error.  A worker that misses the
+per-worker deadline leaves its rows out of this response (the heartbeat
+loop, not a slow query, decides eviction); a worker whose connection
+dies is detached and reported to the supervisor.  Either way the caller
+gets HTTP-200-shaped data with ``partial=True`` and the missing ``[lo,
+hi)`` ranges named, because a search over 3/4 of the collection is far
+more useful than a 500.  Tail latency is hedged: once a worker's
+latency histogram has enough samples, a second one-shot request is sent
+to the same worker after the configured quantile of its own history,
+and the first answer wins.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.cluster.plan import ShardPlan
+from repro.cluster.wire import read_frame, write_frame
+from repro.errors import ClusterError, DeadlineExceededError
+from repro.obs.metrics import registry
+from repro.obs.tracing import span
+from repro.parallel.sharding import merge_topk
+
+__all__ = ["RouterConfig", "WorkerChannel", "ClusterResult", "ClusterRouter"]
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Tunables for the scatter-gather path."""
+
+    #: Per-worker deadline for one scatter RPC, milliseconds.
+    worker_timeout_ms: float = 2000.0
+    #: Quantile of the worker's own latency history after which a
+    #: straggling request is hedged with a duplicate.
+    hedge_quantile: float = 0.95
+    #: Observations a worker's histogram needs before hedging arms —
+    #: below this the quantile estimate is noise.
+    hedge_min_samples: int = 20
+    #: Never hedge earlier than this (milliseconds), however fast the
+    #: history says the worker usually is.
+    hedge_floor_ms: float = 1.0
+    #: Master switch for hedging.
+    hedge: bool = True
+    #: Deadline for establishing a worker connection, seconds.
+    connect_timeout: float = 5.0
+
+
+class WorkerChannel:
+    """One persistent frame connection with id-multiplexed requests.
+
+    Concurrent :meth:`call`\\ s tag their frames with monotonically
+    increasing ids; a single reader task resolves each response to its
+    waiting future, so one TCP connection carries a whole batch fan-out
+    plus interleaved heartbeats.  When the peer hangs up, every pending
+    call fails with :class:`ConnectionError` at once.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ):
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._pending: dict[int, asyncio.Future] = {}
+        self._closed = False
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, *, timeout: float = 5.0
+    ) -> "WorkerChannel":
+        """Open a channel to a worker (ConnectionError on refusal)."""
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), timeout
+            )
+        except (asyncio.TimeoutError, OSError) as exc:
+            raise ConnectionError(
+                f"cannot connect to worker at {host}:{port}: {exc!r}"
+            )
+        return cls(reader, writer)
+
+    @property
+    def closed(self) -> bool:
+        """True once the connection is gone (calls will fail fast)."""
+        return self._closed
+
+    async def _read_loop(self) -> None:
+        error: BaseException
+        try:
+            while True:
+                message = await read_frame(self._reader)
+                if message is None:
+                    error = ConnectionError("worker closed the connection")
+                    break
+                future = self._pending.pop(message.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+        except (ConnectionError, OSError, ClusterError) as exc:
+            error = exc
+        except asyncio.CancelledError:
+            error = ConnectionError("channel closed")
+        self._closed = True
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(
+                    ConnectionError(f"worker connection lost: {error!r}")
+                )
+        self._pending.clear()
+
+    async def call(self, message: dict) -> dict:
+        """Send one request frame and await its matching response."""
+        if self._closed:
+            raise ConnectionError("channel is closed")
+        request_id = next(self._ids)
+        future: asyncio.Future = asyncio.get_event_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            await write_frame(self._writer, {**message, "id": request_id})
+            return await future
+        except (ConnectionResetError, BrokenPipeError) as exc:
+            raise ConnectionError(f"worker connection lost: {exc!r}")
+        finally:
+            self._pending.pop(request_id, None)
+
+    async def close(self) -> None:
+        """Tear down the connection and fail any in-flight calls."""
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):  # noqa: BLE001
+            pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (OSError, asyncio.CancelledError):
+            pass
+
+
+@dataclass
+class ClusterResult:
+    """One scatter-gather answer, possibly degraded.
+
+    ``results[qi]`` is the merged ``(doc_index, score)`` list for query
+    ``qi`` over every shard that answered.  ``partial`` is True when any
+    shard did not, and ``missing`` lists those shards' ``(lo, hi)`` row
+    ranges so the caller knows exactly which documents went unscored.
+    """
+
+    results: list[list[tuple[int, float]]]
+    partial: bool = False
+    missing: list[tuple[int, int]] = field(default_factory=list)
+    epoch: int = 0
+
+
+class ClusterRouter:
+    """Scatter queries over the plan's shards, gather and merge exactly."""
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        config: RouterConfig | None = None,
+        *,
+        on_worker_dead: Callable[[int], None] | None = None,
+    ):
+        self.plan = plan
+        self.config = config or RouterConfig()
+        self.on_worker_dead = on_worker_dead
+        self._channels: dict[int, WorkerChannel] = {}
+        self._endpoints: dict[int, tuple[str, int]] = {}
+        registry.set_gauge("cluster.workers_live", 0)
+
+    # ------------------------------------------------------------------ #
+    # membership
+    # ------------------------------------------------------------------ #
+    def live_shards(self) -> list[int]:
+        """Shard ids with an open channel, ascending."""
+        return sorted(
+            sid for sid, ch in self._channels.items() if not ch.closed
+        )
+
+    async def attach(self, shard_id: int, host: str, port: int) -> None:
+        """Connect (or reconnect) the channel for ``shard_id``."""
+        self.plan.shard(shard_id)  # validates the id
+        old = self._channels.pop(shard_id, None)
+        if old is not None:
+            await old.close()
+        self._endpoints[shard_id] = (host, port)
+        self._channels[shard_id] = await WorkerChannel.connect(
+            host, port, timeout=self.config.connect_timeout
+        )
+        registry.set_gauge("cluster.workers_live", len(self.live_shards()))
+
+    async def detach(self, shard_id: int) -> None:
+        """Drop the channel for ``shard_id`` (worker dead or evicted)."""
+        channel = self._channels.pop(shard_id, None)
+        if channel is not None:
+            await channel.close()
+        registry.set_gauge("cluster.workers_live", len(self.live_shards()))
+
+    async def close(self) -> None:
+        """Drop every channel."""
+        for sid in list(self._channels):
+            await self.detach(sid)
+
+    async def ping(self, shard_id: int, *, timeout: float = 1.0) -> bool:
+        """One heartbeat: True iff the worker answers in time."""
+        channel = self._channels.get(shard_id)
+        if channel is None or channel.closed:
+            return False
+        try:
+            response = await asyncio.wait_for(
+                channel.call({"op": "ping"}), timeout
+            )
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            return False
+        return response.get("ok") is True
+
+    # ------------------------------------------------------------------ #
+    # one worker RPC, with hedging
+    # ------------------------------------------------------------------ #
+    def _hedge_delay(self, shard_id: int) -> float | None:
+        """Seconds after which to hedge ``shard_id``, or None (not yet)."""
+        if not self.config.hedge:
+            return None
+        hist = registry.histogram(f"cluster.worker.{shard_id}.rpc_seconds")
+        if hist is None or hist.count < self.config.hedge_min_samples:
+            return None
+        return max(
+            hist.quantile(self.config.hedge_quantile),
+            self.config.hedge_floor_ms / 1000.0,
+        )
+
+    async def _one_shot(self, shard_id: int, message: dict) -> dict:
+        """A hedge request on a fresh connection (closed after one use)."""
+        host, port = self._endpoints[shard_id]
+        channel = await WorkerChannel.connect(
+            host, port, timeout=self.config.connect_timeout
+        )
+        try:
+            return await channel.call(message)
+        finally:
+            await channel.close()
+
+    async def _call_worker(
+        self, shard_id: int, message: dict, timeout: float
+    ) -> dict:
+        """One scatter RPC: primary call, optional hedge, hard deadline."""
+        channel = self._channels.get(shard_id)
+        if channel is None or channel.closed:
+            raise ConnectionError(f"no live channel for shard {shard_id}")
+        start = time.perf_counter()
+        hedge_at = self._hedge_delay(shard_id)
+        hedged = False
+        tasks = [asyncio.ensure_future(channel.call(message))]
+        errors: list[BaseException] = []
+        try:
+            while tasks:
+                elapsed = time.perf_counter() - start
+                remaining = timeout - elapsed
+                if remaining <= 0:
+                    break
+                slice_ = remaining
+                if hedge_at is not None and not hedged:
+                    slice_ = min(slice_, max(0.0, hedge_at - elapsed))
+                done, _pending = await asyncio.wait(
+                    tasks, timeout=slice_,
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if not done:
+                    if (
+                        hedge_at is not None
+                        and not hedged
+                        and time.perf_counter() - start >= hedge_at
+                    ):
+                        hedged = True
+                        registry.inc("cluster.hedges_total")
+                        tasks.append(
+                            asyncio.ensure_future(
+                                self._one_shot(shard_id, message)
+                            )
+                        )
+                    continue
+                for task in done:
+                    tasks.remove(task)
+                    exc = task.exception()
+                    if exc is not None:
+                        errors.append(exc)
+                        continue
+                    response = task.result()
+                    latency = time.perf_counter() - start
+                    registry.observe(
+                        f"cluster.worker.{shard_id}.rpc_seconds", latency
+                    )
+                    registry.observe("cluster.rpc_seconds", latency)
+                    if "error" in response:
+                        raise ClusterError(
+                            f"shard {shard_id} rejected the request: "
+                            f"{response['error']}"
+                        )
+                    return response
+            if errors:
+                for exc in errors:
+                    if isinstance(exc, (ConnectionError, OSError)):
+                        raise exc
+                raise errors[0]
+            raise DeadlineExceededError(
+                f"shard {shard_id} missed its {timeout * 1000:.0f} ms "
+                "deadline"
+            )
+        finally:
+            for task in tasks:
+                task.cancel()
+
+    # ------------------------------------------------------------------ #
+    # the scatter-gather search
+    # ------------------------------------------------------------------ #
+    async def search_batch(
+        self,
+        Qs: np.ndarray | Sequence[Sequence[float]],
+        *,
+        top: int | None = 10,
+        threshold: float | None = None,
+        timeout_ms: float | None = None,
+    ) -> ClusterResult:
+        """Scatter a scaled ``(q, k)`` batch, merge exact per-query top-k.
+
+        ``Qs`` must already be comparison-space scaled (``q̂ Σ``) — the
+        service layer does this once, exactly as
+        ``DocumentIndex.prepare_queries`` would.
+        """
+        Q = np.atleast_2d(np.asarray(Qs, dtype=np.float64))
+        n_queries = Q.shape[0]
+        timeout = (
+            timeout_ms if timeout_ms is not None
+            else self.config.worker_timeout_ms
+        ) / 1000.0
+        registry.inc("cluster.requests_total")
+        message: dict = {"op": "score", "queries": Q.tolist()}
+        if top is not None:
+            message["top"] = int(top)
+        if threshold is not None:
+            message["threshold"] = float(threshold)
+
+        missing_sids: set[int] = set()
+        responses: dict[int, dict] = {}
+        with span(
+            "cluster.scatter",
+            shards=self.plan.n_shards,
+            queries=n_queries,
+        ):
+            calls: dict[int, asyncio.Future] = {}
+            for shard in self.plan.shards:
+                sid = shard.shard_id
+                channel = self._channels.get(sid)
+                if channel is None or channel.closed:
+                    missing_sids.add(sid)
+                    continue
+                calls[sid] = asyncio.ensure_future(
+                    self._call_worker(sid, message, timeout)
+                )
+            if calls:
+                await asyncio.wait(calls.values())
+            dead: list[int] = []
+            for sid, task in calls.items():
+                exc = task.exception()
+                if exc is None:
+                    responses[sid] = task.result()
+                elif isinstance(exc, DeadlineExceededError):
+                    # Slow is not dead: leave eviction to the heartbeat.
+                    registry.inc("cluster.deadline_misses_total")
+                    missing_sids.add(sid)
+                elif isinstance(exc, (ConnectionError, OSError)):
+                    missing_sids.add(sid)
+                    dead.append(sid)
+                else:
+                    raise exc
+            for sid in dead:
+                await self.detach(sid)
+                if self.on_worker_dead is not None:
+                    self.on_worker_dead(sid)
+
+        for sid, response in responses.items():
+            if response.get("shard") != sid:
+                raise ClusterError(
+                    f"shard {sid} answered as shard {response.get('shard')}"
+                )
+            if int(response.get("epoch", -1)) != self.plan.epoch:
+                raise ClusterError(
+                    f"shard {sid} serves epoch {response.get('epoch')} but "
+                    f"the plan covers epoch {self.plan.epoch}"
+                )
+
+        k = int(top) if top is not None else max(1, self.plan.n_documents)
+        answered = sorted(responses)  # ascending sid == document order
+        results: list[list[tuple[int, float]]] = []
+        with span("cluster.merge", shards=len(answered), queries=n_queries):
+            for qi in range(n_queries):
+                per_shard = [
+                    [
+                        (int(i), float(s))
+                        for i, s in responses[sid]["results"][qi]
+                    ]
+                    for sid in answered
+                ]
+                results.append(merge_topk(per_shard, k))
+
+        partial = bool(missing_sids)
+        if partial:
+            registry.inc("cluster.partial_responses")
+        missing = [
+            self.plan.shard(sid).as_pair() for sid in sorted(missing_sids)
+        ]
+        return ClusterResult(
+            results=results,
+            partial=partial,
+            missing=[(lo, hi) for lo, hi in missing],
+            epoch=self.plan.epoch,
+        )

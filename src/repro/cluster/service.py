@@ -1,0 +1,244 @@
+"""The cluster front end: checkpoint → plan → supervisor → router → HTTP.
+
+:class:`ClusterService` presents the same duck-typed surface the HTTP
+front end (:mod:`repro.server.http`) expects from a
+:class:`~repro.server.service.QueryService` — ``start`` / ``drain`` /
+``search`` / ``healthz`` / ``stats`` / ``metrics`` — but answers queries
+by scattering over shard worker *processes* instead of scoring in-loop.
+It opens the newest durable-store checkpoint once (memory-mapped, for
+the vocabulary and query projection; workers map the same files
+themselves), pins a :class:`~repro.cluster.plan.ShardPlan` against that
+checkpoint's epoch, and wires the router's dead-connection reports into
+the supervisor's restart machinery.
+
+The cluster is a *read-only* serving tier: ``/add`` is refused.  Writes
+go to the store's single writer (``repro serve --data-dir``); a new
+checkpoint is picked up by restarting the cluster, which re-pins the
+plan — by design, since a plan is only valid against one checkpoint.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.cluster.plan import ShardPlan
+from repro.cluster.router import ClusterResult, ClusterRouter, RouterConfig
+from repro.cluster.supervisor import ClusterSupervisor, SupervisorConfig
+from repro.core.query import project_query
+from repro.errors import ReproError, StoreError
+from repro.obs.export import SCHEMA
+from repro.obs.metrics import registry
+from repro.obs.tracing import recent_spans, span
+from repro.store.checkpoint import latest_valid_checkpoint
+from repro.store.mmap_io import open_checkpoint_model
+
+__all__ = ["ClusterConfig", "ClusterService"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Tunables for one cluster instance (CLI flags map 1:1 onto these)."""
+
+    workers: int = 4
+    worker_timeout_ms: float = 2000.0
+    hedge_quantile: float = 0.95
+    hedge: bool = True
+    heartbeat_interval: float = 1.0
+    miss_limit: int = 3
+    restart_backoff: float = 0.5
+    restart_backoff_cap: float = 10.0
+    default_timeout_ms: float | None = None
+
+
+class ClusterService:
+    """Scatter-gather query service over one checkpoint, many processes."""
+
+    def __init__(
+        self,
+        data_dir: pathlib.Path,
+        config: ClusterConfig | None = None,
+        *,
+        host: str = "127.0.0.1",
+        announce: Callable[[str], None] | None = None,
+    ):
+        self.data_dir = pathlib.Path(data_dir)
+        self.config = config or ClusterConfig()
+
+        from repro.store.durable import STORE_LAYOUT
+
+        checkpoints = self.data_dir / STORE_LAYOUT["checkpoints"]
+        info, problems = latest_valid_checkpoint(checkpoints)
+        if info is None:
+            detail = f" ({'; '.join(problems)})" if problems else ""
+            raise StoreError(
+                f"no valid checkpoint under {checkpoints}{detail}"
+            )
+        self.checkpoint = info.path.name
+        self.epoch = int(info.manifest.get("meta", {}).get("epoch", 0))
+        # Mapped once here for projection (U, Σ, vocabulary); each worker
+        # maps the same .npy files itself — the page cache is shared.
+        self.model = open_checkpoint_model(info.path, mmap=True)
+        self.plan = ShardPlan.compute(
+            self.model.n_documents,
+            self.config.workers,
+            epoch=self.epoch,
+            checkpoint=self.checkpoint,
+        )
+        self.router = ClusterRouter(
+            self.plan,
+            RouterConfig(
+                worker_timeout_ms=self.config.worker_timeout_ms,
+                hedge_quantile=self.config.hedge_quantile,
+                hedge=self.config.hedge,
+            ),
+        )
+        self.supervisor = ClusterSupervisor(
+            self.data_dir,
+            self.plan,
+            self.router,
+            SupervisorConfig(
+                heartbeat_interval=self.config.heartbeat_interval,
+                miss_limit=self.config.miss_limit,
+                backoff_base=self.config.restart_backoff,
+                backoff_cap=self.config.restart_backoff_cap,
+            ),
+            host=host,
+            announce=announce,
+        )
+        self.router.on_worker_dead = self.supervisor.notify_worker_dead
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Spawn and attach every worker (idempotent)."""
+        if not self._started:
+            with span("cluster.start", workers=self.plan.n_shards):
+                await self.supervisor.start()
+            self._started = True
+
+    async def drain(self) -> None:
+        """Graceful shutdown: SIGTERM workers, close channels."""
+        await self.supervisor.drain()
+        self._started = False
+
+    @property
+    def draining(self) -> bool:
+        """Whether shutdown has begun."""
+        return self.supervisor.draining
+
+    # ------------------------------------------------------------------ #
+    def _scale(self, Q: np.ndarray) -> np.ndarray:
+        """``Q Σ`` — exactly ``DocumentIndex.prepare_queries`` in scaled
+        mode, applied router-side so every worker scores identical bytes."""
+        return np.atleast_2d(np.asarray(Q, dtype=np.float64)) * self.model.s
+
+    async def search(
+        self,
+        query,
+        *,
+        top: int | None = None,
+        threshold: float | None = None,
+        timeout_ms: float | None = None,
+    ) -> dict:
+        """One ranked search, scattered over the shard workers.
+
+        Never raises on worker death — degraded answers come back with
+        ``partial=True`` and the unscored ``[lo, hi)`` ranges listed.
+        """
+        qhat = project_query(self.model, query)
+        result = await self.router.search_batch(
+            self._scale(qhat),
+            top=top,
+            threshold=threshold,
+            timeout_ms=(
+                timeout_ms if timeout_ms is not None
+                else self.config.default_timeout_ms
+            ),
+        )
+        doc_ids = self.model.doc_ids
+        return {
+            "epoch": result.epoch,
+            "n_documents": self.model.n_documents,
+            "partial": result.partial,
+            "missing": [list(pair) for pair in result.missing],
+            "results": [
+                [i, score, doc_ids[i]] for i, score in result.results[0]
+            ],
+        }
+
+    async def search_many(
+        self,
+        queries: Sequence[str] | np.ndarray,
+        *,
+        top: int | None = 10,
+        threshold: float | None = None,
+        timeout_ms: float | None = None,
+    ) -> ClusterResult:
+        """A whole batch through one scatter (bench/parity entry point).
+
+        ``queries`` may be raw texts or an already-projected ``(q, k)``
+        array — the same convention as ``sharded_batch_search``, whose
+        output this is element-identical to when all workers are live.
+        """
+        if isinstance(queries, np.ndarray):
+            Q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        else:
+            from repro.parallel.batch import batch_project_queries
+
+            Q = batch_project_queries(self.model, queries)
+        return await self.router.search_batch(
+            self._scale(Q),
+            top=top,
+            threshold=threshold,
+            timeout_ms=(
+                timeout_ms if timeout_ms is not None
+                else self.config.default_timeout_ms
+            ),
+        )
+
+    async def add(self, texts, doc_ids=None) -> dict:
+        """Refused: the cluster serves a pinned checkpoint, read-only."""
+        raise ReproError(
+            "cluster serving is read-only: write through the store's "
+            "single writer (repro serve --data-dir) and restart the "
+            "cluster to pick up the new checkpoint"
+        )
+
+    # ------------------------------------------------------------------ #
+    def healthz(self) -> dict:
+        """Cluster liveness: worker table, live count, degradation."""
+        workers = self.supervisor.describe()
+        live = sum(1 for w in workers if w["state"] == "up")
+        if self.draining:
+            status = "draining"
+        elif live < self.plan.n_shards:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "draining": self.draining,
+            "epoch": self.epoch,
+            "checkpoint": self.checkpoint,
+            "n_documents": self.model.n_documents,
+            "n_shards": self.plan.n_shards,
+            "workers_live": live,
+            "workers": workers,
+        }
+
+    def stats(self) -> dict:
+        """The observability snapshot for ``/stats`` (obs-export schema)."""
+        return {
+            "schema": SCHEMA,
+            "server": self.healthz(),
+            "metrics": registry.snapshot(),
+            "spans": [s.to_dict() for s in recent_spans(50)],
+        }
+
+    def metrics(self) -> dict:
+        """The bare metrics registry dump for ``/metrics``."""
+        return registry.snapshot()

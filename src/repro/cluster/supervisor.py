@@ -1,0 +1,359 @@
+"""Worker lifecycle: spawn, watch, evict on silence, restart with backoff.
+
+The supervisor owns the worker *processes*; the router owns the worker
+*connections*.  Each shard gets a ``python -m repro cluster worker``
+subprocess whose ready banner (printed only after the checkpoint is
+mapped and the socket bound) is parsed for its ephemeral port, then the
+router is attached.  From there two independent signals cover the two
+ways a worker can fail:
+
+* **exit** — a per-worker watcher task awaits the process and, unless
+  the cluster is draining, detaches the router and schedules a restart
+  with bounded exponential backoff (``base · 2^(restarts-1)``, capped);
+* **silence** — a heartbeat loop pings every live worker through the
+  router; a worker that misses ``miss_limit`` consecutive heartbeats is
+  considered wedged (alive but not answering — the failure mode exit
+  codes cannot see) and is killed, which hands it to the watcher path.
+
+Between a worker's death and its restart the router simply serves
+``partial=True`` responses missing that shard's rows; nothing here
+blocks the query path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import pathlib
+import signal
+import sys
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cluster.plan import ShardPlan
+from repro.cluster.router import ClusterRouter
+from repro.errors import ClusterError
+from repro.obs.metrics import registry
+
+__all__ = ["SupervisorConfig", "ClusterSupervisor"]
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Tunables for worker lifecycle management."""
+
+    #: Seconds between heartbeat rounds (also the per-ping deadline).
+    heartbeat_interval: float = 1.0
+    #: Consecutive missed heartbeats before a worker is killed.
+    miss_limit: int = 3
+    #: First restart delay, seconds; doubles per consecutive restart.
+    backoff_base: float = 0.5
+    #: Restart delay ceiling, seconds.
+    backoff_cap: float = 10.0
+    #: Deadline for a spawned worker to print its ready banner, seconds.
+    spawn_timeout: float = 60.0
+    #: Seconds a SIGTERMed worker gets to exit before SIGKILL on drain.
+    drain_timeout: float = 10.0
+
+
+@dataclass
+class _WorkerRecord:
+    """Mutable per-shard process state."""
+
+    shard_id: int
+    proc: asyncio.subprocess.Process | None = None
+    port: int = 0
+    pid: int = 0
+    state: str = "starting"
+    missed_heartbeats: int = 0
+    restarts: int = 0
+    tasks: list[asyncio.Task] = field(default_factory=list)
+
+
+class ClusterSupervisor:
+    """Keeps one worker process per shard of ``plan`` alive and attached."""
+
+    def __init__(
+        self,
+        data_dir: pathlib.Path,
+        plan: ShardPlan,
+        router: ClusterRouter,
+        config: SupervisorConfig | None = None,
+        *,
+        host: str = "127.0.0.1",
+        announce: Callable[[str], None] | None = None,
+    ):
+        self.data_dir = pathlib.Path(data_dir)
+        self.plan = plan
+        self.router = router
+        self.config = config or SupervisorConfig()
+        self.host = host
+        self._announce = announce or (lambda line: None)
+        self._records: dict[int, _WorkerRecord] = {
+            s.shard_id: _WorkerRecord(s.shard_id) for s in plan.shards
+        }
+        self._restarting: set[int] = set()
+        self._draining = False
+        self._heartbeat_task: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------ #
+    # spawn
+    # ------------------------------------------------------------------ #
+    def _worker_command(self, shard_id: int) -> list[str]:
+        return [
+            sys.executable, "-m", "repro", "--no-obs", "cluster", "worker",
+            "--data-dir", str(self.data_dir),
+            "--shard", str(shard_id),
+            "--plan", self.plan.to_json(),
+            "--host", self.host,
+            "--port", "0",
+        ]
+
+    def _worker_env(self) -> dict[str, str]:
+        import repro
+
+        src_root = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = (
+            src_root + (os.pathsep + existing if existing else "")
+        )
+        return env
+
+    async def _spawn(self, shard_id: int) -> None:
+        """Start one worker, parse its banner, attach the router."""
+        record = self._records[shard_id]
+        record.state = "starting"
+        record.missed_heartbeats = 0
+        proc = await asyncio.create_subprocess_exec(
+            *self._worker_command(shard_id),
+            stdout=asyncio.subprocess.PIPE,
+            stderr=None,  # inherit: worker errors land in our stderr
+            env=self._worker_env(),
+        )
+        record.proc = proc
+        try:
+            banner = await asyncio.wait_for(
+                self._await_banner(proc), self.config.spawn_timeout
+            )
+        except asyncio.TimeoutError:
+            proc.kill()
+            raise ClusterError(
+                f"worker {shard_id} produced no ready banner within "
+                f"{self.config.spawn_timeout:.0f} s"
+            )
+        if banner is None:
+            code = await proc.wait()
+            raise ClusterError(
+                f"worker {shard_id} exited with code {code} before "
+                "becoming ready"
+            )
+        record.port = banner["port"]
+        record.pid = banner["pid"]
+        await self.router.attach(shard_id, self.host, record.port)
+        record.state = "up"
+        self._announce(
+            f"worker {shard_id} up on {self.host}:{record.port} "
+            f"pid={record.pid}"
+        )
+        record.tasks = [
+            asyncio.ensure_future(self._watch(shard_id, proc)),
+            asyncio.ensure_future(self._pump_stdout(shard_id, proc)),
+        ]
+
+    @staticmethod
+    async def _await_banner(
+        proc: asyncio.subprocess.Process,
+    ) -> dict | None:
+        """First ``ready`` line of the worker's stdout, parsed; None on EOF."""
+        assert proc.stdout is not None
+        while True:
+            raw = await proc.stdout.readline()
+            if not raw:
+                return None
+            line = raw.decode("utf-8", "replace").strip()
+            if " ready on " not in line:
+                continue
+            try:
+                addr = line.split(" ready on ", 1)[1].split()[0]
+                port = int(addr.rsplit(":", 1)[1])
+                pid = int(line.rsplit("pid=", 1)[1])
+            except (IndexError, ValueError):
+                raise ClusterError(f"unparseable worker banner: {line!r}")
+            return {"port": port, "pid": pid}
+
+    async def _pump_stdout(
+        self, shard_id: int, proc: asyncio.subprocess.Process
+    ) -> None:
+        """Drain post-banner stdout so the worker can never block on it."""
+        assert proc.stdout is not None
+        try:
+            while True:
+                raw = await proc.stdout.readline()
+                if not raw:
+                    return
+                line = raw.decode("utf-8", "replace").strip()
+                if line:
+                    self._announce(f"worker {shard_id}: {line}")
+        except asyncio.CancelledError:
+            return
+
+    # ------------------------------------------------------------------ #
+    # failure handling
+    # ------------------------------------------------------------------ #
+    async def _watch(
+        self, shard_id: int, proc: asyncio.subprocess.Process
+    ) -> None:
+        """Await one process; on unexpected death, detach and restart."""
+        code = await proc.wait()
+        record = self._records[shard_id]
+        if self._draining or record.proc is not proc:
+            return
+        record.state = "dead"
+        registry.inc("cluster.worker_exits_total")
+        self._announce(
+            f"worker {shard_id} (pid {record.pid}) exited with code {code}"
+        )
+        await self.router.detach(shard_id)
+        self._schedule_restart(shard_id)
+
+    def notify_worker_dead(self, shard_id: int) -> None:
+        """Router callback: a connection died mid-query.
+
+        The watcher usually fires first (the process exited), but a
+        connection can die while the process lives — this path covers
+        it by forcing the heartbeat verdict early.
+        """
+        if self._draining:
+            return
+        record = self._records.get(shard_id)
+        if record is None or record.state != "up":
+            return
+        record.missed_heartbeats = self.config.miss_limit
+
+    def _schedule_restart(self, shard_id: int) -> None:
+        if self._draining or shard_id in self._restarting:
+            return
+        self._restarting.add(shard_id)
+        asyncio.ensure_future(self._restart(shard_id))
+
+    async def _restart(self, shard_id: int) -> None:
+        record = self._records[shard_id]
+        try:
+            record.restarts += 1
+            delay = min(
+                self.config.backoff_cap,
+                self.config.backoff_base * 2 ** (record.restarts - 1),
+            )
+            record.state = "restarting"
+            registry.inc("cluster.restarts_total")
+            self._announce(
+                f"restarting worker {shard_id} in {delay:.1f} s "
+                f"(restart #{record.restarts})"
+            )
+            await asyncio.sleep(delay)
+            if self._draining:
+                return
+            await self._spawn(shard_id)
+        except ClusterError as exc:
+            # Spawn failed outright; try again along the backoff curve.
+            self._announce(f"worker {shard_id} restart failed: {exc}")
+            record.state = "dead"
+            self._restarting.discard(shard_id)
+            self._schedule_restart(shard_id)
+            return
+        finally:
+            self._restarting.discard(shard_id)
+
+    async def _heartbeat_loop(self) -> None:
+        interval = self.config.heartbeat_interval
+        while not self._draining:
+            await asyncio.sleep(interval)
+            for shard_id, record in self._records.items():
+                if record.state != "up" or self._draining:
+                    continue
+                ok = await self.router.ping(shard_id, timeout=interval)
+                if ok:
+                    record.missed_heartbeats = 0
+                    continue
+                record.missed_heartbeats += 1
+                if record.missed_heartbeats < self.config.miss_limit:
+                    continue
+                registry.inc("cluster.evictions_total")
+                self._announce(
+                    f"worker {shard_id} missed "
+                    f"{record.missed_heartbeats} heartbeats; evicting"
+                )
+                if record.proc is not None:
+                    try:
+                        record.proc.kill()
+                    except ProcessLookupError:
+                        pass
+                # The watcher task sees the exit and restarts it.
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Spawn every shard's worker; raises if any fails its first spawn."""
+        for shard in self.plan.shards:
+            await self._spawn(shard.shard_id)
+        self._heartbeat_task = asyncio.ensure_future(self._heartbeat_loop())
+
+    async def drain(self) -> None:
+        """SIGTERM every worker, wait, SIGKILL stragglers, detach all."""
+        self._draining = True
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            try:
+                await self._heartbeat_task
+            except asyncio.CancelledError:
+                pass
+        procs = []
+        for record in self._records.values():
+            record.state = "draining"
+            if record.proc is not None and record.proc.returncode is None:
+                try:
+                    record.proc.send_signal(signal.SIGTERM)
+                except ProcessLookupError:
+                    continue
+                procs.append(record.proc)
+        if procs:
+            waits = [asyncio.ensure_future(p.wait()) for p in procs]
+            _done, pending = await asyncio.wait(
+                waits, timeout=self.config.drain_timeout
+            )
+            if pending:
+                for proc in procs:
+                    if proc.returncode is None:
+                        proc.kill()
+                await asyncio.wait(pending)
+        for record in self._records.values():
+            for task in record.tasks:
+                task.cancel()
+        await self.router.close()
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> list[dict]:
+        """Per-shard status rows for healthz / ``cluster status``."""
+        rows = []
+        for shard in self.plan.shards:
+            record = self._records[shard.shard_id]
+            rows.append(
+                {
+                    "shard": shard.shard_id,
+                    "lo": shard.lo,
+                    "hi": shard.hi,
+                    "state": record.state,
+                    "pid": record.pid,
+                    "port": record.port,
+                    "restarts": record.restarts,
+                    "missed_heartbeats": record.missed_heartbeats,
+                }
+            )
+        return rows
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` has begun."""
+        return self._draining

@@ -1,0 +1,142 @@
+"""Length-prefixed JSON framing, shared by router and workers.
+
+One frame is ``[4B little-endian payload length][UTF-8 JSON object]``.
+JSON keeps the protocol debuggable (``nc`` + eyeballs) and — the
+property the parity guarantee rests on — *losslessly* round-trips IEEE
+doubles: ``json.dumps`` emits ``repr``-style shortest representations,
+so a query vector scattered to a worker and a score gathered back are
+bit-identical to their in-process values.  No pickling, ever: workers
+mmap their model from the checkpoint and only small dicts cross the
+wire.
+
+Both flavours live here so they cannot drift: blocking helpers
+(:func:`send_frame` / :func:`recv_frame`) for the threaded worker, and
+asyncio helpers (:func:`write_frame` / :func:`read_frame`) for the
+scatter-gather router.  A clean EOF *between* frames reads as ``None``
+(peer hung up); an EOF *inside* a frame raises ``ConnectionError``
+(peer died mid-message) — the router treats both as worker death, but
+the distinction keeps error reports honest.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+
+from repro.errors import ClusterError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "send_frame",
+    "recv_frame",
+    "write_frame",
+    "read_frame",
+]
+
+#: Largest accepted frame payload; bounds per-connection memory and
+#: turns a desynchronized stream (length bytes read mid-message) into a
+#: loud error instead of a gigabyte allocation.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LEN = struct.Struct("<I")
+
+
+def encode_frame(message: dict) -> bytes:
+    """Serialize one message dict into a length-prefixed frame."""
+    if not isinstance(message, dict):
+        raise ClusterError("wire frames must be JSON objects")
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ClusterError(
+            f"frame payload of {len(payload)} bytes exceeds "
+            f"{MAX_FRAME_BYTES}"
+        )
+    return _LEN.pack(len(payload)) + payload
+
+
+def _decode_payload(payload: bytes) -> dict:
+    try:
+        message = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise ClusterError(f"frame payload is not valid JSON: {exc}")
+    if not isinstance(message, dict):
+        raise ClusterError("wire frames must be JSON objects")
+    return message
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_FRAME_BYTES:
+        raise ClusterError(
+            f"peer announced a {length}-byte frame (cap {MAX_FRAME_BYTES}); "
+            "stream is corrupt or desynchronized"
+        )
+
+
+# --------------------------------------------------------------------- #
+# blocking flavour (worker side)
+# --------------------------------------------------------------------- #
+def send_frame(sock: socket.socket, message: dict) -> None:
+    """Write one frame to a blocking socket."""
+    sock.sendall(encode_frame(message))
+
+
+def _recv_exact(sock: socket.socket, n: int, *, at_boundary: bool) -> bytes | None:
+    """Read exactly ``n`` bytes; ``None`` on clean EOF at a boundary."""
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(n - got)
+        if not chunk:
+            if at_boundary and got == 0:
+                return None
+            raise ConnectionError(
+                f"peer closed mid-frame ({got} of {n} bytes)"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Read one frame from a blocking socket; ``None`` on clean EOF."""
+    header = _recv_exact(sock, _LEN.size, at_boundary=True)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    _check_length(length)
+    payload = _recv_exact(sock, length, at_boundary=False)
+    return _decode_payload(payload)
+
+
+# --------------------------------------------------------------------- #
+# asyncio flavour (router side)
+# --------------------------------------------------------------------- #
+async def write_frame(writer: asyncio.StreamWriter, message: dict) -> None:
+    """Write one frame to an asyncio stream and drain."""
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """Read one frame from an asyncio stream; ``None`` on clean EOF."""
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ConnectionError(
+            f"peer closed mid-frame ({len(exc.partial)} of {_LEN.size} "
+            "header bytes)"
+        )
+    (length,) = _LEN.unpack(header)
+    _check_length(length)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ConnectionError(
+            f"peer closed mid-frame ({len(exc.partial)} of {length} bytes)"
+        )
+    return _decode_payload(payload)

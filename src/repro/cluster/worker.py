@@ -1,0 +1,284 @@
+"""The shard worker: one process, one contiguous slice of the space.
+
+A worker is a pure *checkpoint consumer*.  It opens the newest valid
+checkpoint of a durable store with ``np.load(mmap_mode="r")``
+(:mod:`repro.store.mmap_io` — O(header) open, no pickling of factors),
+materializes only its shard's scoring state — ``V[lo:hi] Σ`` and its
+row norms, the same arrays the in-process sharded search slices — and
+serves two things over length-prefixed JSON frames on a local socket:
+``score`` requests and heartbeats.  Nothing else: no updating, no WAL,
+no lock on the store.  Restarting a worker is therefore always safe and
+cheap, which is what the supervisor's crash-restart loop relies on.
+
+Exactness contract
+------------------
+:meth:`ShardWorker.score` runs the *identical* kernel and selection the
+flat path runs on the same slice shapes — :func:`~repro.serving.kernel.
+cosine_scores` over ``(hi-lo, k)`` rows, :func:`~repro.serving.topk.
+ranked_order` per query — and JSON round-trips doubles losslessly, so a
+router merging worker responses with ``merge_topk`` reproduces
+``sharded_batch_search`` element-for-element: indices, scores, tie
+order.
+
+Run one with ``python -m repro cluster worker`` (the supervisor does).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import signal
+import socketserver
+import sys
+import threading
+import time
+
+import numpy as np
+
+from repro.cluster.plan import ShardPlan, ShardRange
+from repro.cluster.wire import recv_frame, send_frame
+from repro.core.model import LSIModel
+from repro.errors import ShapeError
+from repro.serving.kernel import cosine_scores, row_norms
+from repro.serving.topk import ranked_order
+from repro.store.checkpoint import latest_valid_checkpoint
+from repro.store.mmap_io import open_checkpoint_model
+
+__all__ = ["ShardWorker", "WorkerServer", "serve_shard", "run_worker"]
+
+
+class ShardWorker:
+    """Transport-free scoring core for one shard of one model.
+
+    Separated from the socket loop so tests (and the router's in-process
+    parity harnesses) can drive :meth:`handle` directly.
+    """
+
+    def __init__(self, model: LSIModel, shard: ShardRange, *, epoch: int = 0):
+        self.model = model
+        self.shard = shard
+        self.epoch = int(epoch)
+        lo, hi = shard.lo, shard.hi
+        if not 0 <= lo <= hi <= model.n_documents:
+            raise ShapeError(
+                f"shard rows [{lo},{hi}) outside model with "
+                f"n={model.n_documents}"
+            )
+        # Materialize only this shard's rows: the multiply touches (and
+        # therefore faults in) just the mapped pages of V[lo:hi].
+        self.coords = np.ascontiguousarray(model.V[lo:hi] * model.s)
+        self.norms = row_norms(self.coords)
+        self.started_unix = time.time()
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------ #
+    def info(self) -> dict:
+        """Identity block for hellos, status pages, and debugging."""
+        return {
+            "shard": self.shard.shard_id,
+            "lo": self.shard.lo,
+            "hi": self.shard.hi,
+            "epoch": self.epoch,
+            "n_documents": self.model.n_documents,
+            "k": self.model.k,
+            "pid": os.getpid(),
+            "uptime_seconds": time.time() - self.started_unix,
+            "requests_served": self.requests_served,
+        }
+
+    def score(
+        self,
+        Qs: np.ndarray,
+        top: int | None,
+        threshold: float | None,
+    ) -> list[list[list]]:
+        """Per-query ranked ``[global_index, score]`` pairs for this shard.
+
+        ``Qs`` is the already-scaled ``(q, k)`` comparison-space batch
+        (the router applies ``Σ`` once); indices are shifted to global
+        row numbers so the merge needs no further translation.
+        """
+        lo = self.shard.lo
+        if self.shard.n_rows == 0:
+            return [[] for _ in range(Qs.shape[0])]
+        S = cosine_scores(self.coords, Qs, norms=self.norms)
+        out = []
+        for row in S:
+            order = ranked_order(row, top=top, threshold=threshold)
+            out.append([[int(lo + j), float(row[j])] for j in order])
+        return out
+
+    # ------------------------------------------------------------------ #
+    def handle(self, message: dict) -> dict:
+        """Dispatch one protocol message; always returns a response dict."""
+        op = message.get("op")
+        if op == "ping":
+            return {"ok": True, "shard": self.shard.shard_id, "epoch": self.epoch}
+        if op == "info":
+            return self.info()
+        if op == "score":
+            try:
+                Qs = np.atleast_2d(
+                    np.asarray(message["queries"], dtype=np.float64)
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                return {"error": f"malformed 'queries': {exc!r}"}
+            if Qs.ndim != 2 or Qs.shape[1] != self.model.k:
+                return {
+                    "error": (
+                        f"queries have shape {Qs.shape} for k={self.model.k}"
+                    )
+                }
+            top = message.get("top")
+            threshold = message.get("threshold")
+            try:
+                results = self.score(
+                    Qs,
+                    None if top is None else int(top),
+                    None if threshold is None else float(threshold),
+                )
+            except Exception as exc:  # noqa: BLE001 — a query must not kill the worker
+                return {"error": repr(exc)}
+            self.requests_served += 1
+            return {
+                "shard": self.shard.shard_id,
+                "epoch": self.epoch,
+                "results": results,
+            }
+        return {"error": f"unknown op {op!r}"}
+
+
+# --------------------------------------------------------------------- #
+# the socket loop
+# --------------------------------------------------------------------- #
+class _FrameHandler(socketserver.BaseRequestHandler):
+    """One connection: read frames until EOF, answer each in turn."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        sock = self.request
+        while True:
+            try:
+                message = recv_frame(sock)
+            except (ConnectionError, OSError):
+                return
+            if message is None:
+                return
+            try:
+                response = self.server.worker.handle(message)
+            except Exception as exc:  # noqa: BLE001 — keep serving
+                response = {"error": repr(exc)}
+            if "id" in message:
+                response["id"] = message["id"]
+            try:
+                send_frame(sock, response)
+            except (ConnectionError, OSError):
+                return
+
+
+class WorkerServer(socketserver.ThreadingTCPServer):
+    """Threaded frame server around one :class:`ShardWorker`.
+
+    Threads are the right shape here: the GEMM releases the GIL, the
+    shard arrays are read-only, and the router keeps one long-lived
+    connection (plus occasional hedge one-shots), so thread count stays
+    tiny.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], worker: ShardWorker):
+        super().__init__(address, _FrameHandler)
+        self.worker = worker
+
+
+def serve_shard(
+    worker: ShardWorker,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> WorkerServer:
+    """Bind a :class:`WorkerServer`; the caller runs ``serve_forever``."""
+    return WorkerServer((host, port), worker)
+
+
+# --------------------------------------------------------------------- #
+# the process entry point (`repro cluster worker`)
+# --------------------------------------------------------------------- #
+def run_worker(
+    data_dir: pathlib.Path,
+    plan_json: str,
+    shard_id: int,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    out=None,
+) -> int:
+    """Open the checkpoint, verify the plan, serve until SIGTERM.
+
+    The ready banner (``cluster worker <id> ready on <host>:<port> ...``)
+    is the spawn contract with the supervisor: it is printed only after
+    the model is mapped and the socket is bound, so a parsed banner
+    means the worker can answer queries.
+    """
+    out = out if out is not None else sys.stdout
+    plan = ShardPlan.from_json(plan_json)
+    if plan.to_json() != plan_json:
+        print(
+            "error: shard plan is not in canonical form — router and "
+            "worker disagree byte-for-byte",
+            file=sys.stderr,
+        )
+        return 1
+
+    from repro.store.durable import STORE_LAYOUT
+
+    checkpoints = pathlib.Path(data_dir) / STORE_LAYOUT["checkpoints"]
+    info, problems = latest_valid_checkpoint(checkpoints)
+    if info is None:
+        detail = f" ({'; '.join(problems)})" if problems else ""
+        print(f"error: no valid checkpoint under {checkpoints}{detail}",
+              file=sys.stderr)
+        return 1
+    epoch = int(info.manifest.get("meta", {}).get("epoch", 0))
+    if plan.checkpoint and info.path.name != plan.checkpoint:
+        print(
+            f"error: newest checkpoint is {info.path.name} but the plan "
+            f"covers {plan.checkpoint} — store changed under the cluster",
+            file=sys.stderr,
+        )
+        return 1
+    if epoch != plan.epoch:
+        print(
+            f"error: checkpoint epoch {epoch} != plan epoch {plan.epoch}",
+            file=sys.stderr,
+        )
+        return 1
+    model = open_checkpoint_model(info.path, mmap=True)
+    if model.n_documents != plan.n_documents:
+        print(
+            f"error: checkpoint has {model.n_documents} documents but the "
+            f"plan covers {plan.n_documents}",
+            file=sys.stderr,
+        )
+        return 1
+
+    worker = ShardWorker(model, plan.shard(shard_id), epoch=epoch)
+    server = serve_shard(worker, host, port)
+    bound_port = server.server_address[1]
+
+    def _stop(*_args) -> None:
+        # shutdown() must run off the serve_forever thread (it joins it).
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+    print(
+        f"cluster worker {shard_id} ready on {host}:{bound_port} "
+        f"rows=[{worker.shard.lo},{worker.shard.hi}) epoch={epoch} "
+        f"pid={os.getpid()}",
+        file=out, flush=True,
+    )
+    server.serve_forever()
+    server.server_close()
+    print(f"cluster worker {shard_id} drained", file=out, flush=True)
+    return 0

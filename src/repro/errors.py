@@ -22,6 +22,7 @@ __all__ = [
     "StoreError",
     "StoreCorruptError",
     "StoreLockedError",
+    "ClusterError",
 ]
 
 
@@ -102,6 +103,18 @@ class StoreCorruptError(StoreError):
     write-ahead-log record whose checksum fails mid-log, or a recovered
     index whose document count disagrees with the manifest all raise
     this — the store refuses to serve silently wrong data.
+    """
+
+
+class ClusterError(ReproError, RuntimeError):
+    """A multi-process cluster operation failed structurally.
+
+    Raised for protocol violations (malformed or oversized wire frames,
+    a shard plan that does not match the checkpoint it claims to cover),
+    and for scatter-gather calls against a shard with no live worker.
+    Worker *death* during a query is deliberately not an exception on
+    the serving path — the router degrades to a ``partial=true``
+    response instead (see :mod:`repro.cluster.router`).
     """
 
 

@@ -35,6 +35,7 @@ from repro.util.timing import serving_counters
 
 __all__ = [
     "shard_documents",
+    "shard_bounds",
     "sharded_search",
     "sharded_batch_search",
     "merge_topk",
@@ -51,10 +52,24 @@ def shard_documents(n: int, shards: int) -> list[np.ndarray]:
     return [np.arange(bounds[i], bounds[i + 1]) for i in range(shards)]
 
 
-def _shard_bounds(n: int, shards: int) -> list[tuple[int, int]]:
-    """The same partition as :func:`shard_documents`, as (lo, hi) ranges."""
+def shard_bounds(n: int, shards: int) -> list[tuple[int, int]]:
+    """The same partition as :func:`shard_documents`, as (lo, hi) ranges.
+
+    This is *the* canonical partition: the in-process sharded search,
+    the multi-process cluster plan (:mod:`repro.cluster.plan`), and the
+    parity harnesses all derive their row ranges from this one function,
+    so a shard layout can never drift between layers.
+    """
+    if shards < 1:
+        raise ShapeError("shards must be >= 1")
+    if n < 0:
+        raise ShapeError("n must be non-negative")
     bounds = np.linspace(0, n, shards + 1).astype(np.int64)
     return [(int(bounds[i]), int(bounds[i + 1])) for i in range(shards)]
+
+
+#: Backwards-compatible private alias (pre-cluster callers).
+_shard_bounds = shard_bounds
 
 
 def merge_topk(

@@ -1,12 +1,20 @@
 """A small blocking client for the query server (stdlib ``http.client``).
 
-The counterpart to :mod:`repro.server.http`: one connection per call,
-JSON in and out, server-side failures mapped back onto the library's
-exception hierarchy (429 → :class:`ServerOverloadError` with
-``reason="queue_full"``, 503 → ``reason="draining"``, 504 →
-:class:`DeadlineExceededError`, other non-2xx → :class:`ReproError`),
-so a caller's retry/backoff logic reads the same whether it drives the
-engine in-process or over the wire.
+The counterpart to :mod:`repro.server.http`: one *persistent* keep-alive
+connection reused across calls, JSON in and out, server-side failures
+mapped back onto the library's exception hierarchy (429 →
+:class:`ServerOverloadError` with ``reason="queue_full"``, 503 →
+``reason="draining"``, 504 → :class:`DeadlineExceededError`, other
+non-2xx → :class:`ReproError`), so a caller's retry/backoff logic reads
+the same whether it drives the engine in-process or over the wire.
+
+Reusing a connection admits exactly one new failure mode: the server
+(or a middlebox) closed it between our calls, so the next request dies
+on a socket that was fine when we last used it.  That one case — and
+only that one — is retried transparently on a fresh connection.  A
+request that failed on a *fresh* connection is never resent: the server
+may have executed it (think ``POST /add``), and replaying is the
+client's caller's decision, not ours.
 
 >>> client = ServerClient(port=8080)
 >>> client.search("blood pressure age", top=5)["results"]
@@ -23,9 +31,22 @@ from repro.errors import DeadlineExceededError, ReproError, ServerOverloadError
 
 __all__ = ["ServerClient"]
 
+#: Errors that mean "the reused socket went stale", eligible for the
+#: single transparent retry.  ``BadStatusLine``/``RemoteDisconnected``
+#: is the classic half-closed keep-alive race; ``CannotSendRequest`` is
+#: httplib's state machine refusing a connection a prior failure left
+#: mid-request.  Deliberately narrow: a *timeout* is excluded, because
+#: a slow server may still be executing the request, and resending it
+#: would not be transparent.
+_STALE_ERRORS = (
+    http.client.BadStatusLine,
+    http.client.CannotSendRequest,
+    ConnectionError,
+)
+
 
 class ServerClient:
-    """Blocking JSON client for one server address."""
+    """Blocking JSON client for one server address, keep-alive reused."""
 
     def __init__(
         self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 30.0
@@ -33,23 +54,54 @@ class ServerClient:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------------ #
+    def _connection(self) -> tuple[http.client.HTTPConnection, bool]:
+        """The pooled connection plus whether it is fresh this call."""
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            return self._conn, True
+        return self._conn, False
+
+    def close(self) -> None:
+        """Drop the pooled connection (safe to call repeatedly)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
-        conn = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
-        )
-        try:
-            body = None
-            headers = {}
-            if payload is not None:
-                body = json.dumps(payload).encode("utf-8")
-                headers["Content-Type"] = "application/json"
-            conn.request(method, path, body=body, headers=headers)
-            response = conn.getresponse()
-            raw = response.read()
-        finally:
-            conn.close()
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        while True:
+            conn, fresh = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except _STALE_ERRORS:
+                self.close()
+                if fresh:
+                    # A fresh connection failing is a real failure — and
+                    # the server may have executed the request, so
+                    # resending it is not ours to decide.
+                    raise
+                continue  # stale keep-alive reuse: retry once, now fresh
+            break
+        if response.will_close:
+            self.close()
         try:
             data = json.loads(raw) if raw else {}
         except json.JSONDecodeError:
@@ -117,3 +169,7 @@ class ServerClient:
     def stats(self) -> dict:
         """The server's observability snapshot."""
         return self._request("GET", "/stats")
+
+    def metrics(self) -> dict:
+        """The server's bare metrics-registry dump."""
+        return self._request("GET", "/metrics")

@@ -11,7 +11,8 @@ Routes
     → ``{"epoch", "n_documents", "results": [[index, score, doc_id], ...]}``
 ``POST /add``     ``{"texts": [str, ...], "doc_ids"?: [str, ...]}``
     → ``{"epoch", "n_documents", "action", "reason"}``
-``GET /healthz``  liveness + epoch + queue depth
+``GET /healthz``  liveness + epoch + queue depth + draining flag
+``GET /metrics``  the bare metrics-registry dump (counters/gauges/hists)
 ``GET /stats``    the obs-export snapshot (metrics registry + spans)
 
 Status mapping: overload → **429**, draining → **503**, expired
@@ -19,6 +20,13 @@ deadline → **504**, malformed/failed requests → **400**, oversized
 bodies → **413**, unknown routes → **404**.  Overload rejections are
 written and the connection closed before any scoring work happens —
 that is the backpressure contract.
+
+Connections are **keep-alive**: after a successful (2xx) response the
+handler loops back to read the next request on the same socket, so a
+client replaying queries pays the TCP handshake once.  Any error
+response closes the connection — error paths may leave the stream in an
+unknowable state (half-read bodies, oversize payloads), and closing is
+the one resynchronization that is always correct.
 """
 
 from __future__ import annotations
@@ -89,13 +97,20 @@ class _TooLarge(Exception):
     """Internal marker: body exceeded :data:`MAX_BODY_BYTES`."""
 
 
-def _respond(writer: asyncio.StreamWriter, status: int, payload: dict) -> None:
+def _respond(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: dict,
+    *,
+    close: bool = True,
+) -> None:
     body = json.dumps(payload).encode("utf-8")
+    connection = "close" if close else "keep-alive"
     head = (
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
         f"Content-Type: application/json\r\n"
         f"Content-Length: {len(body)}\r\n"
-        f"Connection: close\r\n\r\n"
+        f"Connection: {connection}\r\n\r\n"
     ).encode("latin-1")
     writer.write(head + body)
 
@@ -107,6 +122,8 @@ async def _dispatch(service: QueryService, method: str, path: str, body: dict):
         return 200, service.healthz()
     if method == "GET" and path == "/stats":
         return 200, service.stats()
+    if method == "GET" and path == "/metrics":
+        return 200, service.metrics()
     if method == "POST" and path == "/search":
         if "query" not in body:
             return 400, {"error": "missing 'query'"}
@@ -132,26 +149,32 @@ async def _handle(
     writer: asyncio.StreamWriter,
 ) -> None:
     try:
-        try:
-            parsed = await _read_request(reader)
-            if parsed is None:
+        while True:
+            try:
+                parsed = await _read_request(reader)
+                if parsed is None:
+                    return
+                status, payload = await _dispatch(service, *parsed)
+            except ServerOverloadError as exc:
+                status = 503 if exc.reason == "draining" else 429
+                payload = {"error": str(exc), "reason": exc.reason}
+            except DeadlineExceededError as exc:
+                status, payload = 504, {"error": str(exc)}
+            except _TooLarge:
+                status, payload = 413, {
+                    "error": f"body exceeds {MAX_BODY_BYTES} bytes"
+                }
+            except (ReproError, asyncio.IncompleteReadError) as exc:
+                status, payload = 400, {"error": str(exc)}
+            except Exception as exc:  # noqa: BLE001 — a request must not kill the server
+                status, payload = 500, {"error": repr(exc)}
+            # Errors close: the stream may hold a half-read body, and
+            # closing is the only resynchronization that is always right.
+            close = status >= 400
+            _respond(writer, status, payload, close=close)
+            await writer.drain()
+            if close:
                 return
-            status, payload = await _dispatch(service, *parsed)
-        except ServerOverloadError as exc:
-            status = 503 if exc.reason == "draining" else 429
-            payload = {"error": str(exc), "reason": exc.reason}
-        except DeadlineExceededError as exc:
-            status, payload = 504, {"error": str(exc)}
-        except _TooLarge:
-            status, payload = 413, {
-                "error": f"body exceeds {MAX_BODY_BYTES} bytes"
-            }
-        except (ReproError, asyncio.IncompleteReadError) as exc:
-            status, payload = 400, {"error": str(exc)}
-        except Exception as exc:  # noqa: BLE001 — a request must not kill the server
-            status, payload = 500, {"error": repr(exc)}
-        _respond(writer, status, payload)
-        await writer.drain()
     except ConnectionError:
         pass  # client went away mid-response
     finally:

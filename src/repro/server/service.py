@@ -158,6 +158,7 @@ class QueryService:
         snapshot = self.state.current()
         return {
             "status": "draining" if self.admission.draining else "ok",
+            "draining": self.admission.draining,
             "epoch": snapshot.epoch,
             "n_documents": snapshot.n_documents,
             "queue_depth": self.admission.pending,
@@ -173,3 +174,7 @@ class QueryService:
             "metrics": registry.snapshot(),
             "spans": [s.to_dict() for s in recent_spans(50)],
         }
+
+    def metrics(self) -> dict:
+        """The bare metrics registry dump for ``/metrics``."""
+        return registry.snapshot()

@@ -1,0 +1,171 @@
+"""Integration tests: real worker subprocesses under ClusterService.
+
+One store is seeded per module; the cluster test drives the full
+lifecycle — spawn, exact parity, SIGKILL → partial degradation,
+supervisor restart → recovered parity, drain — in a single pass,
+because each phase is the next one's precondition.  The CLI-level
+equivalent (HTTP front end, ``repro cluster serve`` subprocess) lives
+in ``benchmarks/cluster_smoke.py``.
+"""
+
+import asyncio
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster.plan import ShardPlan
+from repro.cluster.service import ClusterConfig, ClusterService
+from repro.cluster.worker import run_worker
+from repro.parallel.sharding import sharded_batch_search
+from repro.server.state import manager_from_texts
+from repro.store.durable import DurableIndexStore
+from repro.store.mmap_io import open_latest_model
+
+SHARDS = 2
+TOP = 6
+
+
+@pytest.fixture(scope="module")
+def seeded_store(tmp_path_factory):
+    rng = np.random.default_rng(31)
+    vocab = [f"w{i}" for i in range(40)]
+    texts = [" ".join(rng.choice(vocab, size=15)) for _ in range(41)]
+    ids = [f"D{i}" for i in range(len(texts))]
+    data_dir = tmp_path_factory.mktemp("cluster_store") / "store"
+    store = DurableIndexStore.initialize(data_dir, manager_from_texts(texts, ids, k=10))
+    store.close(flush=False)
+    return data_dir, texts
+
+
+def _pairs(result_rows):
+    return [(int(i), float(s)) for i, s in result_rows]
+
+
+def test_cluster_lifecycle_parity_kill_recover_drain(seeded_store):
+    data_dir, texts = seeded_store
+    model = open_latest_model(data_dir)
+    queries = texts[:4]
+    flat = sharded_batch_search(model, queries, top=TOP, shards=SHARDS)
+
+    async def main():
+        service = ClusterService(
+            data_dir,
+            ClusterConfig(
+                workers=SHARDS,
+                heartbeat_interval=0.2,
+                restart_backoff=1.0,  # wide enough to observe the gap
+                restart_backoff_cap=1.0,
+            ),
+        )
+        await service.start()
+        try:
+            # Phase 1: all live → element-identical to the flat search.
+            health = service.healthz()
+            assert health["status"] == "ok"
+            assert health["workers_live"] == SHARDS
+            result = await service.search_many(queries, top=TOP)
+            assert result.partial is False
+            assert result.results == flat
+
+            # The per-request HTTP path agrees too.  A single query takes
+            # the q=1 GEMV kernel path, so compare against a q=1 flat
+            # search — row 0 of the 4-query GEMM may differ by an ulp.
+            flat_single = sharded_batch_search(
+                model, [queries[0]], top=TOP, shards=SHARDS
+            )[0]
+            single = await service.search(queries[0], top=TOP)
+            assert single["partial"] is False
+            assert _pairs(
+                [(i, s) for i, s, _ in single["results"]]
+            ) == flat_single
+            doc_ids = [d for _, _, d in single["results"]]
+            assert doc_ids == [model.doc_ids[i] for i, _ in flat_single]
+
+            # Phase 2: SIGKILL one worker → partial with its exact range.
+            victim = 1
+            pid = service.supervisor.describe()[victim]["pid"]
+            os.kill(pid, signal.SIGKILL)
+            lo, hi = service.plan.shard(victim).as_pair()
+            deadline = time.monotonic() + 15
+            degraded = None
+            while time.monotonic() < deadline:
+                candidate = await service.search_many(queries, top=TOP)
+                if candidate.partial:
+                    degraded = candidate
+                    break
+                await asyncio.sleep(0.05)
+            assert degraded is not None, "never observed a partial response"
+            assert degraded.missing == [(lo, hi)]
+            full = sharded_batch_search(
+                model, queries, top=model.n_documents, shards=SHARDS
+            )
+            for qi, merged in enumerate(degraded.results):
+                survivors = [p for p in full[qi] if not lo <= p[0] < hi]
+                assert merged == survivors[:TOP]
+            assert service.healthz()["status"] == "degraded"
+
+            # Phase 3: the supervisor restarts it → full parity again.
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if service.healthz()["workers_live"] == SHARDS:
+                    break
+                await asyncio.sleep(0.1)
+            assert service.healthz()["workers_live"] == SHARDS
+            restored = await service.search_many(queries, top=TOP)
+            assert restored.partial is False
+            assert restored.results == flat
+            assert service.supervisor.describe()[victim]["restarts"] == 1
+        finally:
+            # Phase 4: drain stops every worker process.
+            await service.drain()
+        for row in service.supervisor.describe():
+            assert row["state"] == "draining"
+        assert service.healthz()["draining"] is True
+
+    asyncio.run(main())
+
+
+def test_cluster_add_refused(seeded_store):
+    data_dir, _ = seeded_store
+    from repro.errors import ReproError
+
+    async def main():
+        service = ClusterService(data_dir, ClusterConfig(workers=SHARDS))
+        # add() is refused before any worker even exists.
+        with pytest.raises(ReproError, match="read-only"):
+            await service.add(["new doc"])
+
+    asyncio.run(main())
+
+
+# --------------------------------------------------------------------- #
+# worker entry point: plan-skew refusal (no sockets, no subprocesses)
+# --------------------------------------------------------------------- #
+def test_run_worker_refuses_plan_skew(seeded_store, capsys):
+    data_dir, _ = seeded_store
+    model = open_latest_model(data_dir)
+
+    # Wrong epoch stamp.
+    plan = ShardPlan.compute(model.n_documents, 2, epoch=99)
+    assert run_worker(data_dir, plan.to_json(), 0) == 1
+    assert "epoch" in capsys.readouterr().err
+
+    # Wrong checkpoint stamp.
+    plan = ShardPlan.compute(
+        model.n_documents, 2, epoch=0, checkpoint="ckpt-99999999"
+    )
+    assert run_worker(data_dir, plan.to_json(), 0) == 1
+    assert "checkpoint" in capsys.readouterr().err
+
+    # Wrong document count.
+    plan = ShardPlan.compute(model.n_documents + 5, 2, epoch=0)
+    assert run_worker(data_dir, plan.to_json(), 0) == 1
+    assert "documents" in capsys.readouterr().err
+
+    # Non-canonical plan bytes.
+    plan = ShardPlan.compute(model.n_documents, 2, epoch=0)
+    assert run_worker(data_dir, plan.to_json() + " ", 0) == 1
+    assert "canonical" in capsys.readouterr().err

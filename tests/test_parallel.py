@@ -108,6 +108,41 @@ def test_merge_topk():
         merge_topk([a], 0)
 
 
+def test_merge_topk_tie_order_matches_flat_stable_argsort():
+    """Property: merging per-shard stable top-k lists reproduces the flat
+    stable argsort exactly — indices, scores, AND tie order — for scores
+    drawn from a tiny value set, so duplicates straddle shard boundaries
+    constantly."""
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    from repro.parallel.sharding import shard_bounds
+    from repro.serving.topk import topk_indices
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        scores=st.lists(
+            st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0]),
+            min_size=1,
+            max_size=60,
+        ),
+        shards=st.integers(min_value=1, max_value=7),
+        top=st.integers(min_value=1, max_value=70),
+    )
+    def check(scores, shards, top):
+        s = np.asarray(scores, dtype=np.float64)
+        per_shard = []
+        for lo, hi in shard_bounds(s.size, shards):
+            chunk = s[lo:hi]
+            order = topk_indices(chunk, min(top, chunk.size))
+            per_shard.append([(lo + int(j), float(chunk[j])) for j in order])
+        merged = merge_topk(per_shard, top)
+        flat_order = np.argsort(-s, kind="stable")[:top]
+        assert merged == [(int(j), float(s[j])) for j in flat_order]
+
+    check()
+
+
 def test_sharded_search_matches_flat(med_model):
     qhat = project_query(med_model, "age blood abnormalities")
     flat = cosine_similarities(med_model, qhat)

@@ -424,6 +424,120 @@ def test_http_error_mapping():
         conn.close()
 
 
+def test_http_client_reuses_keep_alive_connection():
+    state = _fresh_state()
+    with _ServerThread(state, ServerConfig(max_wait_ms=1.0)) as server:
+        with ServerClient(port=server.port) as client:
+            client.healthz()
+            conn = client._conn
+            assert conn is not None
+            client.healthz()
+            client.search(QUERIES[0], top=3)
+            # Same pooled connection object served all three calls.
+            assert client._conn is conn
+
+
+def test_http_client_metrics_and_draining_flag():
+    state = _fresh_state()
+    with _ServerThread(state, ServerConfig(max_wait_ms=1.0)) as server:
+        with ServerClient(port=server.port) as client:
+            client.search(QUERIES[0], top=3)
+            health = client.healthz()
+            assert health["draining"] is False
+            metrics = client.metrics()
+            assert metrics["counters"]["server.requests_total"] >= 1
+            assert "server.queue_wait_seconds" in metrics["histograms"]
+            # /metrics is the bare registry dump — no server table.
+            assert "server" not in metrics
+
+
+def test_healthz_reports_draining_after_drain():
+    state = _fresh_state()
+
+    async def main():
+        service = QueryService(state, ServerConfig(max_wait_ms=1.0))
+        await service.start()
+        assert service.healthz()["draining"] is False
+        await service.drain()
+        health = service.healthz()
+        assert health["draining"] is True
+        assert health["status"] == "draining"
+
+    asyncio.run(main())
+
+
+class _OneShotKeepAliveServer:
+    """A raw HTTP server that *advertises* keep-alive but closes the
+    socket after every response — the classic stale-reuse race the
+    client must absorb with its single transparent retry."""
+
+    def __init__(self):
+        import socket
+
+        self.sock = socket.socket()
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(8)
+        self.port = self.sock.getsockname()[1]
+        self.accepted = 0
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        body = b'{"status": "ok"}'
+        response = (
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+            b"Connection: keep-alive\r\n\r\n" + body
+        )
+        while True:
+            try:
+                conn, _ = self.sock.accept()
+            except OSError:
+                return
+            self.accepted += 1
+            with conn:
+                data = b""
+                while b"\r\n\r\n" not in data:
+                    chunk = conn.recv(4096)
+                    if not chunk:
+                        break
+                    data += chunk
+                if data:
+                    conn.sendall(response)
+            # ...and the socket is now closed, despite the header.
+
+    def close(self) -> None:
+        self.sock.close()
+
+
+def test_http_client_retries_stale_keep_alive_once():
+    server = _OneShotKeepAliveServer()
+    try:
+        with ServerClient(port=server.port) as client:
+            # First call: fresh connection, succeeds, gets pooled.
+            assert client.healthz() == {"status": "ok"}
+            # Second call: the pooled socket is dead — the client must
+            # notice, retry once on a fresh connection, and succeed.
+            assert client.healthz() == {"status": "ok"}
+        assert server.accepted == 2
+    finally:
+        server.close()
+
+
+def test_http_client_does_not_retry_fresh_connection_failures():
+    import socket
+
+    # Reserve a port with no listener: connecting must fail.
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    dead_port = probe.getsockname()[1]
+    probe.close()
+    client = ServerClient(port=dead_port, timeout=2.0)
+    with pytest.raises(ConnectionError):
+        client.healthz()
+
+
 # --------------------------------------------------------------------- #
 # CLI wiring
 # --------------------------------------------------------------------- #

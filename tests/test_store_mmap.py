@@ -1,0 +1,74 @@
+"""Tests for the memory-mapped model path (``repro.store.mmap_io``).
+
+The cluster leans on two mmap properties that were previously implicit:
+the mapped factors are *read-only* (a worker cannot corrupt the
+checkpoint it serves), and concurrent openers of the same checkpoint
+share the underlying file mapping (N workers cost one copy of the page
+cache, not N).  Both are pinned here, alongside scoring parity between
+the mapped and fully-loaded forms of the same checkpoint.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.query import project_query
+from repro.core.similarity import cosine_similarities
+from repro.server.state import manager_from_texts
+from repro.store.durable import DurableIndexStore
+from repro.store.mmap_io import open_latest_model
+
+
+@pytest.fixture(scope="module")
+def mmap_store(tmp_path_factory):
+    rng = np.random.default_rng(17)
+    vocab = [f"w{i}" for i in range(30)]
+    texts = [" ".join(rng.choice(vocab, size=12)) for _ in range(23)]
+    ids = [f"D{i}" for i in range(len(texts))]
+    data_dir = tmp_path_factory.mktemp("mmap_store") / "store"
+    store = DurableIndexStore.initialize(
+        data_dir, manager_from_texts(texts, ids, k=8)
+    )
+    store.close(flush=False)
+    return data_dir, texts
+
+
+def test_mapped_factors_are_read_only(mmap_store):
+    data_dir, _ = mmap_store
+    model = open_latest_model(data_dir, mmap=True)
+    for name in ("U", "s", "V", "global_weights"):
+        arr = getattr(model, name)
+        assert arr.flags.writeable is False, name
+        with pytest.raises(ValueError):
+            arr[(0,) * arr.ndim] = 99.0
+
+
+def test_concurrent_openers_share_the_backing_file(mmap_store):
+    data_dir, _ = mmap_store
+    a = open_latest_model(data_dir, mmap=True)
+    b = open_latest_model(data_dir, mmap=True)
+    # ``LSIModel.__post_init__`` runs the arrays through ``np.asarray``,
+    # which strips the ``np.memmap`` subclass but keeps the mapping as
+    # ``.base`` — so check the base, not the array's own type.
+    for name in ("U", "V"):
+        base_a = getattr(a, name).base
+        base_b = getattr(b, name).base
+        assert isinstance(base_a, np.memmap), name
+        assert isinstance(base_b, np.memmap), name
+        # Two openers, one file: the kernel shares the page cache.
+        assert base_a.filename == base_b.filename
+        assert base_a.filename is not None
+    assert np.array_equal(a.V, b.V)
+
+
+def test_mapped_model_scores_identically_to_loaded(mmap_store):
+    data_dir, texts = mmap_store
+    mapped = open_latest_model(data_dir, mmap=True)
+    loaded = open_latest_model(data_dir, mmap=False)
+    assert loaded.V.flags.writeable  # the non-mapped form stays mutable
+    for query in texts[:3]:
+        qm = project_query(mapped, query)
+        ql = project_query(loaded, query)
+        assert np.array_equal(qm, ql)
+        assert np.array_equal(
+            cosine_similarities(mapped, qm), cosine_similarities(loaded, ql)
+        )
