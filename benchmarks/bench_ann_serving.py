@@ -1,0 +1,189 @@
+"""ANN serving tier: probe-bounded scan vs exhaustive GEMM at scale.
+
+The serving counterpart of ``bench_ann.py``'s §5.6 curve: the same
+recall-vs-cost dial, measured where it matters — through
+:class:`~repro.server.state.EpochSnapshot`, the object every request in
+``repro serve`` scores against.  On a large hub-structured synthetic
+collection (~1M documents locally, ~150k under ``BENCH_SMOKE``) this
+sweeps the probe count and reports, per level:
+
+* **recall@10** against the exhaustive exact scan,
+* **QPS** of ``snapshot.search_ann`` (probe cells → gather → exact
+  rerank) vs the exact per-query ``score_batch`` + ``ranked_order``
+  baseline — the path a request without ``probes`` takes.
+
+Acceptance: some probe level reaches ≥ 0.95 recall@10 while sustaining
+≥ 10× the exact scan's QPS (≥ 3× under ``BENCH_SMOKE``, where the
+collection is ~17× smaller and the exact GEMM correspondingly cheap).
+The sweep is recorded as ``BENCH_ann_serving.json`` when
+``$BENCH_OBS_EXPORT`` is set — CI uploads it as an artifact.
+
+Run directly::
+
+    BENCH_SMOKE=1 PYTHONPATH=src:benchmarks python -m pytest \
+        benchmarks/bench_ann_serving.py -x -q -s --benchmark-disable
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from conftest import emit
+from repro.core.model import LSIModel
+from repro.serving.topk import ranked_order
+from repro.server.state import ServingState
+from repro.text.vocabulary import Vocabulary
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+N_DOCS = 150_000 if SMOKE else 1_000_000
+K = 32
+N_HUBS = 32 if SMOKE else 64
+N_QUERIES = 32 if SMOKE else 48
+TOP = 10
+PROBE_SWEEP = (1, 2, 4, 8, 16, 32)
+MIN_RECALL = 0.95
+MIN_SPEEDUP = 3.0 if SMOKE else 10.0
+
+
+def _serving_model(seed: int = 11) -> LSIModel:
+    """Hub-structured document coordinates straight from random factors.
+
+    Real collections cluster (that is the §5.6 premise); documents are
+    drawn around ``N_HUBS`` hub directions with moderate noise, so the
+    coarse quantizer has structure to find — and queries, drawn as
+    perturbed documents, have concentrated neighbourhoods.
+    """
+    rng = np.random.default_rng(seed)
+    hubs = rng.standard_normal((N_HUBS, K))
+    V = (
+        hubs[rng.integers(N_HUBS, size=N_DOCS)]
+        + 0.25 * rng.standard_normal((N_DOCS, K))
+    )
+    vocab = Vocabulary(f"t{i}" for i in range(K))
+    vocab.freeze()
+    return LSIModel(
+        U=np.eye(K),
+        s=np.sort(rng.random(K) + 0.5)[::-1],
+        V=V,
+        vocabulary=vocab,
+        doc_ids=[f"D{j}" for j in range(N_DOCS)],
+    )
+
+
+def _queries(model: LSIModel, seed: int = 23) -> np.ndarray:
+    """Projected query vectors: perturbed document coordinates.
+
+    ``search_ann`` takes the pre-scaled ``qhat`` (it applies ``Σ``
+    itself, like ``score_batch``), so queries live in ``V``-space.
+    """
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(model.n_documents, size=N_QUERIES, replace=False)
+    return (
+        model.V[picks]
+        + 0.15 * rng.standard_normal((N_QUERIES, model.k))
+    )
+
+
+def test_ann_serving_qps_recall_sweep():
+    model = _serving_model()
+    state = ServingState.for_model(model)
+    n_clusters = max(1, int(np.sqrt(N_DOCS)))
+    t0 = time.perf_counter()
+    state.train_ann(n_clusters, seed=0)
+    train_seconds = time.perf_counter() - t0
+    snapshot = state.current()
+    queries = _queries(model)
+
+    # Exact baseline: the per-request path a probe-less search takes —
+    # one (1, k) × (k, n) scoring pass plus top-k selection per query.
+    def exact_one(q: np.ndarray) -> list[int]:
+        row = snapshot.score_batch(q)[0]
+        return [int(j) for j in ranked_order(row, top=TOP)]
+
+    exact_one(queries[0])  # warm-up (BLAS spin-up, page faults)
+    t0 = time.perf_counter()
+    exact_top = [exact_one(q) for q in queries]
+    exact_qps = N_QUERIES / (time.perf_counter() - t0)
+
+    rows = [
+        f"n={N_DOCS} documents, k={K}, {n_clusters} cells "
+        f"(trained in {train_seconds:.1f}s), {N_QUERIES} queries",
+        f"exact scan: {exact_qps:.1f} QPS (baseline)",
+        f"{'probes':>7s}{'recall@10':>11s}{'QPS':>10s}{'speedup':>9s}"
+        f"{'cand frac':>11s}",
+    ]
+    sweep = []
+    for probes in PROBE_SWEEP:
+        recalls, fracs = [], []
+        snapshot.search_ann(queries[0], probes=probes, top=TOP)  # warm-up
+        t0 = time.perf_counter()
+        results = [
+            snapshot.search_ann(q, probes=probes, top=TOP) for q in queries
+        ]
+        qps = N_QUERIES / (time.perf_counter() - t0)
+        for (pairs, stats), want in zip(results, exact_top):
+            got = {j for j, _ in pairs}
+            recalls.append(len(got & set(want)) / TOP)
+            fracs.append(stats["candidates"] / N_DOCS)
+        level = {
+            "probes": probes,
+            "recall_at_10": float(np.mean(recalls)),
+            "qps": float(qps),
+            "speedup": float(qps / exact_qps),
+            "candidate_fraction": float(np.mean(fracs)),
+        }
+        sweep.append(level)
+        rows.append(
+            f"{probes:>7d}{level['recall_at_10']:>11.3f}{qps:>10.1f}"
+            f"{level['speedup']:>8.1f}x{level['candidate_fraction']:>11.4f}"
+        )
+    emit("ANN serving tier — QPS/recall@10 vs probes (EpochSnapshot)", rows)
+
+    # Recall is monotone non-decreasing in probes (candidate nesting).
+    recalls = [level["recall_at_10"] for level in sweep]
+    assert all(b >= a - 1e-9 for a, b in zip(recalls, recalls[1:])), recalls
+
+    # The acceptance floor: some probe level holds >= MIN_RECALL
+    # recall@10 at >= MIN_SPEEDUP x the exact scan's QPS.
+    passing = [
+        level for level in sweep
+        if level["recall_at_10"] >= MIN_RECALL
+        and level["speedup"] >= MIN_SPEEDUP
+    ]
+    best = max(
+        (level for level in sweep if level["recall_at_10"] >= MIN_RECALL),
+        key=lambda level: level["speedup"],
+        default=None,
+    )
+    if os.environ.get("BENCH_OBS_EXPORT"):
+        blob = {
+            "bench": "ann_serving",
+            "n_documents": N_DOCS,
+            "k": K,
+            "n_clusters": n_clusters,
+            "n_queries": N_QUERIES,
+            "top": TOP,
+            "smoke": SMOKE,
+            "train_seconds": train_seconds,
+            "exact_qps": exact_qps,
+            "min_recall": MIN_RECALL,
+            "min_speedup": MIN_SPEEDUP,
+            "sweep": sweep,
+            "best_passing": best,
+        }
+        path = pathlib.Path("BENCH_ann_serving.json")
+        path.write_text(json.dumps(blob, indent=2, sort_keys=True))
+        print(f"wrote {path}")
+    assert passing, (
+        f"no probe level reached recall@10 >= {MIN_RECALL} at "
+        f">= {MIN_SPEEDUP}x exact QPS; best above recall floor: {best}"
+    )
+
+
+if __name__ == "__main__":
+    test_ann_serving_qps_recall_sweep()

@@ -23,6 +23,7 @@ Run directly (CI does)::
 
 from __future__ import annotations
 
+import json
 import os
 import signal
 import subprocess
@@ -156,6 +157,26 @@ def main() -> None:
             _assert_parity(_search_all(client), expected, "post-crash")
             print(f"  parity: {len(QUERIES)} queries element-identical to "
                   "the uninterrupted reference")
+
+            # The recovered checkpoint still carries its ANN arrays
+            # (the kill raced the background checkpointer's quantizer
+            # training), and probing every cell reproduces the exact
+            # scan — WAL-replayed documents the quantizer never saw are
+            # covered by the fresh-tail rule.
+            r = _repro("store", "inspect", data_dir, "--json")
+            assert r.returncode == 0, (r.returncode, r.stdout, r.stderr)
+            description = json.loads(r.stdout)
+            assert description["ann"], (
+                "recovered checkpoint lost its ANN arrays"
+            )
+            assert client.healthz()["ann"] is True
+            got_ann = {
+                q: client.search_pairs(q, top=5, probes=1000)
+                for q in QUERIES
+            }
+            _assert_parity(got_ann, expected, "post-crash full-probe ann")
+            print("  ann: quantizer recovered; full-probe search "
+                  "element-identical to the exact scan")
         finally:
             proc.send_signal(signal.SIGINT)
             out, _ = proc.communicate(timeout=30)

@@ -176,6 +176,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="threads scoring shards (default sequential)")
     p_serve.add_argument("--timeout-ms", type=float, default=None,
                          help="default per-request deadline")
+    p_serve.add_argument(
+        "--ann-clusters", type=int, default=None,
+        help="coarse-quantizer cells for ANN probing (default: auto "
+             "sqrt(n); 0 disables training)",
+    )
+    p_serve.add_argument(
+        "--probes", type=int, default=None,
+        help="default ANN probe count for requests that don't specify "
+             "one (default: exact scan)",
+    )
     p_serve.add_argument("--distortion-budget", type=float, default=0.1,
                          help="folded fraction before /add consolidates")
     p_serve.add_argument(
@@ -235,6 +245,11 @@ def build_parser() -> argparse.ArgumentParser:
                                "it is left out of a partial response")
     pc_serve.add_argument("--timeout-ms", type=float, default=None,
                           help="default whole-request deadline")
+    pc_serve.add_argument(
+        "--probes", type=int, default=None,
+        help="default ANN probe count for requests that don't specify "
+             "one (default: exact scatter)",
+    )
     pc_serve.add_argument("--hedge-quantile", type=float, default=0.95,
                           help="hedge a straggling worker after this "
                                "quantile of its own latency history")
@@ -380,7 +395,10 @@ def _durable_state(args, out):
     )
 
     if DurableIndexStore.exists(args.data_dir):
-        store = DurableIndexStore.open(args.data_dir, retain=args.retain)
+        store = DurableIndexStore.open(
+            args.data_dir, retain=args.retain,
+            ann_clusters=args.ann_clusters,
+        )
         report = store.last_recovery
         print(
             f"recovered {report.n_documents} documents from "
@@ -411,7 +429,8 @@ def _durable_state(args, out):
             distortion_budget=args.distortion_budget,
         )
         store = DurableIndexStore.initialize(
-            args.data_dir, manager, retain=args.retain
+            args.data_dir, manager, retain=args.retain,
+            ann_clusters=args.ann_clusters,
         )
         print(f"seeded durable store at {args.data_dir}", file=out, flush=True)
     store.start_checkpointer(
@@ -453,6 +472,10 @@ def _cmd_serve(args, out) -> int:
             min_doc_freq=args.min_doc_freq,
             distortion_budget=args.distortion_budget,
         )
+    if args.data_dir is None and args.ann_clusters != 0:
+        # In-memory serving trains its quantizer at startup (the durable
+        # path gets one from the checkpoint, trained by the writer).
+        state.train_ann(n_clusters=args.ann_clusters)
     snapshot = state.current()
     config = ServerConfig(
         max_batch=args.max_batch,
@@ -461,6 +484,7 @@ def _cmd_serve(args, out) -> int:
         shards=args.shards,
         workers=args.workers,
         default_timeout_ms=args.timeout_ms,
+        default_probes=args.probes,
     )
 
     async def run() -> None:
@@ -471,6 +495,7 @@ def _cmd_serve(args, out) -> int:
             f"serving {snapshot.n_documents} documents (k={snapshot.k}, "
             f"{'live-updatable' if state.writable else 'read-only'}"
             + (", durable" if store is not None else "")
+            + (", ann" if snapshot.ann is not None else "")
             + f") on http://{args.host}:{port}",
             file=out, flush=True,
         )
@@ -550,6 +575,7 @@ def _cmd_cluster(args, out) -> int:
         restart_backoff=args.restart_backoff,
         restart_backoff_cap=args.restart_backoff_cap,
         default_timeout_ms=args.timeout_ms,
+        default_probes=args.probes,
     )
 
     async def run() -> None:
@@ -564,8 +590,9 @@ def _cmd_cluster(args, out) -> int:
         print(
             f"cluster serving {service.model.n_documents} documents "
             f"across {service.plan.n_shards} shards "
-            f"(epoch {service.epoch}, checkpoint {service.checkpoint}) "
-            f"on http://{args.host}:{port}",
+            f"(epoch {service.epoch}, checkpoint {service.checkpoint}"
+            + (", ann" if service.ann else "")
+            + f") on http://{args.host}:{port}",
             file=out, flush=True,
         )
         stop = asyncio.Event()
@@ -653,10 +680,13 @@ def _cmd_store(args, out) -> int:
         file=out,
     )
     for ckpt in description["checkpoints"]:
+        ann = (
+            f"ann={ckpt['ann_clusters']} cells" if ckpt["ann"] else "ann=no"
+        )
         print(
             f"checkpoint: {pathlib.Path(ckpt['path']).name}  "
             f"docs={ckpt['n_documents']}  wal_lsn={ckpt['wal_lsn']}  "
-            f"{ckpt['bytes']} bytes  ({ckpt['reason']})",
+            f"{ckpt['bytes']} bytes  {ann}  ({ckpt['reason']})",
             file=out,
         )
     wal = description["wal"]

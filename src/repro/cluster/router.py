@@ -340,12 +340,17 @@ class ClusterRouter:
         top: int | None = 10,
         threshold: float | None = None,
         timeout_ms: float | None = None,
+        probes: int | None = None,
+        exact: bool = False,
     ) -> ClusterResult:
         """Scatter a scaled ``(q, k)`` batch, merge exact per-query top-k.
 
         ``Qs`` must already be comparison-space scaled (``q̂ Σ``) — the
         service layer does this once, exactly as
-        ``DocumentIndex.prepare_queries`` would.
+        ``DocumentIndex.prepare_queries`` would.  ``probes`` asks every
+        worker for the probe-bounded scan (each clips the same global
+        candidate cells to its own rows); workers without a quantizer
+        answer exactly, which only ever *adds* candidates to the merge.
         """
         Q = np.atleast_2d(np.asarray(Qs, dtype=np.float64))
         n_queries = Q.shape[0]
@@ -359,6 +364,10 @@ class ClusterRouter:
             message["top"] = int(top)
         if threshold is not None:
             message["threshold"] = float(threshold)
+        if probes is not None and not exact:
+            message["probes"] = int(probes)
+        if exact:
+            message["exact"] = True
 
         missing_sids: set[int] = set()
         responses: dict[int, dict] = {}

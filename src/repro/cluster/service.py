@@ -34,7 +34,7 @@ from repro.obs.export import SCHEMA
 from repro.obs.metrics import registry
 from repro.obs.tracing import recent_spans, span
 from repro.store.checkpoint import latest_valid_checkpoint
-from repro.store.mmap_io import open_checkpoint_model
+from repro.store.mmap_io import open_checkpoint_ann, open_checkpoint_model
 
 __all__ = ["ClusterConfig", "ClusterService"]
 
@@ -52,6 +52,10 @@ class ClusterConfig:
     restart_backoff: float = 0.5
     restart_backoff_cap: float = 10.0
     default_timeout_ms: float | None = None
+    #: Default probe count for requests that don't specify one.  ``None``
+    #: keeps the exact scatter as the default; requests opt into the ANN
+    #: path with ``probes``, or force exactness with ``exact``.
+    default_probes: int | None = None
 
 
 class ClusterService:
@@ -82,6 +86,10 @@ class ClusterService:
         # Mapped once here for projection (U, Σ, vocabulary); each worker
         # maps the same .npy files itself — the page cache is shared.
         self.model = open_checkpoint_model(info.path, mmap=True)
+        # Presence only — workers map the quantizer themselves; the
+        # router never scores, it just reports availability and sets the
+        # store.ann_missing gauge in this (front-end) process's registry.
+        self.ann = open_checkpoint_ann(info.path, mmap=True) is not None
         self.plan = ShardPlan.compute(
             self.model.n_documents,
             self.config.workers,
@@ -143,11 +151,16 @@ class ClusterService:
         top: int | None = None,
         threshold: float | None = None,
         timeout_ms: float | None = None,
+        probes: int | None = None,
+        exact: bool = False,
     ) -> dict:
         """One ranked search, scattered over the shard workers.
 
-        Never raises on worker death — degraded answers come back with
-        ``partial=True`` and the unscored ``[lo, hi)`` ranges listed.
+        ``probes`` bounds every shard's scan to the same coarse cells
+        (falling back to ``config.default_probes``, then to the exact
+        scatter); ``exact=True`` overrides any default.  Never raises on
+        worker death — degraded answers come back with ``partial=True``
+        and the unscored ``[lo, hi)`` ranges listed.
         """
         qhat = project_query(self.model, query)
         result = await self.router.search_batch(
@@ -158,6 +171,11 @@ class ClusterService:
                 timeout_ms if timeout_ms is not None
                 else self.config.default_timeout_ms
             ),
+            probes=(
+                probes if probes is not None
+                else self.config.default_probes
+            ),
+            exact=exact,
         )
         doc_ids = self.model.doc_ids
         return {
@@ -177,6 +195,8 @@ class ClusterService:
         top: int | None = 10,
         threshold: float | None = None,
         timeout_ms: float | None = None,
+        probes: int | None = None,
+        exact: bool = False,
     ) -> ClusterResult:
         """A whole batch through one scatter (bench/parity entry point).
 
@@ -198,6 +218,11 @@ class ClusterService:
                 timeout_ms if timeout_ms is not None
                 else self.config.default_timeout_ms
             ),
+            probes=(
+                probes if probes is not None
+                else self.config.default_probes
+            ),
+            exact=exact,
         )
 
     async def add(self, texts, doc_ids=None) -> dict:
@@ -228,6 +253,8 @@ class ClusterService:
             "n_shards": self.plan.n_shards,
             "workers_live": live,
             "workers": workers,
+            "ann": self.ann,
+            "default_probes": self.config.default_probes,
         }
 
     def stats(self) -> dict:

@@ -339,12 +339,23 @@ class ClusterSupervisor:
         rows = []
         for shard in self.plan.shards:
             record = self._records[shard.shard_id]
+            # A worker at the miss limit is not serving even if its
+            # process record still says "up" — the router's dead-
+            # connection report lands here synchronously, so a partial
+            # response is reflected as degraded health immediately,
+            # without waiting for the exit watcher to run.
+            state = record.state
+            if (
+                state == "up"
+                and record.missed_heartbeats >= self.config.miss_limit
+            ):
+                state = "unresponsive"
             rows.append(
                 {
                     "shard": shard.shard_id,
                     "lo": shard.lo,
                     "hi": shard.hi,
-                    "state": record.state,
+                    "state": state,
                     "pid": record.pid,
                     "port": record.port,
                     "restarts": record.restarts,

@@ -39,10 +39,12 @@ from repro.cluster.plan import ShardPlan, ShardRange
 from repro.cluster.wire import recv_frame, send_frame
 from repro.core.model import LSIModel
 from repro.errors import ShapeError
+from repro.obs.metrics import registry
+from repro.serving.ann import CoarseQuantizer
 from repro.serving.kernel import cosine_scores, row_norms
 from repro.serving.topk import ranked_order
 from repro.store.checkpoint import latest_valid_checkpoint
-from repro.store.mmap_io import open_checkpoint_model
+from repro.store.mmap_io import open_checkpoint_ann, open_checkpoint_model
 
 __all__ = ["ShardWorker", "WorkerServer", "serve_shard", "run_worker"]
 
@@ -54,10 +56,20 @@ class ShardWorker:
     parity harnesses) can drive :meth:`handle` directly.
     """
 
-    def __init__(self, model: LSIModel, shard: ShardRange, *, epoch: int = 0):
+    def __init__(
+        self,
+        model: LSIModel,
+        shard: ShardRange,
+        *,
+        epoch: int = 0,
+        ann: CoarseQuantizer | None = None,
+    ):
         self.model = model
         self.shard = shard
         self.epoch = int(epoch)
+        # Shared checkpoint quantizer (global posting lists); candidate
+        # sets are clipped to this shard's [lo, hi) rows at query time.
+        self.ann = ann
         lo, hi = shard.lo, shard.hi
         if not 0 <= lo <= hi <= model.n_documents:
             raise ShapeError(
@@ -84,6 +96,7 @@ class ShardWorker:
             "pid": os.getpid(),
             "uptime_seconds": time.time() - self.started_unix,
             "requests_served": self.requests_served,
+            "ann": self.ann is not None,
         }
 
     def score(
@@ -91,16 +104,42 @@ class ShardWorker:
         Qs: np.ndarray,
         top: int | None,
         threshold: float | None,
+        *,
+        probes: int | None = None,
+        exact: bool = False,
     ) -> list[list[list]]:
         """Per-query ranked ``[global_index, score]`` pairs for this shard.
 
         ``Qs`` is the already-scaled ``(q, k)`` comparison-space batch
         (the router applies ``Σ`` once); indices are shifted to global
-        row numbers so the merge needs no further translation.
+        row numbers so the merge needs no further translation.  With
+        ``probes`` (and a mapped quantizer), each query scores only the
+        probed cells' rows that land in this shard — cell selection is
+        a pure function of the scaled query and the shared checkpoint
+        quantizer, so every shard probes the same cells and the merged
+        result equals a single-node probe at the same count.
         """
         lo = self.shard.lo
         if self.shard.n_rows == 0:
             return [[] for _ in range(Qs.shape[0])]
+        if probes is not None and not exact:
+            if self.ann is None:
+                registry.inc("ann.exact_fallbacks_total")
+            else:
+                out = []
+                for q in Qs:
+                    pairs, _stats = self.ann.select(
+                        self.coords,
+                        self.norms,
+                        q,
+                        probes=probes,
+                        top=top,
+                        threshold=threshold,
+                        lo=lo,
+                        n_total=self.model.n_documents,
+                    )
+                    out.append([[j, score] for j, score in pairs])
+                return out
         S = cosine_scores(self.coords, Qs, norms=self.norms)
         out = []
         for row in S:
@@ -131,11 +170,21 @@ class ShardWorker:
                 }
             top = message.get("top")
             threshold = message.get("threshold")
+            probes = message.get("probes")
+            if probes is not None and (
+                isinstance(probes, bool)
+                or not isinstance(probes, int)
+                or probes < 1
+            ):
+                return {"error": "'probes' must be a positive integer"}
+            exact = message.get("exact", False)
             try:
                 results = self.score(
                     Qs,
                     None if top is None else int(top),
                     None if threshold is None else float(threshold),
+                    probes=probes,
+                    exact=bool(exact),
                 )
             except Exception as exc:  # noqa: BLE001 — a query must not kill the worker
                 return {"error": repr(exc)}
@@ -144,6 +193,9 @@ class ShardWorker:
                 "shard": self.shard.shard_id,
                 "epoch": self.epoch,
                 "results": results,
+                "ann": bool(
+                    probes is not None and not exact and self.ann is not None
+                ),
             }
         return {"error": f"unknown op {op!r}"}
 
@@ -262,7 +314,10 @@ def run_worker(
         )
         return 1
 
-    worker = ShardWorker(model, plan.shard(shard_id), epoch=epoch)
+    # The quantizer is optional: a pre-format-2 checkpoint has none and
+    # the worker answers probe requests by exact scan (gauge raised).
+    ann = open_checkpoint_ann(info.path, mmap=True)
+    worker = ShardWorker(model, plan.shard(shard_id), epoch=epoch, ann=ann)
     server = serve_shard(worker, host, port)
     bound_port = server.server_address[1]
 
@@ -275,7 +330,7 @@ def run_worker(
     print(
         f"cluster worker {shard_id} ready on {host}:{bound_port} "
         f"rows=[{worker.shard.lo},{worker.shard.hi}) epoch={epoch} "
-        f"pid={os.getpid()}",
+        f"ann={'yes' if ann is not None else 'no'} pid={os.getpid()}",
         file=out, flush=True,
     )
     server.serve_forever()

@@ -2,98 +2,33 @@
 
 The paper's third open computational issue: "efficiently comparing
 queries to documents (i.e., finding near neighbors in high-dimension
-spaces)".  This module implements the classic coarse-quantizer answer:
+spaces)".  This module is the *offline* face of the answer: a
+:class:`ClusterIndex` bound to one in-memory model, for experiments and
+the recall tooling.  The algorithm itself — seeded k-means++ training,
+probe-bounded candidate generation, exact rerank — lives in
+:mod:`repro.serving.ann` as :class:`~repro.serving.ann.CoarseQuantizer`,
+the checkpoint-persistable form every serving path (single-node server,
+cluster shard workers) maps and probes at query time.
 
-1. cluster the (Σ-scaled) document vectors once with k-means
-   (implemented here, seeded, k-means++ initialization);
-2. at query time score only the documents in the ``probes`` clusters
-   whose centroids are nearest the query — a tunable accuracy/speed
-   dial measured in ``bench_ann.py`` (recall@10 vs fraction of the
-   collection scored).
-
-Everything is pure NumPy on the same coordinate conventions as
-:mod:`repro.core.similarity`, so exact and approximate rankings are
-directly comparable.
+Scoring runs on the same coordinate conventions as
+:mod:`repro.core.similarity` via the shared
+:class:`~repro.serving.index.DocumentIndex`, and candidates rerank in
+ascending document order — so ``probes == n_clusters`` reproduces the
+exact ranking element-for-element, ties included.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.model import LSIModel
 from repro.errors import ShapeError
-from repro.util.rng import ensure_rng
+from repro.serving.ann import CoarseQuantizer, kmeans
+from repro.serving.index import get_document_index
 
 __all__ = ["kmeans", "ClusterIndex"]
-
-
-def kmeans(
-    points: np.ndarray,
-    n_clusters: int,
-    *,
-    max_iter: int = 50,
-    tol: float = 1e-6,
-    seed=0,
-) -> tuple[np.ndarray, np.ndarray]:
-    """Plain Lloyd k-means with k-means++ seeding.
-
-    Returns ``(centroids (c, d), assignment (n,))``.  Empty clusters are
-    re-seeded from the point farthest from its centroid.
-    """
-    X = np.asarray(points, dtype=np.float64)
-    if X.ndim != 2:
-        raise ShapeError("points must be 2-D")
-    n, d = X.shape
-    if not 1 <= n_clusters <= n:
-        raise ShapeError(f"n_clusters={n_clusters} outside [1, {n}]")
-    rng = ensure_rng(seed)
-
-    # k-means++ initialization.
-    centroids = np.empty((n_clusters, d))
-    centroids[0] = X[int(rng.integers(n))]
-    closest_sq = np.sum((X - centroids[0]) ** 2, axis=1)
-    for c in range(1, n_clusters):
-        total = closest_sq.sum()
-        if total <= 0:
-            centroids[c:] = X[rng.integers(n, size=n_clusters - c)]
-            break
-        probs = closest_sq / total
-        centroids[c] = X[int(rng.choice(n, p=probs))]
-        closest_sq = np.minimum(
-            closest_sq, np.sum((X - centroids[c]) ** 2, axis=1)
-        )
-
-    assignment = np.zeros(n, dtype=np.int64)
-    for _it in range(max_iter):
-        # Assignment step (squared Euclidean, expanded form).
-        sq = (
-            np.sum(X**2, axis=1)[:, None]
-            - 2.0 * X @ centroids.T
-            + np.sum(centroids**2, axis=1)[None, :]
-        )
-        assignment = np.argmin(sq, axis=1)
-        moved = 0.0
-        for c in range(n_clusters):
-            members = X[assignment == c]
-            if members.shape[0] == 0:
-                # Re-seed from the globally worst-served point.
-                worst = int(np.argmax(np.min(sq, axis=1)))
-                new_centroid = X[worst]
-            else:
-                new_centroid = members.mean(axis=0)
-            moved = max(moved, float(np.sum((centroids[c] - new_centroid) ** 2)))
-            centroids[c] = new_centroid
-        if moved <= tol:
-            break
-    sq = (
-        np.sum(X**2, axis=1)[:, None]
-        - 2.0 * X @ centroids.T
-        + np.sum(centroids**2, axis=1)[None, :]
-    )
-    assignment = np.argmin(sq, axis=1)
-    return centroids, assignment
 
 
 @dataclass
@@ -101,9 +36,7 @@ class ClusterIndex:
     """Coarse-quantized cosine search over a model's document vectors."""
 
     model: LSIModel
-    centroids: np.ndarray
-    assignment: np.ndarray
-    members: list[np.ndarray] = field(default_factory=list)
+    quantizer: CoarseQuantizer
 
     @classmethod
     def build(
@@ -114,25 +47,31 @@ class ClusterIndex:
         The default cluster count ``≈ sqrt(n)`` balances probe cost
         against within-cluster scan cost, the standard IVF heuristic.
         """
-        n = model.n_documents
-        if n == 0:
+        if model.n_documents == 0:
             raise ShapeError("model has no documents to index")
-        if n_clusters is None:
-            n_clusters = max(1, int(np.sqrt(n)))
-        coords = model.doc_coordinates()
-        # Cosine search ⇒ cluster on the unit sphere.
-        norms = np.sqrt(np.sum(coords**2, axis=1, keepdims=True))
-        unit = np.where(norms > 0, coords / np.where(norms > 0, norms, 1), 0)
-        centroids, assignment = kmeans(unit, n_clusters, seed=seed)
-        members = [
-            np.flatnonzero(assignment == c) for c in range(n_clusters)
-        ]
-        return cls(model, centroids, assignment, members)
+        index = get_document_index(model, mode="scaled")
+        quantizer = CoarseQuantizer.train(index.coords, n_clusters, seed=seed)
+        return cls(model, quantizer)
 
     @property
     def n_clusters(self) -> int:
         """Number of coarse clusters."""
-        return self.centroids.shape[0]
+        return self.quantizer.n_clusters
+
+    @property
+    def centroids(self) -> np.ndarray:
+        """Unit-sphere cell centroids, ``(c, k)``."""
+        return self.quantizer.centroids
+
+    @property
+    def assignment(self) -> np.ndarray:
+        """Per-document cell ids, ``(n,)``."""
+        return self.quantizer.assignment()
+
+    @property
+    def members(self) -> list[np.ndarray]:
+        """Ascending document indices of each cell."""
+        return self.quantizer.members()
 
     # ------------------------------------------------------------------ #
     def search(
@@ -145,7 +84,9 @@ class ClusterIndex:
         """Approximate top-``top`` ``(doc_index, cosine)`` results.
 
         Returns the result list and the number of documents actually
-        scored (the work saved is ``1 - scored/n``).
+        scored (the work saved is ``1 - scored/n``).  ``probes`` clamps
+        to ``n_clusters``; fewer candidates than ``top`` simply returns
+        a shorter list.
         """
         if top < 1 or probes < 1:
             raise ShapeError("top and probes must be >= 1")
@@ -154,31 +95,19 @@ class ClusterIndex:
             raise ShapeError(
                 f"query vector has {qhat.size} dims for k={self.model.k}"
             )
-        target = qhat * self.model.s
-        tn = np.sqrt(target @ target)
-        if tn == 0:
+        index = get_document_index(self.model, mode="scaled")
+        target = index.prepare_queries(qhat)[0]
+        if np.sqrt(target @ target) == 0:
             return [], 0
-        unit_q = target / tn
-        # Nearest centroids by cosine (centroids live on the sphere).
-        cen_norms = np.sqrt(np.sum(self.centroids**2, axis=1))
-        cen_cos = np.where(
-            cen_norms > 0,
-            (self.centroids @ unit_q) / np.where(cen_norms > 0, cen_norms, 1),
-            -np.inf,
+        pairs, stats = self.quantizer.select(
+            index.coords,
+            index.norms,
+            target,
+            probes=probes,
+            top=top,
+            n_total=self.model.n_documents,
         )
-        order = np.argsort(-cen_cos, kind="stable")[: min(probes, self.n_clusters)]
-        candidates = np.concatenate([self.members[int(c)] for c in order])
-        if candidates.size == 0:
-            return [], 0
-        coords = self.model.doc_coordinates()[candidates]
-        norms = np.sqrt(np.sum(coords**2, axis=1))
-        denom = norms * tn
-        cos = np.zeros(candidates.size)
-        ok = denom > 0
-        cos[ok] = (coords[ok] @ target) / denom[ok]
-        pick = np.argsort(-cos, kind="stable")[:top]
-        results = [(int(candidates[i]), float(cos[i])) for i in pick]
-        return results, int(candidates.size)
+        return pairs, stats["candidates"]
 
     def recall_at(
         self, qhat: np.ndarray, *, top: int = 10, probes: int = 2

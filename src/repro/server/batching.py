@@ -42,11 +42,19 @@ BATCH_SIZE_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 
 @dataclass
 class SearchRequest:
-    """One admitted query waiting for (or being) scored."""
+    """One admitted query waiting for (or being) scored.
+
+    ``probes`` selects the ANN path (probe-bounded scan over that many
+    coarse cells); ``None`` means the server default, which may itself
+    be ``None`` (exact).  ``exact=True`` is the per-request escape
+    hatch that forces the exhaustive GEMM regardless of any default.
+    """
 
     query: object  # str | token sequence
     top: int | None = None
     threshold: float | None = None
+    probes: int | None = None
+    exact: bool = False
     deadline: float | None = None  # absolute time.monotonic() seconds
     enqueued: float = field(default_factory=time.monotonic)
     future: asyncio.Future = None
@@ -166,29 +174,74 @@ class MicroBatcher:
     def _score_batch(
         self, snapshot: EpochSnapshot, batch: list[SearchRequest]
     ) -> list[dict]:
-        """Project + score + rank one batch (runs on an executor thread)."""
-        t0 = time.perf_counter()
-        Q = np.stack([snapshot.project(req.query) for req in batch])
-        with span("server.score", size=len(batch)):
-            S = snapshot.score_batch(
-                Q, shards=self.shards, workers=self.workers
-            )
-        registry.observe(
-            "server.batch_gemm_seconds", time.perf_counter() - t0
-        )
+        """Project + score + rank one batch (runs on an executor thread).
+
+        The batch splits into an *exact* group — scored by today's one
+        GEMM over all documents — and ANN groups keyed by probe count,
+        each probing the snapshot's quantizer per query (candidate sets
+        differ per query, so there is no cross-query GEMM to share; the
+        grouping bounds the per-probe-set bookkeeping and spans).
+        Requests asking for probes on a snapshot without a quantizer
+        fall back to the exact group, counted in
+        ``ann.exact_fallbacks_total``.
+        """
+        exact: list[tuple[int, SearchRequest]] = []
+        ann: dict[int, list[tuple[int, SearchRequest]]] = {}
+        for i, req in enumerate(batch):
+            if req.exact or req.probes is None:
+                exact.append((i, req))
+            elif snapshot.ann is None:
+                registry.inc("ann.exact_fallbacks_total")
+                exact.append((i, req))
+            else:
+                ann.setdefault(int(req.probes), []).append((i, req))
         doc_ids = snapshot.model.doc_ids
-        responses = []
-        for req, row in zip(batch, S):
-            # Zero-vector (all-OOV) queries score exactly 0 everywhere on
-            # this path too, so the engine's short-circuit needs no mirror.
-            pairs = ranked_pairs(row, top=req.top, threshold=req.threshold)
-            responses.append(
-                {
-                    "epoch": snapshot.epoch,
-                    "n_documents": snapshot.n_documents,
-                    "results": [
-                        [j, score, doc_ids[j]] for j, score in pairs
-                    ],
-                }
+        responses: list[dict] = [None] * len(batch)
+
+        def response(pairs, extra=None) -> dict:
+            out = {
+                "epoch": snapshot.epoch,
+                "n_documents": snapshot.n_documents,
+                "results": [[j, score, doc_ids[j]] for j, score in pairs],
+            }
+            if extra:
+                out.update(extra)
+            return out
+
+        if exact:
+            t0 = time.perf_counter()
+            Q = np.stack([snapshot.project(req.query) for _, req in exact])
+            with span("server.score", size=len(exact)):
+                S = snapshot.score_batch(
+                    Q, shards=self.shards, workers=self.workers
+                )
+            registry.observe(
+                "server.batch_gemm_seconds", time.perf_counter() - t0
             )
+            for (i, req), row in zip(exact, S):
+                # Zero-vector (all-OOV) queries score exactly 0 everywhere
+                # on this path too, so the engine's short-circuit needs no
+                # mirror.
+                pairs = ranked_pairs(row, top=req.top, threshold=req.threshold)
+                responses[i] = response(pairs)
+        for probes, group in ann.items():
+            with span("server.ann_scan", size=len(group), probes=probes):
+                for i, req in group:
+                    qhat = snapshot.project(req.query)
+                    pairs, stats = snapshot.search_ann(
+                        qhat,
+                        probes=probes,
+                        top=req.top,
+                        threshold=req.threshold,
+                    )
+                    responses[i] = response(
+                        pairs,
+                        {
+                            "ann": {
+                                "probes": probes,
+                                "cells_probed": stats["cells_probed"],
+                                "candidates": stats["candidates"],
+                            }
+                        },
+                    )
         return responses

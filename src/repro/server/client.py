@@ -131,8 +131,15 @@ class ServerClient:
         top: int | None = None,
         threshold: float | None = None,
         timeout_ms: float | None = None,
+        probes: int | None = None,
+        exact: bool = False,
     ) -> dict:
-        """Ranked search; ``results`` rows are ``[index, score, doc_id]``."""
+        """Ranked search; ``results`` rows are ``[index, score, doc_id]``.
+
+        ``probes`` asks the server for a probe-bounded ANN scan over
+        that many coarse cells; ``exact=True`` forces the exhaustive
+        scan even when the server has a default probe count.
+        """
         payload: dict = {"query": query}
         if top is not None:
             payload["top"] = top
@@ -140,6 +147,10 @@ class ServerClient:
             payload["threshold"] = threshold
         if timeout_ms is not None:
             payload["timeout_ms"] = timeout_ms
+        if probes is not None:
+            payload["probes"] = probes
+        if exact:
+            payload["exact"] = True
         return self._request("POST", "/search", payload)
 
     def search_pairs(
@@ -148,9 +159,13 @@ class ServerClient:
         *,
         top: int | None = None,
         threshold: float | None = None,
+        probes: int | None = None,
+        exact: bool = False,
     ) -> list[tuple[int, float]]:
         """Engine-shaped ``(doc_index, score)`` pairs, for parity checks."""
-        data = self.search(query, top=top, threshold=threshold)
+        data = self.search(
+            query, top=top, threshold=threshold, probes=probes, exact=exact
+        )
         return [(int(j), float(score)) for j, score, _ in data["results"]]
 
     def add(

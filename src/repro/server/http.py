@@ -7,8 +7,12 @@ parser is ~40 lines over :func:`asyncio.start_server` readers.
 
 Routes
 ------
-``POST /search``  ``{"query": str|[tokens], "top"?, "threshold"?, "timeout_ms"?}``
-    → ``{"epoch", "n_documents", "results": [[index, score, doc_id], ...]}``
+``POST /search``  ``{"query": str|[tokens], "top"?, "threshold"?,
+    "timeout_ms"?, "probes"?, "exact"?}``
+    → ``{"epoch", "n_documents", "results": [[index, score, doc_id], ...],
+    "ann"?: {"probes", "cells_probed", "candidates"}}``
+    (``probes`` bounds the scan to that many coarse cells; ``exact:
+    true`` forces the exhaustive scan over any server default)
 ``POST /add``     ``{"texts": [str, ...], "doc_ids"?: [str, ...]}``
     → ``{"epoch", "n_documents", "action", "reason"}``
 ``GET /healthz``  liveness + epoch + queue depth + draining flag
@@ -127,11 +131,23 @@ async def _dispatch(service: QueryService, method: str, path: str, body: dict):
     if method == "POST" and path == "/search":
         if "query" not in body:
             return 400, {"error": "missing 'query'"}
+        probes = body.get("probes")
+        if probes is not None and (
+            isinstance(probes, bool)
+            or not isinstance(probes, int)
+            or probes < 1
+        ):
+            return 400, {"error": "'probes' must be a positive integer"}
+        exact = body.get("exact", False)
+        if not isinstance(exact, bool):
+            return 400, {"error": "'exact' must be a boolean"}
         result = await service.search(
             body["query"],
             top=body.get("top"),
             threshold=body.get("threshold"),
             timeout_ms=body.get("timeout_ms"),
+            probes=probes,
+            exact=exact,
         )
         return 200, result
     if method == "POST" and path == "/add":

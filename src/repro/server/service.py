@@ -55,6 +55,10 @@ class ServerConfig:
     workers: int | None = None
     default_timeout_ms: float | None = None
     query_cache_size: int = 256
+    #: Default probe count for requests that don't specify one.  ``None``
+    #: keeps the exact exhaustive scan as the default; requests opt into
+    #: the ANN path with ``probes``, or force exactness with ``exact``.
+    default_probes: int | None = None
 
 
 class QueryService:
@@ -102,11 +106,16 @@ class QueryService:
         top: int | None = None,
         threshold: float | None = None,
         timeout_ms: float | None = None,
+        probes: int | None = None,
+        exact: bool = False,
     ) -> dict:
         """One ranked search, answered from a coalesced batch.
 
-        Raises :class:`~repro.errors.ServerOverloadError` when the
-        bounded queue is full or the service is draining, and
+        ``probes`` bounds the scan to that many coarse cells (falling
+        back to ``config.default_probes``, then to the exact scan);
+        ``exact=True`` overrides any default.  Raises
+        :class:`~repro.errors.ServerOverloadError` when the bounded
+        queue is full or the service is draining, and
         :class:`~repro.errors.DeadlineExceededError` when the request's
         deadline expires before its batch is scored.
         """
@@ -118,6 +127,11 @@ class QueryService:
                 query=query,
                 top=top,
                 threshold=threshold,
+                probes=(
+                    probes if probes is not None
+                    else self.config.default_probes
+                ),
+                exact=exact,
                 deadline=AdmissionController.deadline_from(
                     timeout_ms
                     if timeout_ms is not None
@@ -164,6 +178,8 @@ class QueryService:
             "queue_depth": self.admission.pending,
             "queue_capacity": self.admission.queue_depth,
             "writable": self.state.writable,
+            "ann": snapshot.ann is not None,
+            "default_probes": self.config.default_probes,
         }
 
     def stats(self) -> dict:

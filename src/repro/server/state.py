@@ -34,6 +34,7 @@ from repro.core.query import project_counts, query_counts
 from repro.errors import ReproError, ShapeError
 from repro.obs.metrics import registry
 from repro.parallel.pool import parallel_map
+from repro.serving.ann import CoarseQuantizer
 from repro.serving.index import get_document_index
 from repro.serving.kernel import cosine_scores
 from repro.serving.querycache import QueryVectorCache
@@ -56,9 +57,16 @@ class EpochSnapshot:
     describe exactly the state it was computed on.
     """
 
-    __slots__ = ("epoch", "model", "coords", "norms", "query_cache")
+    __slots__ = ("epoch", "model", "coords", "norms", "query_cache", "ann")
 
-    def __init__(self, epoch: int, model: LSIModel, *, query_cache_size: int = 256):
+    def __init__(
+        self,
+        epoch: int,
+        model: LSIModel,
+        *,
+        query_cache_size: int = 256,
+        ann: CoarseQuantizer | None = None,
+    ):
         self.epoch = epoch
         self.model = model
         index = get_document_index(model, mode="scaled")
@@ -67,6 +75,10 @@ class EpochSnapshot:
         self.coords = index.coords
         self.norms = index.norms
         self.query_cache = QueryVectorCache(query_cache_size)
+        # The coarse quantizer may predate this epoch (it is trained at
+        # checkpoint time); rows it has never seen are still searched
+        # exactly via the quantizer's fresh-tail rule.
+        self.ann = ann
 
     @property
     def n_documents(self) -> int:
@@ -135,6 +147,40 @@ class EpochSnapshot:
         blocks = parallel_map(score_slice, parts, workers=workers)
         return np.concatenate(blocks, axis=1)
 
+    def search_ann(
+        self,
+        qhat: np.ndarray,
+        *,
+        probes: int,
+        top: int | None = None,
+        threshold: float | None = None,
+    ) -> tuple[list[tuple[int, float]], dict]:
+        """Probe-bounded ranked ``(doc_index, score)`` pairs for one query.
+
+        Scores only the ``probes`` nearest cells' documents (plus any
+        fresh tail the quantizer has not seen), exact-reranked with the
+        same kernel as :meth:`score_batch` — element-identical to the
+        exhaustive scan when ``probes >= ann.n_clusters``.  Requires a
+        quantizer; callers fall back to :meth:`score_batch` when
+        ``self.ann is None``.
+        """
+        if self.ann is None:
+            raise ReproError("snapshot has no coarse quantizer")
+        qhat = np.asarray(qhat, dtype=np.float64).ravel()
+        if qhat.size != self.model.k:
+            raise ShapeError(
+                f"query has {qhat.size} dims for k={self.model.k}"
+            )
+        return self.ann.select(
+            self.coords,
+            self.norms,
+            qhat * self.model.s,
+            probes=probes,
+            top=top,
+            threshold=threshold,
+            n_total=self.n_documents,
+        )
+
 
 class ServingState:
     """The mutable holder a server reads snapshots from and writes through.
@@ -155,6 +201,7 @@ class ServingState:
         manager: LSIIndexManager | None = None,
         model: LSIModel | None = None,
         query_cache_size: int = 256,
+        ann: CoarseQuantizer | None = None,
     ):
         if (manager is None) == (model is None):
             raise ReproError("ServingState needs a manager or a model, not both")
@@ -162,9 +209,10 @@ class ServingState:
         self._query_cache_size = query_cache_size
         self._write_lock = threading.Lock()
         self._swap_hooks: list = []
+        self._ann = ann
         initial = manager.model if manager is not None else model
         self._snapshot = EpochSnapshot(
-            0, initial, query_cache_size=query_cache_size
+            0, initial, query_cache_size=query_cache_size, ann=ann
         )
         self._publish_gauges(self._snapshot)
 
@@ -187,6 +235,35 @@ class ServingState:
     def current(self) -> EpochSnapshot:
         """The snapshot new work should run against (lock-free read)."""
         return self._snapshot
+
+    @property
+    def ann_enabled(self) -> bool:
+        """Whether snapshots carry a coarse quantizer to probe."""
+        return self._ann is not None
+
+    def train_ann(
+        self, n_clusters: int | None = None, *, seed=0
+    ) -> CoarseQuantizer:
+        """Train a quantizer on the current coordinates and publish it.
+
+        The in-memory counterpart of checkpoint-time training, for
+        servers without a durable store (``repro serve`` over raw
+        texts).  Publishes a replacement snapshot at the *same* epoch —
+        the index content is unchanged, only the probe structure is new.
+        """
+        with self._write_lock:
+            snap = self._snapshot
+            quantizer = CoarseQuantizer.train(
+                snap.coords, n_clusters, seed=seed
+            )
+            self._ann = quantizer
+            self._snapshot = EpochSnapshot(
+                snap.epoch,
+                snap.model,
+                query_cache_size=self._query_cache_size,
+                ann=quantizer,
+            )
+        return quantizer
 
     def add_swap_hook(self, hook) -> None:
         """Register ``hook(snapshot, event)`` to run after each epoch swap.
@@ -231,6 +308,7 @@ class ServingState:
                 self._snapshot.epoch + 1,
                 self._manager.model,
                 query_cache_size=self._query_cache_size,
+                ann=self._ann,
             )
             self._snapshot = fresh  # the atomic reader/writer handoff
             self._publish_gauges(fresh)

@@ -35,6 +35,8 @@ restarts resume the exact pre-crash index) and ``python -m repro store
 """
 
 from repro.store.checkpoint import (
+    CHECKPOINT_FORMAT,
+    SUPPORTED_CHECKPOINT_FORMATS,
     CheckpointInfo,
     latest_valid_checkpoint,
     list_checkpoints,
@@ -51,7 +53,12 @@ from repro.store.durable import (
     read_store_status,
 )
 from repro.store.lock import StoreLock
-from repro.store.mmap_io import open_checkpoint_model, open_latest_model
+from repro.store.mmap_io import (
+    open_checkpoint_ann,
+    open_checkpoint_model,
+    open_latest_ann,
+    open_latest_model,
+)
 from repro.store.recovery import (
     RecoveryReport,
     capture_manager,
@@ -61,6 +68,8 @@ from repro.store.recovery import (
 from repro.store.wal import WalRecord, WriteAheadLog, scan_wal, verify_wal
 
 __all__ = [
+    "CHECKPOINT_FORMAT",
+    "SUPPORTED_CHECKPOINT_FORMATS",
     "CheckpointInfo",
     "latest_valid_checkpoint",
     "list_checkpoints",
@@ -75,7 +84,9 @@ __all__ = [
     "StoreLock",
     "publish_store_gauges",
     "read_store_status",
+    "open_checkpoint_ann",
     "open_checkpoint_model",
+    "open_latest_ann",
     "open_latest_model",
     "RecoveryReport",
     "capture_manager",

@@ -42,6 +42,7 @@ from repro.errors import StoreCorruptError, StoreError
 
 __all__ = [
     "CHECKPOINT_FORMAT",
+    "SUPPORTED_CHECKPOINT_FORMATS",
     "MANIFEST_NAME",
     "CheckpointInfo",
     "checkpoint_name",
@@ -54,7 +55,16 @@ __all__ = [
     "checkpoint_bytes",
 ]
 
-CHECKPOINT_FORMAT = 1
+#: Format history — readers accept every version in
+#: :data:`SUPPORTED_CHECKPOINT_FORMATS`, writers emit the newest:
+#:
+#: 1. base factors + serving ``V`` + raw matrix + pending block;
+#: 2. adds the optional ANN coarse-quantizer arrays (``ann_centroids``,
+#:    ``ann_indptr``, ``ann_docs``) and an ``ann`` meta block.  All
+#:    format-1 arrays are unchanged, so a v1 checkpoint loads cleanly —
+#:    serving simply falls back to the exact scan.
+CHECKPOINT_FORMAT = 2
+SUPPORTED_CHECKPOINT_FORMATS = (1, 2)
 MANIFEST_NAME = "manifest.json"
 
 _PREFIX = "ckpt-"
@@ -174,7 +184,7 @@ def load_manifest(path: pathlib.Path) -> dict:
         raise StoreCorruptError(f"unreadable manifest in {path}: {exc}") from exc
     if not isinstance(manifest, dict) or "arrays" not in manifest:
         raise StoreCorruptError(f"malformed manifest in {path}")
-    if manifest.get("format") != CHECKPOINT_FORMAT:
+    if manifest.get("format") not in SUPPORTED_CHECKPOINT_FORMATS:
         raise StoreError(
             f"unsupported checkpoint format {manifest.get('format')} in {path}"
         )

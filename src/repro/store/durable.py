@@ -55,6 +55,7 @@ import numpy as np
 from repro.errors import ShapeError, StoreError
 from repro.obs.metrics import registry
 from repro.obs.tracing import span
+from repro.serving.ann import ANN_ARRAY_NAMES, CoarseQuantizer
 from repro.server.state import ServingState
 from repro.store.checkpoint import (
     checkpoint_bytes,
@@ -86,6 +87,24 @@ STORE_LAYOUT = {
 }
 
 
+def _checkpoint_summary(info) -> dict:
+    """One checkpoint's row in ``inspect``/``read_store_status`` output."""
+    return {
+        "id": info.checkpoint_id,
+        "path": str(info.path),
+        "created_unix": info.manifest["created_unix"],
+        "bytes": checkpoint_bytes(info),
+        "n_documents": info.meta.get("n_documents"),
+        "wal_lsn": info.meta.get("wal_lsn"),
+        "reason": info.meta.get("reason"),
+        "format": info.manifest.get("format"),
+        "ann": all(
+            name in info.manifest["arrays"] for name in ANN_ARRAY_NAMES
+        ),
+        "ann_clusters": info.meta.get("ann", {}).get("n_clusters"),
+    }
+
+
 class DurableIndexStore:
     """Crash-recoverable home of one incrementally maintained index."""
 
@@ -99,10 +118,14 @@ class DurableIndexStore:
         last_checkpoint_lsn: int = 0,
         last_recovery: RecoveryReport | None = None,
         dir_lock: StoreLock | None = None,
+        ann_clusters: int | None = None,
     ):
         self.data_dir = pathlib.Path(data_dir)
         self.manager = manager
         self.retain = max(1, int(retain))
+        #: ANN training knob: ``None`` = auto (``≈ sqrt(n)`` cells,
+        #: the default), ``0`` = disabled, ``>0`` = explicit cell count.
+        self.ann_clusters = ann_clusters
         self.last_recovery = last_recovery
         self._wal = wal
         self._dir_lock = dir_lock  # single-writer flock on the data dir
@@ -148,6 +171,7 @@ class DurableIndexStore:
         *,
         retain: int = 3,
         sync: bool = True,
+        ann_clusters: int | None = None,
     ) -> "DurableIndexStore":
         """Seed a fresh store around an already-fitted manager.
 
@@ -165,7 +189,7 @@ class DurableIndexStore:
             checkpoints_dir.mkdir(parents=True, exist_ok=True)
             wal = WriteAheadLog(wal_path, sync=sync)
             store = cls(data_dir, manager, wal, retain=retain,
-                        dir_lock=dir_lock)
+                        dir_lock=dir_lock, ann_clusters=ann_clusters)
             store.checkpoint(reason="initialize")
         except BaseException:
             dir_lock.release()
@@ -179,6 +203,7 @@ class DurableIndexStore:
         *,
         retain: int = 3,
         sync: bool = True,
+        ann_clusters: int | None = None,
     ) -> "DurableIndexStore":
         """Recover a store: newest valid checkpoint + WAL replay.
 
@@ -206,6 +231,7 @@ class DurableIndexStore:
             last_checkpoint_lsn=report.wal_lsn_start,
             last_recovery=report,
             dir_lock=dir_lock,
+            ann_clusters=ann_clusters,
         )
 
     # ------------------------------------------------------------------ #
@@ -372,14 +398,56 @@ class DurableIndexStore:
     # ------------------------------------------------------------------ #
     # snapshots and maintenance
     # ------------------------------------------------------------------ #
+    def _train_ann(self, arrays: dict, meta: dict) -> None:
+        """Train (or refresh) the checkpoint's coarse quantizer in place.
+
+        Runs on the *captured* arrays — the manager never mutates them —
+        so callers invoke this outside the writer lock.  Deterministic
+        given the captured coordinates and the manager's seed, which
+        keeps recovered-then-recheckpointed stores bit-identical.
+        ``ann_clusters=0`` disables training (the checkpoint then serves
+        via exact scan, like a format-1 one).
+        """
+        if self.ann_clusters == 0:
+            return
+        coords = np.asarray(arrays["model_V"]) * np.asarray(arrays["base_s"])
+        if coords.shape[0] == 0:
+            return
+        t0 = time.perf_counter()
+        with span("store.ann_train"):
+            quantizer = CoarseQuantizer.train(
+                coords, self.ann_clusters, seed=self.manager.seed
+            )
+        registry.observe("store.ann_train_seconds", time.perf_counter() - t0)
+        registry.inc("store.ann_trainings_total")
+        arrays.update(quantizer.to_arrays())
+        meta["ann"] = {
+            "n_clusters": quantizer.n_clusters,
+            "n_documents": quantizer.n_documents,
+            "seed": self.manager.seed,
+        }
+
+    def load_ann(self, *, mmap: bool = True):
+        """The newest valid checkpoint's quantizer, memory-mapped.
+
+        Returns ``None`` (and raises the ``store.ann_missing`` gauge)
+        when the newest checkpoint predates format 2 or was written with
+        ANN disabled — callers serve by exact scan until the next
+        checkpoint retrains.
+        """
+        from repro.store.mmap_io import open_latest_ann
+
+        return open_latest_ann(self.data_dir, mmap=mmap)
+
     def checkpoint(self, reason: str = "manual") -> pathlib.Path:
         """Snapshot current state into a fresh versioned checkpoint.
 
         Holds the writer lock only long enough to capture array
         references (the manager never mutates arrays in place);
-        serialization, checksumming, and fsync run unlocked, so queries
-        — which never take these locks — are unaffected and concurrent
-        ``/add`` s block for microseconds at worst.
+        quantizer training, serialization, checksumming, and fsync run
+        unlocked, so queries — which never take these locks — are
+        unaffected and concurrent ``/add`` s block for microseconds at
+        worst.
         """
         with self._checkpoint_lock:
             t0 = time.perf_counter()
@@ -390,6 +458,7 @@ class DurableIndexStore:
                 meta["wal_lsn"] = wal_lsn
                 meta["epoch"] = wal_lsn  # logical index version
                 meta["reason"] = reason
+                self._train_ann(arrays, meta)
                 info = write_checkpoint(self.checkpoints_dir, arrays, meta)
             self._last_checkpoint_lsn = wal_lsn
             self._last_checkpoint_time = time.time()
@@ -420,6 +489,7 @@ class DurableIndexStore:
             meta["wal_lsn"] = wal_lsn
             meta["epoch"] = wal_lsn
             meta["reason"] = "compact"
+            self._train_ann(arrays, meta)
             with span("store.compact"):
                 info = write_checkpoint(self.checkpoints_dir, arrays, meta)
                 self._wal.truncate()
@@ -443,20 +513,13 @@ class DurableIndexStore:
     def inspect(self) -> dict:
         """A JSON-ready description of the on-disk store state."""
         checkpoints = [
-            {
-                "id": info.checkpoint_id,
-                "path": str(info.path),
-                "created_unix": info.manifest["created_unix"],
-                "bytes": checkpoint_bytes(info),
-                "n_documents": info.meta.get("n_documents"),
-                "wal_lsn": info.meta.get("wal_lsn"),
-                "reason": info.meta.get("reason"),
-            }
+            _checkpoint_summary(info)
             for info in list_checkpoints(self.checkpoints_dir)
         ]
         return {
             "data_dir": str(self.data_dir),
             "checkpoints": checkpoints,
+            "ann": bool(checkpoints and checkpoints[-1]["ann"]),
             "wal": {
                 "path": str(self._wal.path),
                 "records": self._wal.n_records,
@@ -550,18 +613,8 @@ def read_store_status(data_dir: pathlib.Path) -> dict:
             pending = 0
     return {
         "data_dir": str(data_dir),
-        "checkpoints": [
-            {
-                "id": info.checkpoint_id,
-                "path": str(info.path),
-                "created_unix": info.manifest["created_unix"],
-                "bytes": checkpoint_bytes(info),
-                "n_documents": info.meta.get("n_documents"),
-                "wal_lsn": info.meta.get("wal_lsn"),
-                "reason": info.meta.get("reason"),
-            }
-            for info in infos
-        ],
+        "checkpoints": [_checkpoint_summary(info) for info in infos],
+        "ann": bool(newest and _checkpoint_summary(newest)["ann"]),
         "wal": {
             "path": str(wal_path),
             "records": len(scan.records),
@@ -612,9 +665,18 @@ class DurableServingState(ServingState):
     store's WAL-ahead discipline before the new epoch is published, and
     the registered swap hook pokes the background checkpointer's policy
     via the store.  Readers never touch the store.
+
+    The coarse quantizer is opened zero-copy from the newest checkpoint
+    at construction (``store.ann_missing`` reports when there is none —
+    a pre-format-2 store serves by exact scan until its next
+    checkpoint).  Background checkpoints retrain the on-disk quantizer
+    but do not hot-swap the served one; documents added meanwhile are
+    still searched exactly via the fresh-tail rule, and a restart picks
+    up the newest training.
     """
 
     def __init__(self, store: DurableIndexStore, **kwargs):
+        kwargs.setdefault("ann", store.load_ann())
         super().__init__(manager=store.manager, **kwargs)
         self.store = store
         self.add_swap_hook(self._on_swap)

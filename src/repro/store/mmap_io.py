@@ -20,8 +20,12 @@ from __future__ import annotations
 
 import pathlib
 
+import numpy as np
+
 from repro.core.model import LSIModel
-from repro.errors import StoreError
+from repro.errors import StoreCorruptError, StoreError
+from repro.obs.metrics import registry
+from repro.serving.ann import ANN_ARRAY_NAMES, CoarseQuantizer
 from repro.store.checkpoint import (
     latest_valid_checkpoint,
     load_manifest,
@@ -30,7 +34,12 @@ from repro.store.checkpoint import (
 from repro.text.vocabulary import Vocabulary
 from repro.weighting.schemes import WeightingScheme
 
-__all__ = ["open_checkpoint_model", "open_latest_model"]
+__all__ = [
+    "open_checkpoint_model",
+    "open_latest_model",
+    "open_checkpoint_ann",
+    "open_latest_ann",
+]
 
 
 def open_checkpoint_model(
@@ -63,6 +72,39 @@ def open_checkpoint_model(
     )
 
 
+def open_checkpoint_ann(
+    checkpoint_dir: pathlib.Path,
+    *,
+    mmap: bool = True,
+) -> CoarseQuantizer | None:
+    """The checkpoint's coarse quantizer, memory-mapped — or ``None``.
+
+    Format-1 checkpoints (and format-2 ones written with ANN training
+    disabled) carry no quantizer; callers fall back to the exact scan,
+    and the ``store.ann_missing`` gauge records the degradation so a
+    fleet serving without its probe index is visible.  Only the three
+    ANN array files are touched — the model arrays stay unopened.
+    """
+    checkpoint_dir = pathlib.Path(checkpoint_dir)
+    manifest = load_manifest(checkpoint_dir)
+    entries = manifest["arrays"]
+    if not all(name in entries for name in ANN_ARRAY_NAMES):
+        registry.set_gauge("store.ann_missing", 1)
+        return None
+    arrays = {}
+    for name in ANN_ARRAY_NAMES:
+        file = checkpoint_dir / entries[name]["file"]
+        try:
+            arrays[name] = np.load(file, mmap_mode="r" if mmap else None)
+        except Exception as exc:
+            raise StoreCorruptError(
+                f"cannot load ANN array {name!r} from {checkpoint_dir}: {exc}"
+            ) from exc
+    seed = manifest.get("meta", {}).get("ann", {}).get("seed", 0)
+    registry.set_gauge("store.ann_missing", 0)
+    return CoarseQuantizer.from_arrays(arrays, seed=seed)
+
+
 def open_latest_model(
     data_dir: pathlib.Path,
     *,
@@ -83,3 +125,20 @@ def open_latest_model(
         detail = f" ({'; '.join(problems)})" if problems else ""
         raise StoreError(f"no valid checkpoint under {checkpoints}{detail}")
     return open_checkpoint_model(info.path, mmap=mmap)
+
+
+def open_latest_ann(
+    data_dir: pathlib.Path,
+    *,
+    mmap: bool = True,
+) -> CoarseQuantizer | None:
+    """Map the newest valid checkpoint's quantizer (``None`` when absent
+    — including when no checkpoint exists at all)."""
+    from repro.store.durable import STORE_LAYOUT
+
+    checkpoints = pathlib.Path(data_dir) / STORE_LAYOUT["checkpoints"]
+    info, _problems = latest_valid_checkpoint(checkpoints)
+    if info is None:
+        registry.set_gauge("store.ann_missing", 1)
+        return None
+    return open_checkpoint_ann(info.path, mmap=mmap)

@@ -7,6 +7,7 @@ from repro.core.model import LSIModel
 from repro.core.similarity import cosine_similarities
 from repro.errors import ShapeError
 from repro.retrieval.ann import ClusterIndex, kmeans
+from repro.serving.ann import CoarseQuantizer
 from repro.text import Vocabulary
 from repro.util.rng import ensure_rng
 
@@ -140,3 +141,82 @@ def test_build_validation():
     )
     with pytest.raises(ShapeError):
         ClusterIndex.build(model)
+
+
+def test_probes_clamp_to_n_clusters(index, big_model):
+    rng = ensure_rng(12)
+    qhat = rng.standard_normal(big_model.k)
+    at_max, scored_max = index.search(qhat, top=10, probes=index.n_clusters)
+    beyond, scored_beyond = index.search(qhat, top=10, probes=10**6)
+    assert beyond == at_max
+    assert scored_beyond == scored_max == big_model.n_documents
+
+
+def test_top_larger_than_candidate_set(index, big_model):
+    # One probed cell holds far fewer documents than this `top`; the
+    # result is simply every candidate, ranked — never padding.
+    rng = ensure_rng(13)
+    qhat = rng.standard_normal(big_model.k)
+    results, scored = index.search(
+        qhat, top=big_model.n_documents, probes=1
+    )
+    assert 0 < len(results) == scored < big_model.n_documents
+    scores = [s for _, s in results]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_empty_cell_probe_returns_empty():
+    # Build a quantizer by hand with one empty posting list: a probe
+    # that lands only there scores nothing and returns no results.
+    quantizer = CoarseQuantizer(
+        centroids=np.array([[1.0, 0.0], [-1.0, 0.0]]),
+        cell_indptr=np.array([0, 3, 3]),  # cell 1 is empty
+        cell_docs=np.array([0, 1, 2]),
+    )
+    coords = np.array([[1.0, 0.1], [1.0, -0.1], [0.9, 0.0]])
+    norms = np.sqrt(np.sum(coords**2, axis=1))
+    pairs, stats = quantizer.select(
+        coords,
+        norms,
+        np.array([-1.0, 0.0]),  # nearest centroid is the empty cell
+        probes=1,
+    )
+    assert pairs == []
+    assert stats["candidates"] == 0
+
+
+def test_quantizer_csr_validation():
+    centroids = np.ones((2, 2))
+    with pytest.raises(ShapeError):
+        CoarseQuantizer(centroids, np.array([0, 1]), np.array([0, 1]))
+    with pytest.raises(ShapeError):  # indptr not monotone
+        CoarseQuantizer(centroids, np.array([0, 2, 1]), np.array([0, 1]))
+    with pytest.raises(ShapeError):  # indptr[-1] != len(docs)
+        CoarseQuantizer(centroids, np.array([0, 1, 3]), np.array([0, 1]))
+
+
+def test_full_probe_identical_with_duplicate_rows():
+    # Duplicate document vectors force exact score ties; the full-probe
+    # ranking must reproduce the exhaustive scan element-for-element —
+    # indices, scores, and ascending-index tie order.
+    rng = ensure_rng(14)
+    k, n_unique = 6, 9
+    base = rng.standard_normal((n_unique, k))
+    V = np.vstack([base, base[::2], base[:3]])  # rows repeat verbatim
+    model = LSIModel(
+        U=np.eye(k),
+        s=np.sort(rng.random(k) + 0.5)[::-1],
+        V=V,
+        vocabulary=Vocabulary([f"t{i}" for i in range(k)]).freeze(),
+        doc_ids=[f"d{j}" for j in range(V.shape[0])],
+    )
+    index = ClusterIndex.build(model, n_clusters=4, seed=0)
+    qhat = rng.standard_normal(k)
+    exact = cosine_similarities(model, qhat)
+    want_order = np.argsort(-exact, kind="stable")
+    pairs, scored = index.search(
+        qhat, top=model.n_documents, probes=index.n_clusters
+    )
+    assert scored == model.n_documents
+    assert [j for j, _ in pairs] == want_order.tolist()
+    assert [s for _, s in pairs] == [float(exact[j]) for j in want_order]

@@ -424,6 +424,59 @@ def test_http_error_mapping():
         conn.close()
 
 
+def test_http_probes_validation():
+    state = _fresh_state()
+    with _ServerThread(state, ServerConfig(max_wait_ms=0.0)) as server:
+        client = ServerClient(port=server.port)
+        for bad in (0, -3, True, 2.5, "many"):
+            with pytest.raises(ReproError, match="400"):
+                client._request(
+                    "POST", "/search", {"query": QUERIES[0], "probes": bad}
+                )
+        with pytest.raises(ReproError, match="400"):
+            client._request(
+                "POST", "/search", {"query": QUERIES[0], "exact": "yes"}
+            )
+
+
+def test_http_probes_roundtrip_and_full_probe_parity():
+    # Through the whole stack — HTTP parse, micro-batcher ANN grouping,
+    # snapshot probe — a full-probe request answers element-identically
+    # to the exact scan, and a bounded one reports its ann stats block.
+    state = _fresh_state()
+    quantizer = state.train_ann(4, seed=0)
+    with _ServerThread(state, ServerConfig(max_wait_ms=1.0)) as server:
+        client = ServerClient(port=server.port)
+        assert client.healthz()["ann"] is True
+        for q in QUERIES[:3]:
+            exact = client.search(q, top=5, exact=True)
+            full = client.search(q, top=5, probes=quantizer.n_clusters)
+            assert full["results"] == exact["results"]
+            assert full["ann"]["cells_probed"] == quantizer.n_clusters
+            assert "ann" not in exact
+
+            bounded = client.search(q, top=5, probes=1)
+            assert bounded["ann"]["probes"] == 1
+            assert bounded["ann"]["candidates"] <= state.current().n_documents
+            got = {j for j, _, _ in bounded["results"]}
+            assert got <= {j for j, _, _ in client.search(q)["results"]}
+
+
+def test_default_probes_applied_and_exact_escape_hatch():
+    state = _fresh_state()
+    state.train_ann(4, seed=0)
+    registry.reset("ann.")
+    with _ServerThread(
+        state, ServerConfig(max_wait_ms=1.0, default_probes=2)
+    ) as server:
+        client = ServerClient(port=server.port)
+        assert client.healthz()["default_probes"] == 2
+        probed = client.search(QUERIES[0], top=5)
+        assert probed["ann"]["probes"] == 2
+        exact = client.search(QUERIES[0], top=5, exact=True)
+        assert "ann" not in exact
+
+
 def test_http_client_reuses_keep_alive_connection():
     state = _fresh_state()
     with _ServerThread(state, ServerConfig(max_wait_ms=1.0)) as server:
