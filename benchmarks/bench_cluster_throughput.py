@@ -37,7 +37,9 @@ import numpy as np
 
 from conftest import emit
 from obs_export import maybe_export_obs
+from repro import obs
 from repro.cluster import ClusterConfig, ClusterService
+from repro.obs.trace_context import TraceContext, trace_scope
 from repro.store.checkpoint import write_checkpoint
 from repro.store.durable import STORE_LAYOUT
 
@@ -50,6 +52,8 @@ WAVE = 32  # queries per scatter
 WAVES = 12 if SMOKE else 30
 WORKER_COUNTS = (1, 4)
 MIN_SPEEDUP_AT_4 = 2.0
+#: Distributed tracing must stay near-free on the scatter path.
+MAX_TRACING_OVERHEAD = 0.05
 
 
 def _seed_serving_checkpoint(data_dir: str) -> None:
@@ -85,9 +89,18 @@ def _query_waves(k: int, seed: int = 5) -> list[np.ndarray]:
 
 
 def _cluster_qps(
-    data_dir: str, workers: int, waves: list[np.ndarray]
+    data_dir: str,
+    workers: int,
+    waves: list[np.ndarray],
+    *,
+    traced: bool = False,
 ) -> tuple[float, list]:
-    """QPS of one cluster size, plus the first wave's merged results."""
+    """QPS of one cluster size, plus the first wave's merged results.
+
+    ``traced=True`` gives every wave its own trace context, so each
+    scatter mints router spans and carries the trace in its wire
+    frames — the full cross-process capture path under measurement.
+    """
 
     async def main() -> tuple[float, list]:
         service = ClusterService(
@@ -101,8 +114,12 @@ def _cluster_qps(
             first = await service.search_many(waves[0], top=TOP)
             assert first.partial is False
             t0 = time.perf_counter()
-            for wave in waves:
-                result = await service.search_many(wave, top=TOP)
+            for i, wave in enumerate(waves):
+                if traced:
+                    with trace_scope(TraceContext(trace_id=f"bench-{i}")):
+                        result = await service.search_many(wave, top=TOP)
+                else:
+                    result = await service.search_many(wave, top=TOP)
                 assert result.partial is False
             elapsed = time.perf_counter() - t0
             return WAVE * len(waves) / elapsed, first.results
@@ -162,3 +179,64 @@ def test_cluster_throughput_scales_with_workers():
             f"({MIN_SPEEDUP_AT_4}x) reported, not enforced: "
             f"{speedup:.2f}x"
         )
+
+
+def test_tracing_overhead_under_five_percent():
+    """Cross-process trace capture must cost < 5% of the cluster's QPS.
+
+    Baseline and traced runs alternate (best-of-2 each) so machine
+    drift — thermal throttling, a noisy CI neighbor — hits both
+    configurations, not just whichever ran second.
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        data_dir = os.path.join(tmp, "store")
+        _seed_serving_checkpoint(data_dir)
+        waves = _query_waves(K, seed=7)
+        prev = obs.enable_tracing(False)
+        baseline_runs: list[float] = []
+        traced_runs: list[float] = []
+        try:
+            for _ in range(2):
+                obs.enable_tracing(False)
+                baseline_runs.append(_cluster_qps(data_dir, 4, waves)[0])
+                obs.enable_tracing(True)
+                obs.clear_spans()
+                traced_runs.append(
+                    _cluster_qps(data_dir, 4, waves, traced=True)[0]
+                )
+            # The traced run really captured spans (not a no-op toggle).
+            scatters = [
+                s for s in obs.recent_spans()
+                if s.name == "cluster.scatter" and s.trace_id
+            ]
+            assert scatters, "tracing was on but no scatter spans landed"
+        finally:
+            obs.enable_tracing(prev)
+            obs.clear_spans()
+
+    baseline, traced = max(baseline_runs), max(traced_runs)
+    overhead = 1.0 - traced / baseline
+    emit(
+        f"cluster tracing overhead (workers=4, n={N_DOCS}, "
+        f"{WAVES} waves of {WAVE} queries, best of 2)",
+        [
+            f"{'config':>10s}  {'QPS':>10s}",
+            f"{'untraced':>10s}  {baseline:>10.0f}",
+            f"{'traced':>10s}  {traced:>10.0f}",
+            f"overhead: {overhead * 100.0:+.1f}%",
+        ],
+    )
+    maybe_export_obs(
+        "cluster_tracing_overhead",
+        extra={
+            "n_docs": N_DOCS,
+            "qps_untraced": baseline,
+            "qps_traced": traced,
+            "overhead": overhead,
+        },
+    )
+    assert traced >= (1.0 - MAX_TRACING_OVERHEAD) * baseline, (
+        f"tracing costs {overhead * 100.0:.1f}% QPS "
+        f"({traced:.0f} vs {baseline:.0f}), budget is "
+        f"{MAX_TRACING_OVERHEAD * 100.0:.0f}%"
+    )

@@ -15,6 +15,16 @@ boundaries:
   that worker's ``[lo, hi)`` row range listed as missing — the other
   shards' rows stay exact;
 * the supervisor restarts the dead worker and full parity returns;
+* a traced ``/search`` (explicit ``X-Request-Id``) yields **one**
+  cluster-wide trace at ``/trace?id=``: the router's ingress and
+  scatter spans plus every worker's scoring span, all sharing the
+  ingress trace id — exported as a JSONL artifact;
+* ``/metrics?format=prom`` renders valid Prometheus exposition (no
+  duplicate or illegal family names) with per-worker labels, while
+  plain ``/metrics`` keeps the flat JSON shape;
+* a second tiny cluster with an injected worker delay pushes a query
+  over ``--slow-ms``: it must land in the ``--slowlog`` JSONL with
+  per-shard timings (uploaded as a CI artifact);
 * SIGTERM drains cleanly — the process prints ``drained cleanly`` and
   exits 0.
 
@@ -27,6 +37,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import signal
 import subprocess
 import sys
@@ -36,6 +47,7 @@ import time
 import numpy as np
 
 from repro.core.query import project_query
+from repro.obs import export_trace_jsonl, read_slowlog
 from repro.parallel.sharding import (
     merge_topk,
     shard_bounds,
@@ -67,9 +79,14 @@ def _seed_store(data_dir: str, texts: list[str]) -> None:
     store.close(flush=False)
 
 
-def _start_cluster(data_dir: str) -> tuple[subprocess.Popen, int]:
+def _start_cluster(
+    data_dir: str,
+    *extra_args: str,
+    env_extra: dict[str, str] | None = None,
+) -> tuple[subprocess.Popen, int]:
     """Launch ``repro cluster serve``; return (proc, http port)."""
     env = dict(os.environ, PYTHONPATH="src", PYTHONUNBUFFERED="1")
+    env.update(env_extra or {})
     proc = subprocess.Popen(
         [
             sys.executable, "-m", "repro", "--no-obs", "cluster", "serve",
@@ -77,6 +94,7 @@ def _start_cluster(data_dir: str) -> tuple[subprocess.Popen, int]:
             "--port", "0", "--heartbeat-interval", "0.25",
             "--restart-backoff", str(RESTART_BACKOFF),
             "--restart-backoff-cap", str(RESTART_BACKOFF),
+            *extra_args,
         ],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
         text=True, env=env,
@@ -101,6 +119,129 @@ def _search_pairs(
 ) -> tuple[dict, list]:
     data = client.search(query, top=TOP, probes=probes)
     return data, [(int(j), float(s)) for j, s, _ in data["results"]]
+
+
+_PROM_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
+    r" -?[0-9].*$"
+)
+
+
+def _validate_prometheus(text: str) -> int:
+    """Assert the exposition parses: unique legal families, sample lines."""
+    declared: set[str] = set()
+    samples = 0
+    for line in text.strip().splitlines():
+        if line.startswith("# TYPE "):
+            name, kind = line[len("# TYPE "):].rsplit(" ", 1)
+            assert kind in {"counter", "gauge", "summary"}, line
+            assert name not in declared, f"duplicate family: {name}"
+            declared.add(name)
+        else:
+            assert _PROM_SAMPLE.match(line), f"unparseable: {line!r}"
+            samples += 1
+    assert declared, "empty exposition"
+    return samples
+
+
+def _observability_phase(client: ServerClient) -> None:
+    """One traced query → one cluster-wide trace; valid Prometheus text."""
+    rid = "smoke-trace-1"
+    data = client.search("w1 w2 w3", top=TOP, request_id=rid)
+    assert data["partial"] is False, data
+    assert client.last_request_id == rid, client.last_request_id
+
+    trace = client.trace(rid)
+    assert trace["trace_id"] == rid, trace
+    assert trace["workers"] == [str(s) for s in range(SHARDS)], trace
+    spans = trace["spans"]
+    assert all(
+        s["trace_id"] == rid or s.get("attrs", {}).get("trace_ids")
+        for s in spans
+    ), spans
+    by_name: dict[str, list[dict]] = {}
+    for record in spans:
+        by_name.setdefault(record["name"], []).append(record)
+    # Ingress and scatter spans come from the router process...
+    (ingress,) = by_name["http.request"]
+    assert ingress["worker"] == "router", ingress
+    assert ingress["attrs"]["request_id"] == rid, ingress
+    (scatter,) = by_name["cluster.scatter"]
+    assert scatter["worker"] == "router", scatter
+    # ...and every shard worker contributes its scoring span, parented
+    # under the router's scatter span across the process boundary.
+    score_spans = by_name["cluster.worker.score"]
+    assert {s["worker"] for s in score_spans} == {
+        str(s) for s in range(SHARDS)
+    }, score_spans
+    for record in score_spans:
+        assert record["parent_id"] == scatter["span_id"], record
+    export_trace_jsonl("SMOKE_cluster_trace.jsonl", spans)
+    print(
+        f"trace: one cluster-wide trace ({len(spans)} spans: ingress + "
+        f"scatter + {len(score_spans)} worker spans share trace_id={rid})"
+    )
+
+    # The id is echoed on error responses too.
+    try:
+        client._request("GET", "/nope", request_id="smoke-err-1")
+        raise AssertionError("404 expected")
+    except Exception as exc:  # noqa: BLE001 — mapped ReproError
+        assert getattr(exc, "request_id", None) == "smoke-err-1", exc
+
+    # Prometheus exposition federates every worker; JSON stays flat.
+    prom = client.metrics_prom()
+    samples = _validate_prometheus(prom)
+    for label in ["router"] + [str(s) for s in range(SHARDS)]:
+        assert f'worker="{label}"' in prom, label
+    metrics = client.metrics()
+    assert set(metrics) == {"counters", "gauges", "histograms"}, metrics
+    for sid in range(SHARDS):
+        assert f"shard.{sid}.cluster.worker.score" in metrics["histograms"]
+    print(
+        f"metrics: /metrics?format=prom valid ({samples} samples, "
+        f"per-worker labels), flat JSON federates {SHARDS} workers"
+    )
+
+
+def _slowlog_phase(data_dir: str) -> None:
+    """A delayed worker pushes queries over --slow-ms → JSONL evidence."""
+    slowlog = os.path.abspath("SMOKE_cluster_slowlog.jsonl")
+    if os.path.exists(slowlog):
+        os.unlink(slowlog)
+    proc, port = _start_cluster(
+        data_dir,
+        "--slow-ms", "25", "--slowlog", slowlog,
+        env_extra={"REPRO_WORKER_INJECT_DELAY_MS": "60"},
+    )
+    try:
+        client = ServerClient(port=port)
+        data = client.search("w1 w2 w3", top=TOP, request_id="smoke-slow-1")
+        assert data["partial"] is False, data
+        entries = read_slowlog(slowlog)
+        assert entries, "60ms injected delay must cross the 25ms threshold"
+        entry = entries[-1]
+        assert entry["trace_id"] == "smoke-slow-1", entry
+        assert entry["duration_ms"] >= 25.0, entry
+        timings = entry["shard_timings"]
+        assert sorted(timings) == [str(s) for s in range(SHARDS)], entry
+        assert all(ms >= 50.0 for ms in timings.values()), timings
+        health = client.healthz()
+        assert health["slowlog"]["records"] >= 1, health["slowlog"]
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=45)
+        assert proc.returncode == 0, (proc.returncode, out)
+        print(
+            f"slowlog: {len(entries)} record(s) with per-shard timings "
+            f"({', '.join(f's{k}={v:.0f}ms' for k, v in sorted(timings.items()))})"
+            f" -> {os.path.basename(slowlog)}"
+        )
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate(timeout=10)
 
 
 def main() -> None:
@@ -179,6 +320,10 @@ def main() -> None:
                   f"sharded in-process probe; probes={ann.n_clusters} "
                   f"(all cells) identical to the exact scan")
 
+            # Phase 1c: all three workers live → one cluster-wide trace,
+            # valid Prometheus exposition, request-id echo on errors.
+            _observability_phase(client)
+
             # Phase 2: SIGKILL one worker → partial with its range.
             victim = 1
             row = health["workers"][victim]
@@ -253,6 +398,9 @@ def main() -> None:
             if proc.poll() is None:
                 proc.kill()
                 proc.communicate(timeout=10)
+
+        # Phase 5: a fresh cluster with a delayed worker → slow-query log.
+        _slowlog_phase(data_dir)
 
     print("cluster smoke: OK")
 

@@ -39,7 +39,8 @@ terms or documents").  This CLI is the same toolbox over this library:
     the per-shard process entry point the supervisor launches.
 ``stats``
     Print the observability snapshot: counters, gauges, latency
-    histograms, and recent tracing spans.
+    histograms, recent tracing spans, and (with ``--slowlog``) the
+    slow-query log a server wrote with its own ``--slowlog`` flag.
 
 Observability
 -------------
@@ -189,6 +190,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--distortion-budget", type=float, default=0.1,
                          help="folded fraction before /add consolidates")
     p_serve.add_argument(
+        "--slow-ms", type=float, default=500.0,
+        help="slow-query log threshold in milliseconds (0 disables)",
+    )
+    p_serve.add_argument(
+        "--slowlog", type=pathlib.Path, default=None,
+        help="JSONL file for slow-query records (default in-memory only)",
+    )
+    p_serve.add_argument(
         "--data-dir", type=pathlib.Path, default=None,
         help="durable store directory: WAL-logged /add, background "
              "checkpoints, crash-recoverable warm restarts",
@@ -264,6 +273,14 @@ def build_parser() -> argparse.ArgumentParser:
                           help="first restart delay (doubles per retry)")
     pc_serve.add_argument("--restart-backoff-cap", type=float, default=10.0,
                           help="restart delay ceiling")
+    pc_serve.add_argument(
+        "--slow-ms", type=float, default=500.0,
+        help="slow-query log threshold in milliseconds (0 disables)",
+    )
+    pc_serve.add_argument(
+        "--slowlog", type=pathlib.Path, default=None,
+        help="JSONL file for slow-query records (default in-memory only)",
+    )
 
     pc_status = cluster_sub.add_parser(
         "status", help="query a running cluster's health"
@@ -298,6 +315,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit the raw JSON blob instead of text")
     p_stats.add_argument("--spans", type=int, default=20,
                          help="recent spans to show (text mode)")
+    p_stats.add_argument(
+        "--slowlog", type=pathlib.Path, default=None,
+        help="also render this slow-query JSONL file (the serve/cluster "
+             "--slowlog path)",
+    )
     p_stats.add_argument("--reset", action="store_true",
                          help="delete the persisted state after printing")
 
@@ -485,6 +507,10 @@ def _cmd_serve(args, out) -> int:
         workers=args.workers,
         default_timeout_ms=args.timeout_ms,
         default_probes=args.probes,
+        slow_ms=args.slow_ms,
+        slowlog_path=(
+            str(args.slowlog) if args.slowlog is not None else None
+        ),
     )
 
     async def run() -> None:
@@ -556,6 +582,19 @@ def _cmd_cluster(args, out) -> int:
                 f"port={row['port']} restarts={row['restarts']}",
                 file=out,
             )
+        slowlog = health.get("slowlog") or {}
+        if slowlog:
+            slowest = slowlog.get("slowest_ms")
+            print(
+                f"slowlog   : {slowlog.get('records', 0)} record(s) over "
+                f"{slowlog.get('threshold_ms')}ms"
+                + (f", slowest {slowest:.1f}ms" if slowest else "")
+                + (
+                    f" → {slowlog['path']}"
+                    if slowlog.get("path") else " (in-memory)"
+                ),
+                file=out,
+            )
         return 0
 
     # serve
@@ -576,6 +615,10 @@ def _cmd_cluster(args, out) -> int:
         restart_backoff_cap=args.restart_backoff_cap,
         default_timeout_ms=args.timeout_ms,
         default_probes=args.probes,
+        slow_ms=args.slow_ms,
+        slowlog_path=(
+            str(args.slowlog) if args.slowlog is not None else None
+        ),
     )
 
     async def run() -> None:
@@ -734,13 +777,20 @@ def _cmd_stats(args, out) -> int:
     spans = list(state.get("spans", [])) + [
         s.to_dict() for s in obs.recent_spans()
     ]
+    slow_entries = (
+        obs.read_slowlog(args.slowlog) if args.slowlog is not None else []
+    )
     if args.json:
         blob = {"schema": obs.export.SCHEMA, "metrics": metrics, "spans": spans}
+        if args.slowlog is not None:
+            blob["slow_queries"] = slow_entries
         print(json.dumps(blob, indent=2, sort_keys=True), file=out)
     else:
         print(f"observability state: {path}", file=out)
         print(obs.format_snapshot(metrics), file=out)
         print(obs.format_spans(spans, limit=args.spans), file=out)
+        if args.slowlog is not None:
+            print(obs.format_slowlog(slow_entries), file=out)
     if args.reset:
         try:
             path.unlink()

@@ -35,6 +35,7 @@ from repro.cluster.plan import ShardPlan
 from repro.cluster.wire import read_frame, write_frame
 from repro.errors import ClusterError, DeadlineExceededError
 from repro.obs.metrics import registry
+from repro.obs.trace_context import TraceContext, current_trace
 from repro.obs.tracing import span
 from repro.parallel.sharding import merge_topk
 
@@ -163,12 +164,17 @@ class ClusterResult:
     ``qi`` over every shard that answered.  ``partial`` is True when any
     shard did not, and ``missing`` lists those shards' ``(lo, hi)`` row
     ranges so the caller knows exactly which documents went unscored.
+    ``shard_timings`` (shard id → RPC milliseconds), ``hedged``, and
+    ``deadline_missed`` are the slow-query evidence the slow log dumps.
     """
 
     results: list[list[tuple[int, float]]]
     partial: bool = False
     missing: list[tuple[int, int]] = field(default_factory=list)
     epoch: int = 0
+    shard_timings: dict[int, float] = field(default_factory=dict)
+    hedged: list[int] = field(default_factory=list)
+    deadline_missed: list[int] = field(default_factory=list)
 
 
 class ClusterRouter:
@@ -262,8 +268,12 @@ class ClusterRouter:
 
     async def _call_worker(
         self, shard_id: int, message: dict, timeout: float
-    ) -> dict:
-        """One scatter RPC: primary call, optional hedge, hard deadline."""
+    ) -> tuple[dict, float, bool]:
+        """One scatter RPC: primary call, optional hedge, hard deadline.
+
+        Returns ``(response, latency_seconds, hedged)`` so the gather
+        side can assemble per-shard slow-query evidence.
+        """
         channel = self._channels.get(shard_id)
         if channel is None or channel.closed:
             raise ConnectionError(f"no live channel for shard {shard_id}")
@@ -316,7 +326,7 @@ class ClusterRouter:
                             f"shard {shard_id} rejected the request: "
                             f"{response['error']}"
                         )
-                    return response
+                    return response, latency, hedged
             if errors:
                 for exc in errors:
                     if isinstance(exc, (ConnectionError, OSError)):
@@ -371,11 +381,23 @@ class ClusterRouter:
 
         missing_sids: set[int] = set()
         responses: dict[int, dict] = {}
+        shard_timings: dict[int, float] = {}
+        hedged_sids: list[int] = []
+        missed_sids: list[int] = []
         with span(
             "cluster.scatter",
             shards=self.plan.n_shards,
             queries=n_queries,
-        ):
+        ) as scatter:
+            # Carry the request's trace identity in every score frame,
+            # parented under this scatter span, so worker-process spans
+            # reassemble into one cluster-wide trace.
+            ctx = current_trace()
+            if ctx is not None:
+                message["trace"] = TraceContext(
+                    ctx.trace_id,
+                    scatter.span_id or ctx.parent_span_id,
+                ).to_wire()
             calls: dict[int, asyncio.Future] = {}
             for shard in self.plan.shards:
                 sid = shard.shard_id
@@ -392,11 +414,16 @@ class ClusterRouter:
             for sid, task in calls.items():
                 exc = task.exception()
                 if exc is None:
-                    responses[sid] = task.result()
+                    response, latency, was_hedged = task.result()
+                    responses[sid] = response
+                    shard_timings[sid] = latency * 1000.0
+                    if was_hedged:
+                        hedged_sids.append(sid)
                 elif isinstance(exc, DeadlineExceededError):
                     # Slow is not dead: leave eviction to the heartbeat.
                     registry.inc("cluster.deadline_misses_total")
                     missing_sids.add(sid)
+                    missed_sids.append(sid)
                 elif isinstance(exc, (ConnectionError, OSError)):
                     missing_sids.add(sid)
                     dead.append(sid)
@@ -406,6 +433,14 @@ class ClusterRouter:
                 await self.detach(sid)
                 if self.on_worker_dead is not None:
                     self.on_worker_dead(sid)
+            # Flag degraded shards on the scatter span itself, so the
+            # assembled trace names hedges and deadline misses inline.
+            if hedged_sids:
+                scatter.set_attr("hedged", sorted(hedged_sids))
+            if missed_sids:
+                scatter.set_attr("deadline_missed", sorted(missed_sids))
+            if missing_sids:
+                scatter.set_attr("missing_shards", sorted(missing_sids))
 
         for sid, response in responses.items():
             if response.get("shard") != sid:
@@ -443,4 +478,60 @@ class ClusterRouter:
             partial=partial,
             missing=[(lo, hi) for lo, hi in missing],
             epoch=self.plan.epoch,
+            shard_timings=shard_timings,
+            hedged=sorted(hedged_sids),
+            deadline_missed=sorted(missed_sids),
         )
+
+    # ------------------------------------------------------------------ #
+    # observability scatter ops (stats / trace)
+    # ------------------------------------------------------------------ #
+    async def _scatter_op(
+        self, message: dict, *, timeout: float
+    ) -> dict[int, dict]:
+        """Broadcast one op to every live worker; best-effort gather.
+
+        A worker that fails or times out is simply absent from the
+        result — observability must never take the serving path down.
+        """
+        sids = self.live_shards()
+
+        async def _one(sid: int) -> dict | None:
+            channel = self._channels.get(sid)
+            if channel is None or channel.closed:
+                return None
+            try:
+                return await asyncio.wait_for(
+                    channel.call(dict(message)), timeout
+                )
+            except (asyncio.TimeoutError, ConnectionError, OSError):
+                return None
+
+        answers = await asyncio.gather(*(_one(sid) for sid in sids))
+        return {
+            sid: response
+            for sid, response in zip(sids, answers)
+            if isinstance(response, dict) and "error" not in response
+        }
+
+    async def fetch_stats(self, *, timeout: float = 2.0) -> dict[int, dict]:
+        """Every live worker's registry snapshot, keyed by shard id."""
+        responses = await self._scatter_op({"op": "stats"}, timeout=timeout)
+        return {
+            sid: response["snapshot"]
+            for sid, response in responses.items()
+            if isinstance(response.get("snapshot"), dict)
+        }
+
+    async def fetch_trace(
+        self, trace_id: str, *, timeout: float = 2.0
+    ) -> dict[int, list[dict]]:
+        """Every live worker's spans for ``trace_id``, keyed by shard id."""
+        responses = await self._scatter_op(
+            {"op": "trace", "trace_id": trace_id}, timeout=timeout
+        )
+        return {
+            sid: [s for s in response.get("spans", []) if isinstance(s, dict)]
+            for sid, response in responses.items()
+            if isinstance(response.get("spans"), list)
+        }

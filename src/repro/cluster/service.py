@@ -20,6 +20,7 @@ plan — by design, since a plan is only valid against one checkpoint.
 from __future__ import annotations
 
 import pathlib
+import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -30,9 +31,13 @@ from repro.cluster.router import ClusterResult, ClusterRouter, RouterConfig
 from repro.cluster.supervisor import ClusterSupervisor, SupervisorConfig
 from repro.core.query import project_query
 from repro.errors import ReproError, StoreError
+from repro.obs.aggregate import label_snapshots
 from repro.obs.export import SCHEMA
 from repro.obs.metrics import registry
-from repro.obs.tracing import recent_spans, span
+from repro.obs.prom import render_prometheus
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace_context import current_trace
+from repro.obs.tracing import recent_spans, span, spans_for_trace
 from repro.store.checkpoint import latest_valid_checkpoint
 from repro.store.mmap_io import open_checkpoint_ann, open_checkpoint_model
 
@@ -56,6 +61,12 @@ class ClusterConfig:
     #: keeps the exact scatter as the default; requests opt into the ANN
     #: path with ``probes``, or force exactness with ``exact``.
     default_probes: int | None = None
+    #: Slow-query log threshold (milliseconds); <= 0 disables the log.
+    slow_ms: float = 500.0
+    #: JSONL file for slow-query records (``None`` keeps them in-memory).
+    slowlog_path: str | None = None
+    #: Bound on retained slow-query records (memory and on-disk).
+    slowlog_max_records: int = 256
 
 
 class ClusterService:
@@ -118,6 +129,11 @@ class ClusterService:
             announce=announce,
         )
         self.router.on_worker_dead = self.supervisor.notify_worker_dead
+        self.slowlog = SlowQueryLog(
+            self.config.slowlog_path,
+            threshold_ms=self.config.slow_ms,
+            max_records=self.config.slowlog_max_records,
+        )
         self._started = False
 
     # ------------------------------------------------------------------ #
@@ -162,6 +178,7 @@ class ClusterService:
         worker death — degraded answers come back with ``partial=True``
         and the unscored ``[lo, hi)`` ranges listed.
         """
+        t0 = time.perf_counter()
         qhat = project_query(self.model, query)
         result = await self.router.search_batch(
             self._scale(qhat),
@@ -177,6 +194,9 @@ class ClusterService:
             ),
             exact=exact,
         )
+        self._record_slow(
+            time.perf_counter() - t0, result, top=top, probes=probes
+        )
         doc_ids = self.model.doc_ids
         return {
             "epoch": result.epoch,
@@ -187,6 +207,43 @@ class ClusterService:
                 [i, score, doc_ids[i]] for i, score in result.results[0]
             ],
         }
+
+    def _record_slow(
+        self,
+        elapsed_s: float,
+        result: ClusterResult,
+        *,
+        top: int | None,
+        probes: int | None,
+    ) -> None:
+        """Dump an over-threshold request's trace evidence to the slow log."""
+        if not self.slowlog.is_slow(elapsed_s):
+            return
+        registry.inc("cluster.slow_queries_total")
+        ctx = current_trace()
+        trace_id = ctx.trace_id if ctx is not None else None
+        entry = {
+            "ts": time.time(),
+            "trace_id": trace_id,
+            "duration_ms": elapsed_s * 1000.0,
+            "top": top,
+            "probes": probes,
+            "partial": result.partial,
+            "missing": [list(pair) for pair in result.missing],
+            "shard_timings": {
+                str(sid): ms for sid, ms in sorted(result.shard_timings.items())
+            },
+            "hedged": result.hedged,
+            "deadline_missed": result.deadline_missed,
+        }
+        if trace_id is not None:
+            # The router-side spans already captured for this trace —
+            # scatter and merge costs, with hedges/misses flagged in
+            # their attrs.  Worker spans stay fetchable via /trace.
+            entry["spans"] = [
+                s.to_dict() for s in spans_for_trace(trace_id)
+            ]
+        self.slowlog.record(entry)
 
     async def search_many(
         self,
@@ -255,6 +312,7 @@ class ClusterService:
             "workers": workers,
             "ann": self.ann,
             "default_probes": self.config.default_probes,
+            "slowlog": self.slowlog.describe(),
         }
 
     def stats(self) -> dict:
@@ -264,8 +322,53 @@ class ClusterService:
             "server": self.healthz(),
             "metrics": registry.snapshot(),
             "spans": [s.to_dict() for s in recent_spans(50)],
+            "slow_queries": self.slowlog.recent(20),
         }
 
-    def metrics(self) -> dict:
-        """The bare metrics registry dump for ``/metrics``."""
-        return registry.snapshot()
+    async def metrics(self) -> dict:
+        """The federated fleet registry dump for ``/metrics``.
+
+        Same flat ``{counters, gauges, histograms}`` JSON shape as the
+        single-process server (backward compatible); every live worker's
+        shipped registry rides along under a ``shard.<sid>.`` prefix.
+        """
+        worker_snaps = await self.router.fetch_stats()
+        return label_snapshots(
+            registry.snapshot(),
+            {sid: snap for sid, snap in worker_snaps.items()},
+        )
+
+    async def metrics_prom(self) -> str:
+        """Prometheus text exposition for ``/metrics?format=prom``.
+
+        The router's registry renders with a ``worker="router"`` label
+        and each live shard worker's with ``worker="<sid>"`` — one
+        family per metric, per-worker-labeled samples beneath.
+        """
+        worker_snaps = await self.router.fetch_stats()
+        series = [({"worker": "router"}, registry.snapshot())]
+        for sid in sorted(worker_snaps):
+            series.append(({"worker": str(sid)}, worker_snaps[sid]))
+        return render_prometheus(series)
+
+    async def trace(self, trace_id: str) -> dict:
+        """Reassemble one cluster-wide trace: local + worker spans.
+
+        Worker spans are fetched over the ``trace`` wire op and tagged
+        with their shard id; the whole set sorts by start time, so the
+        JSONL export reads as one coherent distributed timeline.
+        """
+        local = [s.to_dict() for s in spans_for_trace(trace_id)]
+        for record in local:
+            record["worker"] = "router"
+        remote = await self.router.fetch_trace(trace_id)
+        for sid, spans in sorted(remote.items()):
+            for record in spans:
+                record["worker"] = str(sid)
+            local.extend(spans)
+        local.sort(key=lambda r: float(r.get("start", 0.0)))
+        return {
+            "trace_id": trace_id,
+            "workers": sorted(str(sid) for sid in remote),
+            "spans": local,
+        }

@@ -40,6 +40,8 @@ from repro.cluster.wire import recv_frame, send_frame
 from repro.core.model import LSIModel
 from repro.errors import ShapeError
 from repro.obs.metrics import registry
+from repro.obs.trace_context import TraceContext, trace_scope
+from repro.obs.tracing import span, spans_for_trace
 from repro.serving.ann import CoarseQuantizer
 from repro.serving.kernel import cosine_scores, row_norms
 from repro.serving.topk import ranked_order
@@ -82,6 +84,12 @@ class ShardWorker:
         self.norms = row_norms(self.coords)
         self.started_unix = time.time()
         self.requests_served = 0
+        # Fault-injection hook for smoke tests: a fixed per-request delay
+        # (milliseconds) that pushes requests over the slow-log threshold.
+        self.inject_delay_s = (
+            float(os.environ.get("REPRO_WORKER_INJECT_DELAY_MS", 0) or 0)
+            / 1000.0
+        )
 
     # ------------------------------------------------------------------ #
     def info(self) -> dict:
@@ -178,14 +186,28 @@ class ShardWorker:
             ):
                 return {"error": "'probes' must be a positive integer"}
             exact = message.get("exact", False)
+            # The frame's trace context (if any) makes this worker's
+            # scoring span a child of the router's scatter span, in the
+            # router's trace, even though it lives in another process.
+            ctx = TraceContext.from_wire(message.get("trace"))
             try:
-                results = self.score(
-                    Qs,
-                    None if top is None else int(top),
-                    None if threshold is None else float(threshold),
+                with trace_scope(ctx), span(
+                    "cluster.worker.score",
+                    shard=self.shard.shard_id,
+                    lo=self.shard.lo,
+                    hi=self.shard.hi,
+                    queries=int(Qs.shape[0]),
                     probes=probes,
-                    exact=bool(exact),
-                )
+                ):
+                    if self.inject_delay_s > 0:
+                        time.sleep(self.inject_delay_s)
+                    results = self.score(
+                        Qs,
+                        None if top is None else int(top),
+                        None if threshold is None else float(threshold),
+                        probes=probes,
+                        exact=bool(exact),
+                    )
             except Exception as exc:  # noqa: BLE001 — a query must not kill the worker
                 return {"error": repr(exc)}
             self.requests_served += 1
@@ -196,6 +218,22 @@ class ShardWorker:
                 "ann": bool(
                     probes is not None and not exact and self.ann is not None
                 ),
+            }
+        if op == "stats":
+            # Metrics federation: ship this process's whole registry; the
+            # router labels it per worker before merging the fleet view.
+            return {
+                "shard": self.shard.shard_id,
+                "epoch": self.epoch,
+                "snapshot": registry.snapshot(),
+            }
+        if op == "trace":
+            trace_id = message.get("trace_id")
+            if not isinstance(trace_id, str) or not trace_id:
+                return {"error": "'trace_id' must be a non-empty string"}
+            return {
+                "shard": self.shard.shard_id,
+                "spans": [s.to_dict() for s in spans_for_trace(trace_id)],
             }
         return {"error": f"unknown op {op!r}"}
 

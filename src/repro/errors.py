@@ -27,7 +27,18 @@ __all__ = [
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro library."""
+    """Base class for all errors raised by the repro library.
+
+    Attributes
+    ----------
+    request_id:
+        The server-assigned request id (the ``X-Request-Id`` response
+        header) when the error crossed the HTTP client boundary, else
+        ``None``.  Lets callers correlate a rejection or timeout with
+        the server's trace and slow-query log.
+    """
+
+    request_id: str | None = None
 
 
 class ShapeError(ReproError, ValueError):

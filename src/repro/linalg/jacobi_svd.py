@@ -121,19 +121,26 @@ def jacobi_svd(
                 iterations=max_sweeps,
             )
 
-    s = np.sqrt(np.sum(W * W, axis=0)) * amax
-    W = W * amax
-    order = np.argsort(-s, kind="stable")
-    s = s[order]
+    # Normalize U in the unit-scaled space, where column norms are O(1):
+    # multiplying W back by a subnormal ``amax`` first would round both W
+    # and s on the subnormal grid and leave U columns non-unit.
+    s_scaled = np.sqrt(np.sum(W * W, axis=0))
+    order = np.argsort(-s_scaled, kind="stable")
+    s_scaled = s_scaled[order]
     W = W[:, order]
     V = V[:, order]
     U = np.zeros((m, n))
     # Relative rank cut: rotation cancellation leaves O(eps·σ₁) noise in
     # annihilated columns; normalizing those would yield garbage vectors.
-    rank_floor = s[0] * np.finfo(np.float64).eps * max(m, n) if s.size else 0.0
-    pos = s > rank_floor
-    s = np.where(pos, s, 0.0)
-    U[:, pos] = W[:, pos] / s[pos]
+    rank_floor = (
+        s_scaled[0] * np.finfo(np.float64).eps * max(m, n)
+        if s_scaled.size
+        else 0.0
+    )
+    pos = s_scaled > rank_floor
+    s_scaled = np.where(pos, s_scaled, 0.0)
+    U[:, pos] = W[:, pos] / s_scaled[pos]
+    s = s_scaled * amax
     if not np.all(pos):
         # Complete U with orthonormal columns for the null singular values.
         U = _fill_null_columns(U, pos)

@@ -21,11 +21,28 @@ they are all measured on:
   (``BENCH_obs_*.json``), the cross-process CLI state file behind
   ``python -m repro stats``, and the text rendering it prints.
 
+PR 7 made the substrate cluster-wide:
+
+* :mod:`repro.obs.trace_context` — ambient :class:`TraceContext`
+  (trace id + remote parent span) minted at HTTP ingress and carried in
+  cluster wire frames, so worker-process spans join the router's trace;
+* :mod:`repro.obs.aggregate` — order-independent merge and per-worker
+  labeling of shipped worker registry snapshots (metrics federation);
+* :mod:`repro.obs.prom` — Prometheus text exposition for
+  ``/metrics?format=prom``;
+* :mod:`repro.obs.slowlog` — a bounded JSONL log of over-threshold
+  requests with their assembled per-shard trace evidence.
+
 The legacy :data:`repro.util.timing.serving_counters` remains as a
 registry-backed compatibility shim: its counters and timers live in the
 registry under the ``serving.`` prefix.
 """
 
+from repro.obs.aggregate import (
+    label_snapshots,
+    merge_registry_snapshots,
+    prefix_snapshot,
+)
 from repro.obs.bridge import record_drift, record_lanczos_stats, record_operator
 from repro.obs.export import (
     dump_state,
@@ -43,6 +60,16 @@ from repro.obs.metrics import (
     get_registry,
     registry,
 )
+from repro.obs.prom import render_prometheus, render_snapshot
+from repro.obs.slowlog import SlowQueryLog, format_slowlog, read_slowlog
+from repro.obs.trace_context import (
+    TraceContext,
+    coerce_trace_id,
+    current_trace,
+    export_trace_jsonl,
+    new_trace_id,
+    trace_scope,
+)
 from repro.obs.tracing import (
     Span,
     clear_spans,
@@ -50,6 +77,7 @@ from repro.obs.tracing import (
     export_spans_jsonl,
     recent_spans,
     span,
+    spans_for_trace,
     traced,
     tracing_enabled,
 )
@@ -67,7 +95,22 @@ __all__ = [
     "traced",
     "recent_spans",
     "clear_spans",
+    "spans_for_trace",
     "export_spans_jsonl",
+    "TraceContext",
+    "new_trace_id",
+    "coerce_trace_id",
+    "current_trace",
+    "trace_scope",
+    "export_trace_jsonl",
+    "merge_registry_snapshots",
+    "prefix_snapshot",
+    "label_snapshots",
+    "render_prometheus",
+    "render_snapshot",
+    "SlowQueryLog",
+    "read_slowlog",
+    "format_slowlog",
     "record_operator",
     "record_lanczos_stats",
     "record_drift",

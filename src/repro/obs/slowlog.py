@@ -1,0 +1,166 @@
+"""The slow-query log: a bounded JSONL dump of over-threshold requests.
+
+Percentile histograms say *that* the tail is slow; the slow-query log
+says *why*, one offending request at a time.  When a request's
+end-to-end latency crosses the configured threshold, the serving layer
+records its assembled trace evidence — per-shard timings, hedges fired,
+merge cost, partial ranges, the request's ``trace_id`` — as one JSON
+line.  The log is bounded two ways: an in-memory deque keeps the newest
+``max_records`` entries for ``/healthz``-style surfacing, and the
+on-disk file is rewritten from that deque whenever appends double the
+bound, so a pathological traffic pattern cannot grow it without limit.
+
+``repro cluster status`` and ``repro stats`` render the tail via
+:func:`read_slowlog` / :func:`format_slowlog`, which read the JSONL
+from disk (skipping torn/garbage lines) so they work from any process.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+from collections import deque
+
+__all__ = [
+    "SlowQueryLog",
+    "read_slowlog",
+    "format_slowlog",
+]
+
+#: Default latency threshold (milliseconds); <= 0 disables recording.
+DEFAULT_THRESHOLD_MS = 500.0
+
+#: Default bound on retained records (memory and on-disk).
+DEFAULT_MAX_RECORDS = 256
+
+
+class SlowQueryLog:
+    """Thread-safe bounded JSONL log of slow requests.
+
+    ``path=None`` keeps the log purely in-memory (the deque still
+    bounds it); a path adds the durable JSONL that CI uploads.
+    """
+
+    def __init__(
+        self,
+        path=None,
+        *,
+        threshold_ms: float = DEFAULT_THRESHOLD_MS,
+        max_records: int = DEFAULT_MAX_RECORDS,
+    ):
+        self.path = pathlib.Path(path) if path is not None else None
+        self.threshold_ms = float(threshold_ms)
+        self.max_records = max(1, int(max_records))
+        self._lock = threading.Lock()
+        self._records: deque[dict] = deque(maxlen=self.max_records)
+        self._appends = 0
+        if self.path is not None and self.path.exists():
+            for entry in read_slowlog(self.path, limit=self.max_records):
+                self._records.append(entry)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether over-threshold requests are being recorded."""
+        return self.threshold_ms > 0
+
+    def is_slow(self, duration_s: float) -> bool:
+        """Whether a request of ``duration_s`` seconds crosses the bar."""
+        return self.enabled and duration_s * 1000.0 >= self.threshold_ms
+
+    def record(self, entry: dict) -> None:
+        """Append one slow-request record (no-op when disabled)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._records.append(entry)
+            self._appends += 1
+            if self.path is None:
+                return
+            try:
+                if self._appends >= self.max_records:
+                    # Compact: rewrite the file from the bounded deque so
+                    # the on-disk log never exceeds 2x max_records lines.
+                    with open(self.path, "w", encoding="utf-8") as fh:
+                        for record in self._records:
+                            fh.write(json.dumps(record) + "\n")
+                    self._appends = 0
+                else:
+                    with open(self.path, "a", encoding="utf-8") as fh:
+                        fh.write(json.dumps(entry) + "\n")
+            except OSError:
+                # A full disk must degrade the log, never the query path.
+                pass
+
+    def recent(self, n: int | None = None) -> list[dict]:
+        """The newest ``n`` records, oldest first (all when ``None``)."""
+        with self._lock:
+            records = list(self._records)
+        return records if n is None else records[-n:]
+
+    def describe(self) -> dict:
+        """JSON-ready summary for ``/healthz`` and ``repro stats``."""
+        with self._lock:
+            records = list(self._records)
+        durations = [
+            float(r.get("duration_ms", 0.0))
+            for r in records
+            if isinstance(r, dict)
+        ]
+        return {
+            "path": str(self.path) if self.path is not None else None,
+            "threshold_ms": self.threshold_ms,
+            "max_records": self.max_records,
+            "records": len(records),
+            "slowest_ms": max(durations) if durations else 0.0,
+        }
+
+
+def read_slowlog(path, limit: int | None = None) -> list[dict]:
+    """Parse a slow-log JSONL file, newest last; torn lines skipped."""
+    entries: list[dict] = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(entry, dict):
+                    entries.append(entry)
+    except OSError:
+        return []
+    return entries if limit is None else entries[-limit:]
+
+
+def format_slowlog(entries: list[dict], limit: int = 20) -> str:
+    """Fixed-width rendering of the newest slow-log entries."""
+    if not entries:
+        return "(no slow queries recorded)"
+    shown = entries[-limit:]
+    lines = [f"slow queries (newest last, showing {len(shown)})"]
+    for entry in shown:
+        trace = entry.get("trace_id", "-")
+        duration = float(entry.get("duration_ms", 0.0))
+        flags = []
+        if entry.get("partial"):
+            flags.append("partial")
+        hedged = entry.get("hedged") or []
+        if hedged:
+            flags.append(f"hedged={hedged}")
+        missed = entry.get("deadline_missed") or []
+        if missed:
+            flags.append(f"deadline_missed={missed}")
+        flag_text = f"  {' '.join(flags)}" if flags else ""
+        lines.append(f"  {duration:>9.1f}ms  trace={trace}{flag_text}")
+        timings = entry.get("shard_timings") or {}
+        if timings:
+            per_shard = " ".join(
+                f"s{sid}={float(ms):.1f}ms"
+                for sid, ms in sorted(timings.items(), key=lambda kv: str(kv[0]))
+            )
+            lines.append(f"             {per_shard}")
+    return "\n".join(lines)

@@ -23,6 +23,7 @@ requests before they ever reach this queue.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import time
 from dataclasses import dataclass, field
 
@@ -30,6 +31,7 @@ import numpy as np
 
 from repro.errors import DeadlineExceededError
 from repro.obs.metrics import registry
+from repro.obs.trace_context import TraceContext
 from repro.obs.tracing import span
 from repro.server.state import EpochSnapshot, ServingState
 from repro.serving.topk import ranked_pairs
@@ -56,6 +58,9 @@ class SearchRequest:
     probes: int | None = None
     exact: bool = False
     deadline: float | None = None  # absolute time.monotonic() seconds
+    #: The request's trace identity, captured at admission — the batch
+    #: span lists every distinct trace it serves under ``trace_ids``.
+    trace: TraceContext | None = None
     enqueued: float = field(default_factory=time.monotonic)
     future: asyncio.Future = None
 
@@ -158,9 +163,23 @@ class MicroBatcher:
         snapshot = self.state.current()
         loop = asyncio.get_running_loop()
         try:
-            with span("server.batch", size=len(live), epoch=snapshot.epoch):
+            with span(
+                "server.batch", size=len(live), epoch=snapshot.epoch
+            ) as batch_span:
+                # One batch serves many requests, hence many traces: the
+                # span cannot belong to one trace_id, so it joins each
+                # via the trace_ids attribute (see spans_for_trace).
+                trace_ids = sorted(
+                    {req.trace.trace_id for req in live if req.trace}
+                )
+                if trace_ids:
+                    batch_span.set_attr("trace_ids", trace_ids)
+                # Context vars do not cross run_in_executor on their own;
+                # copying the context hands the executor thread this batch
+                # span as parent, so the scoring spans nest under it.
+                call = contextvars.copy_context().run
                 responses = await loop.run_in_executor(
-                    None, self._score_batch, snapshot, live
+                    None, call, self._score_batch, snapshot, live
                 )
         except Exception as exc:  # noqa: BLE001 — fail the batch, not the server
             for req in live:

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import urllib.parse
 from typing import Sequence
 
 from repro.errors import DeadlineExceededError, ReproError, ServerOverloadError
@@ -54,6 +55,9 @@ class ServerClient:
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: The server-assigned id of the most recent response (its
+        #: ``X-Request-Id`` header), successful or not.
+        self.last_request_id: str | None = None
         self._conn: http.client.HTTPConnection | None = None
 
     # ------------------------------------------------------------------ #
@@ -79,12 +83,21 @@ class ServerClient:
         self.close()
 
     # ------------------------------------------------------------------ #
-    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        *,
+        request_id: str | None = None,
+    ) -> dict:
         body = None
         headers = {}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        if request_id is not None:
+            headers["X-Request-Id"] = request_id
         while True:
             conn, fresh = self._connection()
             try:
@@ -102,25 +115,42 @@ class ServerClient:
             break
         if response.will_close:
             self.close()
+        # The server stamps every response — including 429/503/504 — so
+        # a rejected or timed-out request stays correlatable with the
+        # server-side trace and slow-query log.
+        served_id = response.getheader("X-Request-Id")
+        self.last_request_id = served_id
+        if (
+            path.startswith("/metrics")
+            and "text/plain" in (response.getheader("Content-Type") or "")
+        ):
+            return {"text": raw.decode("utf-8", "replace")}
         try:
             data = json.loads(raw) if raw else {}
         except json.JSONDecodeError:
             data = {"error": raw.decode("utf-8", "replace")}
-        if response.status == 429:
-            raise ServerOverloadError(
-                data.get("error", "overloaded"), reason="queue_full"
-            )
-        if response.status == 503:
-            raise ServerOverloadError(
-                data.get("error", "draining"), reason="draining"
-            )
-        if response.status == 504:
-            raise DeadlineExceededError(data.get("error", "deadline exceeded"))
         if response.status >= 400:
-            raise ReproError(
-                f"server returned {response.status}: "
-                f"{data.get('error', repr(raw[:200]))}"
-            )
+            suffix = f" [request_id={served_id}]" if served_id else ""
+            if response.status == 429:
+                exc: ReproError = ServerOverloadError(
+                    data.get("error", "overloaded") + suffix,
+                    reason="queue_full",
+                )
+            elif response.status == 503:
+                exc = ServerOverloadError(
+                    data.get("error", "draining") + suffix, reason="draining"
+                )
+            elif response.status == 504:
+                exc = DeadlineExceededError(
+                    data.get("error", "deadline exceeded") + suffix
+                )
+            else:
+                exc = ReproError(
+                    f"server returned {response.status}: "
+                    f"{data.get('error', repr(raw[:200]))}{suffix}"
+                )
+            exc.request_id = served_id
+            raise exc
         return data
 
     # ------------------------------------------------------------------ #
@@ -133,12 +163,16 @@ class ServerClient:
         timeout_ms: float | None = None,
         probes: int | None = None,
         exact: bool = False,
+        request_id: str | None = None,
     ) -> dict:
         """Ranked search; ``results`` rows are ``[index, score, doc_id]``.
 
         ``probes`` asks the server for a probe-bounded ANN scan over
         that many coarse cells; ``exact=True`` forces the exhaustive
         scan even when the server has a default probe count.
+        ``request_id`` rides as ``X-Request-Id`` and becomes the
+        request's trace id when well-formed; either way the server's
+        echo lands in :attr:`last_request_id`.
         """
         payload: dict = {"query": query}
         if top is not None:
@@ -151,7 +185,9 @@ class ServerClient:
             payload["probes"] = probes
         if exact:
             payload["exact"] = True
-        return self._request("POST", "/search", payload)
+        return self._request(
+            "POST", "/search", payload, request_id=request_id
+        )
 
     def search_pairs(
         self,
@@ -186,5 +222,14 @@ class ServerClient:
         return self._request("GET", "/stats")
 
     def metrics(self) -> dict:
-        """The server's bare metrics-registry dump."""
+        """The server's metrics-registry dump (fleet-wide on a cluster)."""
         return self._request("GET", "/metrics")
+
+    def metrics_prom(self) -> str:
+        """The Prometheus text exposition (``/metrics?format=prom``)."""
+        return self._request("GET", "/metrics?format=prom")["text"]
+
+    def trace(self, trace_id: str) -> dict:
+        """The assembled trace for one request id (``/trace?id=``)."""
+        quoted = urllib.parse.quote(trace_id, safe="")
+        return self._request("GET", f"/trace?id={quoted}")

@@ -16,8 +16,23 @@ Routes
 ``POST /add``     ``{"texts": [str, ...], "doc_ids"?: [str, ...]}``
     → ``{"epoch", "n_documents", "action", "reason"}``
 ``GET /healthz``  liveness + epoch + queue depth + draining flag
-``GET /metrics``  the bare metrics-registry dump (counters/gauges/hists)
-``GET /stats``    the obs-export snapshot (metrics registry + spans)
+``GET /metrics``  the metrics-registry dump (counters/gauges/hists);
+    on a cluster front end the JSON federates every live worker's
+    registry, and ``?format=prom`` renders Prometheus text exposition
+    with per-worker labels instead
+``GET /stats``    the obs-export snapshot (metrics registry + spans +
+    slow-query tail)
+``GET /trace?id=<trace_id>``  the assembled trace for one request id —
+    on a cluster front end this pulls each worker's spans over the
+    ``trace`` wire op and merges them with the router's
+
+Every request gets a trace id: the value of an ``X-Request-Id`` header
+when it looks like an id, a freshly minted one otherwise.  The id is
+the request's ``trace_id`` (ambient via
+:func:`repro.obs.trace_context.trace_scope` for everything downstream,
+including shard workers) and is echoed back as ``X-Request-Id`` on
+**every** response — 2xx, 429, 503, 504 alike — so rejected or
+timed-out work stays correlatable.
 
 Status mapping: overload → **429**, draining → **503**, expired
 deadline → **504**, malformed/failed requests → **400**, oversized
@@ -37,8 +52,11 @@ from __future__ import annotations
 
 import asyncio
 import json
+import urllib.parse
 
 from repro.errors import DeadlineExceededError, ReproError, ServerOverloadError
+from repro.obs.trace_context import TraceContext, coerce_trace_id, trace_scope
+from repro.obs.tracing import span
 from repro.server.service import QueryService
 
 __all__ = ["start_http_server", "MAX_BODY_BYTES"]
@@ -60,8 +78,8 @@ _REASONS = {
 
 async def _read_request(
     reader: asyncio.StreamReader,
-) -> tuple[str, str, dict] | None:
-    """Parse one request: (method, path, json_body).  None on EOF/garbage."""
+) -> tuple[str, str, dict, dict] | None:
+    """Parse one request: (method, path, headers, json_body); None on EOF."""
     try:
         line = await reader.readline()
     except (ConnectionError, asyncio.LimitOverrunError):
@@ -94,40 +112,78 @@ async def _read_request(
             raise ReproError(f"request body is not valid JSON: {exc}")
         if not isinstance(body, dict):
             raise ReproError("request body must be a JSON object")
-    return method, path, body
+    return method, path, headers, body
 
 
 class _TooLarge(Exception):
     """Internal marker: body exceeded :data:`MAX_BODY_BYTES`."""
 
 
+class PlainText(str):
+    """Marker: respond with this string as ``text/plain`` (not JSON)."""
+
+
 def _respond(
     writer: asyncio.StreamWriter,
     status: int,
-    payload: dict,
+    payload,
     *,
     close: bool = True,
+    request_id: str | None = None,
 ) -> None:
-    body = json.dumps(payload).encode("utf-8")
+    if isinstance(payload, PlainText):
+        body = str(payload).encode("utf-8")
+        content_type = "text/plain; version=0.0.4; charset=utf-8"
+    else:
+        body = json.dumps(payload).encode("utf-8")
+        content_type = "application/json"
     connection = "close" if close else "keep-alive"
+    # coerce_trace_id guarantees the id is header-safe (no CR/LF).
+    request_header = (
+        f"X-Request-Id: {request_id}\r\n" if request_id is not None else ""
+    )
     head = (
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-        f"Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{request_header}"
         f"Connection: {connection}\r\n\r\n"
     ).encode("latin-1")
     writer.write(head + body)
 
 
+async def _maybe_await(value):
+    """Normalize sync (QueryService) vs async (ClusterService) results."""
+    if asyncio.iscoroutine(value):
+        return await value
+    return value
+
+
 async def _dispatch(service: QueryService, method: str, path: str, body: dict):
     """Route one parsed request; returns (status, payload)."""
-    path = path.split("?", 1)[0]
+    path, _, query_string = path.partition("?")
+    params = urllib.parse.parse_qs(query_string)
     if method == "GET" and path == "/healthz":
         return 200, service.healthz()
     if method == "GET" and path == "/stats":
         return 200, service.stats()
     if method == "GET" and path == "/metrics":
-        return 200, service.metrics()
+        if params.get("format", ["json"])[-1] == "prom":
+            prom = getattr(service, "metrics_prom", None)
+            if prom is None:
+                return 400, {
+                    "error": "this service has no Prometheus exposition"
+                }
+            return 200, PlainText(await _maybe_await(prom()))
+        return 200, await _maybe_await(service.metrics())
+    if method == "GET" and path == "/trace":
+        trace_ids = params.get("id", [])
+        if not trace_ids or not trace_ids[-1]:
+            return 400, {"error": "missing 'id' query parameter"}
+        trace = getattr(service, "trace", None)
+        if trace is None:
+            return 400, {"error": "this service does not assemble traces"}
+        return 200, await _maybe_await(trace(trace_ids[-1]))
     if method == "POST" and path == "/search":
         if "query" not in body:
             return 400, {"error": "missing 'query'"}
@@ -166,11 +222,26 @@ async def _handle(
 ) -> None:
     try:
         while True:
+            request_id = None
             try:
                 parsed = await _read_request(reader)
                 if parsed is None:
                     return
-                status, payload = await _dispatch(service, *parsed)
+                method, path, headers, body = parsed
+                # Honor a well-formed caller id, mint one otherwise; the
+                # id doubles as the request's trace_id, ambient for
+                # everything downstream of this point.
+                request_id = coerce_trace_id(headers.get("x-request-id"))
+                with trace_scope(TraceContext(trace_id=request_id)):
+                    with span(
+                        "http.request",
+                        method=method,
+                        path=path.partition("?")[0],
+                    ) as request_span:
+                        request_span.set_attr("request_id", request_id)
+                        status, payload = await _dispatch(
+                            service, method, path, body
+                        )
             except ServerOverloadError as exc:
                 status = 503 if exc.reason == "draining" else 429
                 payload = {"error": str(exc), "reason": exc.reason}
@@ -184,10 +255,19 @@ async def _handle(
                 status, payload = 400, {"error": str(exc)}
             except Exception as exc:  # noqa: BLE001 — a request must not kill the server
                 status, payload = 500, {"error": repr(exc)}
+            # Every response carries the id — a 429/503/504 without one
+            # would leave the rejected work uncorrelatable.  A request
+            # that died before its headers parsed still gets a fresh id.
+            if request_id is None:
+                request_id = coerce_trace_id(None)
+            if isinstance(payload, dict) and status >= 400:
+                payload.setdefault("request_id", request_id)
             # Errors close: the stream may hold a half-read body, and
             # closing is the only resynchronization that is always right.
             close = status >= 400
-            _respond(writer, status, payload, close=close)
+            _respond(
+                writer, status, payload, close=close, request_id=request_id
+            )
             await writer.drain()
             if close:
                 return

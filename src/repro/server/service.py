@@ -30,7 +30,10 @@ from typing import Sequence
 
 from repro.obs.export import SCHEMA
 from repro.obs.metrics import registry
-from repro.obs.tracing import recent_spans
+from repro.obs.prom import render_snapshot
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace_context import current_trace
+from repro.obs.tracing import recent_spans, spans_for_trace
 from repro.server.admission import AdmissionController
 from repro.server.batching import MicroBatcher, SearchRequest
 from repro.server.state import ServingState
@@ -59,6 +62,12 @@ class ServerConfig:
     #: keeps the exact exhaustive scan as the default; requests opt into
     #: the ANN path with ``probes``, or force exactness with ``exact``.
     default_probes: int | None = None
+    #: Slow-query log threshold (milliseconds); <= 0 disables the log.
+    slow_ms: float = 500.0
+    #: JSONL file for slow-query records (``None`` keeps them in-memory).
+    slowlog_path: str | None = None
+    #: Bound on retained slow-query records (memory and on-disk).
+    slowlog_max_records: int = 256
 
 
 class QueryService:
@@ -74,6 +83,11 @@ class QueryService:
             max_wait_ms=self.config.max_wait_ms,
             shards=self.config.shards,
             workers=self.config.workers,
+        )
+        self.slowlog = SlowQueryLog(
+            self.config.slowlog_path,
+            threshold_ms=self.config.slow_ms,
+            max_records=self.config.slowlog_max_records,
         )
         self._add_lock = asyncio.Lock()
         self._started = False
@@ -137,15 +151,43 @@ class QueryService:
                     if timeout_ms is not None
                     else self.config.default_timeout_ms
                 ),
+                trace=current_trace(),
                 future=asyncio.get_running_loop().create_future(),
             )
             self.batcher.submit(request)
-            return await request.future
+            result = await request.future
+            self._record_slow(
+                time.perf_counter() - t0, top=top, probes=probes
+            )
+            return result
         finally:
             self.admission.release()
             registry.observe(
                 "server.request_seconds", time.perf_counter() - t0
             )
+
+    def _record_slow(
+        self, elapsed_s: float, *, top: int | None, probes: int | None
+    ) -> None:
+        """Dump an over-threshold request's trace evidence to the slow log."""
+        if not self.slowlog.is_slow(elapsed_s):
+            return
+        registry.inc("server.slow_queries_total")
+        ctx = current_trace()
+        trace_id = ctx.trace_id if ctx is not None else None
+        entry = {
+            "ts": time.time(),
+            "trace_id": trace_id,
+            "duration_ms": elapsed_s * 1000.0,
+            "top": top,
+            "probes": probes,
+            "queue_depth": self.admission.pending,
+        }
+        if trace_id is not None:
+            entry["spans"] = [
+                s.to_dict() for s in spans_for_trace(trace_id)
+            ]
+        self.slowlog.record(entry)
 
     async def add(
         self, texts: Sequence[str], doc_ids: Sequence[str] | None = None
@@ -180,6 +222,7 @@ class QueryService:
             "writable": self.state.writable,
             "ann": snapshot.ann is not None,
             "default_probes": self.config.default_probes,
+            "slowlog": self.slowlog.describe(),
         }
 
     def stats(self) -> dict:
@@ -189,8 +232,21 @@ class QueryService:
             "server": self.healthz(),
             "metrics": registry.snapshot(),
             "spans": [s.to_dict() for s in recent_spans(50)],
+            "slow_queries": self.slowlog.recent(20),
         }
 
     def metrics(self) -> dict:
         """The bare metrics registry dump for ``/metrics``."""
         return registry.snapshot()
+
+    def metrics_prom(self) -> str:
+        """Prometheus text exposition for ``/metrics?format=prom``."""
+        return render_snapshot(registry.snapshot(), {"worker": "server"})
+
+    def trace(self, trace_id: str) -> dict:
+        """One request's spans for ``/trace?id=`` (single process)."""
+        return {
+            "trace_id": trace_id,
+            "workers": [],
+            "spans": [s.to_dict() for s in spans_for_trace(trace_id)],
+        }

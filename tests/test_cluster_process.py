@@ -142,6 +142,113 @@ def test_cluster_add_refused(seeded_store):
 
 
 # --------------------------------------------------------------------- #
+# observability tier: federated stats, distributed trace, slow-query log
+# --------------------------------------------------------------------- #
+def test_cluster_observability_trace_metrics_slowlog(
+    seeded_store, tmp_path, monkeypatch
+):
+    data_dir, texts = seeded_store
+    from repro import obs
+    from repro.obs.trace_context import TraceContext, trace_scope
+
+    # Worker processes inherit the injected delay, so every scatter is
+    # genuinely slow — the slow-query log must catch it with per-shard
+    # evidence rather than needing a microscopic threshold.
+    monkeypatch.setenv("REPRO_WORKER_INJECT_DELAY_MS", "40")
+    slowlog_path = tmp_path / "slow.jsonl"
+    prev = obs.enable_tracing(True)
+    obs.clear_spans()
+
+    async def main():
+        service = ClusterService(
+            data_dir,
+            ClusterConfig(
+                workers=SHARDS,
+                slow_ms=10.0,
+                slowlog_path=str(slowlog_path),
+            ),
+        )
+        await service.start()
+        try:
+            with trace_scope(TraceContext(trace_id="cluster-trace-1")):
+                response = await service.search(texts[0], top=TOP)
+            assert response["partial"] is False
+
+            # stats wire op: every live worker ships its registry.
+            worker_snaps = await service.router.fetch_stats()
+            assert sorted(worker_snaps) == list(range(SHARDS))
+            for snap in worker_snaps.values():
+                # The score span feeds the worker's latency histogram.
+                assert snap["histograms"]["cluster.worker.score"]["count"] >= 1
+
+            # Federated JSON keeps the flat shape, workers prefixed.
+            metrics = await service.metrics()
+            assert set(metrics) == {"counters", "gauges", "histograms"}
+            for sid in range(SHARDS):
+                assert (
+                    f"shard.{sid}.cluster.worker.score"
+                    in metrics["histograms"]
+                )
+
+            # Prometheus exposition: per-worker labels, one TYPE/family.
+            text = await service.metrics_prom()
+            assert 'worker="router"' in text
+            for sid in range(SHARDS):
+                assert f'worker="{sid}"' in text
+            type_lines = [
+                line for line in text.splitlines()
+                if line.startswith("# TYPE ")
+            ]
+            assert len(type_lines) == len(set(type_lines))
+
+            # One reassembled distributed trace: the router's scatter
+            # span plus each worker's score span, all sharing the
+            # ingress trace id, workers hanging under the scatter.
+            trace = await service.trace("cluster-trace-1")
+            assert trace["trace_id"] == "cluster-trace-1"
+            assert trace["workers"] == [str(s) for s in range(SHARDS)]
+            by_name = {}
+            for record in trace["spans"]:
+                by_name.setdefault(record["name"], []).append(record)
+            (scatter,) = by_name["cluster.scatter"]
+            assert scatter["worker"] == "router"
+            assert scatter["trace_id"] == "cluster-trace-1"
+            score_spans = by_name["cluster.worker.score"]
+            assert {s["worker"] for s in score_spans} == {
+                str(s) for s in range(SHARDS)
+            }
+            for record in score_spans:
+                assert record["trace_id"] == "cluster-trace-1"
+                assert record["parent_id"] == scatter["span_id"]
+                assert record["duration"] >= 0.030  # injected delay
+
+            # Slow-query log: per-shard timings and trace evidence.
+            slow = service.slowlog.recent()
+            assert slow, "40ms injected delay must cross the 10ms bar"
+            entry = slow[-1]
+            assert entry["trace_id"] == "cluster-trace-1"
+            assert entry["duration_ms"] >= 30.0
+            assert sorted(entry["shard_timings"]) == [
+                str(s) for s in range(SHARDS)
+            ]
+            for ms in entry["shard_timings"].values():
+                assert ms >= 30.0
+            assert service.stats()["slow_queries"]
+            assert service.healthz()["slowlog"]["records"] >= 1
+        finally:
+            await service.drain()
+
+    try:
+        asyncio.run(main())
+        assert slowlog_path.exists()
+        lines = slowlog_path.read_text().strip().splitlines()
+        assert lines and '"cluster-trace-1"' in lines[-1]
+    finally:
+        obs.enable_tracing(prev)
+        obs.clear_spans()
+
+
+# --------------------------------------------------------------------- #
 # worker entry point: plan-skew refusal (no sockets, no subprocesses)
 # --------------------------------------------------------------------- #
 def test_run_worker_refuses_plan_skew(seeded_store, capsys):

@@ -341,16 +341,23 @@ class _ServerThread:
         self.state = state
         self.config = config
         self.port: int | None = None
+        self.service: QueryService | None = None
         self._ready = threading.Event()
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop: asyncio.Event | None = None
         self._thread = threading.Thread(target=self._run, daemon=True)
 
+    def drain(self) -> None:
+        """Drain the service from the test thread (new requests → 503)."""
+        asyncio.run_coroutine_threadsafe(
+            self.service.drain(), self._loop
+        ).result(timeout=30)
+
     def _run(self) -> None:
         async def main():
             self._loop = asyncio.get_running_loop()
             self._stop = asyncio.Event()
-            service = QueryService(self.state, self.config)
+            service = self.service = QueryService(self.state, self.config)
             server = await start_http_server(service, "127.0.0.1", 0)
             self.port = server.sockets[0].getsockname()[1]
             self._ready.set()
@@ -610,3 +617,131 @@ def test_cli_serve_parser_flags():
     assert args.shards == 2
     assert args.workers == 3
     assert args.timeout_ms == 250.0
+
+
+def test_cli_slowlog_parser_flags(tmp_path):
+    args = build_parser().parse_args(
+        ["serve", "docs", "--slow-ms", "75",
+         "--slowlog", str(tmp_path / "s.jsonl")]
+    )
+    assert args.slow_ms == 75.0
+    assert args.slowlog == tmp_path / "s.jsonl"
+    args = build_parser().parse_args(
+        ["cluster", "serve", "--data-dir", "d", "--slow-ms", "0"]
+    )
+    assert args.slow_ms == 0.0
+    assert args.slowlog is None
+
+
+# --------------------------------------------------------------------- #
+# Observability over HTTP: request ids, traces, Prometheus, slow log
+# --------------------------------------------------------------------- #
+import re as _re
+
+from repro import obs
+
+_HEX_ID = _re.compile(r"[0-9a-f]{32}")
+
+
+def test_request_id_echoed_and_minted():
+    state = _fresh_state()
+    with _ServerThread(state, ServerConfig(max_wait_ms=1.0)) as server:
+        with ServerClient(port=server.port) as client:
+            client.search(QUERIES[0], top=3, request_id="req-abc.1")
+            assert client.last_request_id == "req-abc.1"
+            # No caller id → the server mints one and still echoes it.
+            client.search(QUERIES[0], top=3)
+            assert _HEX_ID.fullmatch(client.last_request_id)
+            # A malformed id is replaced, not echoed verbatim.
+            client._request(
+                "GET", "/healthz", request_id="not a valid id!"
+            )
+            assert client.last_request_id != "not a valid id!"
+            assert _HEX_ID.fullmatch(client.last_request_id)
+
+
+def test_request_id_surfaces_on_error_responses():
+    state = _fresh_state()
+    with _ServerThread(state, ServerConfig(max_wait_ms=1.0)) as server:
+        with ServerClient(port=server.port) as client:
+            # 404: id echoed in the header, the exception, and its message.
+            with pytest.raises(ReproError, match=r"request_id=req-404") as ei:
+                client._request("GET", "/nope", request_id="req-404")
+            assert ei.value.request_id == "req-404"
+            assert client.last_request_id == "req-404"
+            # 504: deadline spent in the queue still gets the echo.
+            with pytest.raises(DeadlineExceededError) as ei:
+                client.search(
+                    QUERIES[0], timeout_ms=0.0001, request_id="req-504"
+                )
+            assert ei.value.request_id == "req-504"
+            # 503: draining rejections stay correlatable too.
+            server.drain()
+            with pytest.raises(ServerOverloadError) as ei:
+                client.search(QUERIES[0], request_id="req-503")
+            assert ei.value.reason == "draining"
+            assert ei.value.request_id == "req-503"
+
+
+def test_metrics_prom_endpoint_renders_text_exposition():
+    state = _fresh_state()
+    with _ServerThread(state, ServerConfig(max_wait_ms=1.0)) as server:
+        with ServerClient(port=server.port) as client:
+            client.search(QUERIES[0], top=3)
+            text = client.metrics_prom()
+            assert "# TYPE repro_server_requests_total_total counter" in text
+            assert 'worker="server"' in text
+            assert 'repro_server_request_seconds{quantile="0.95"' in text
+            # The JSON shape at plain /metrics is untouched.
+            metrics = client.metrics()
+            assert set(metrics) == {"counters", "gauges", "histograms"}
+
+
+def test_trace_endpoint_assembles_request_spans():
+    state = _fresh_state()
+    obs.clear_spans()
+    prev = obs.enable_tracing(True)
+    try:
+        with _ServerThread(state, ServerConfig(max_wait_ms=1.0)) as server:
+            with ServerClient(port=server.port) as client:
+                client.search(QUERIES[0], top=3, request_id="trace-me-1")
+                trace = client.trace("trace-me-1")
+        assert trace["trace_id"] == "trace-me-1"
+        names = {s["name"] for s in trace["spans"]}
+        assert "http.request" in names
+        # The batch span serves many traces, so it joins via trace_ids.
+        assert "server.batch" in names
+        (http_span,) = [
+            s for s in trace["spans"] if s["name"] == "http.request"
+        ]
+        assert http_span["trace_id"] == "trace-me-1"
+        assert http_span["attrs"]["request_id"] == "trace-me-1"
+    finally:
+        obs.enable_tracing(prev)
+        obs.clear_spans()
+
+
+def test_slow_query_log_records_over_threshold_requests():
+    state = _fresh_state()
+    config = ServerConfig(max_wait_ms=1.0, slow_ms=0.0001)
+    with _ServerThread(state, config) as server:
+        with ServerClient(port=server.port) as client:
+            client.search(QUERIES[0], top=3, request_id="slow-1")
+            stats = client.stats()
+            health = client.healthz()
+    slow = stats["slow_queries"]
+    assert slow, "every request crosses a 0.0001ms threshold"
+    assert slow[-1]["trace_id"] == "slow-1"
+    assert slow[-1]["duration_ms"] > 0
+    assert health["slowlog"]["records"] >= 1
+    assert stats["metrics"]["counters"]["server.slow_queries_total"] >= 1
+
+
+def test_slow_query_log_disabled_below_threshold():
+    state = _fresh_state()
+    config = ServerConfig(max_wait_ms=1.0, slow_ms=0.0)
+    with _ServerThread(state, config) as server:
+        with ServerClient(port=server.port) as client:
+            client.search(QUERIES[0], top=3)
+            stats = client.stats()
+    assert stats["slow_queries"] == []
