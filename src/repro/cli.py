@@ -35,8 +35,11 @@ terms or documents").  This CLI is the same toolbox over this library:
     Multi-process serving over a durable store (:mod:`repro.cluster`):
     ``serve`` spawns shard worker processes that memory-map the newest
     checkpoint and mounts a scatter-gather router behind the HTTP front
-    end; ``status`` queries a running cluster's health; ``worker`` is
-    the per-shard process entry point the supervisor launches.
+    end — with ``--writable`` it also embeds the primary writer, so
+    ``/add`` WAL-logs through the store, checkpoints seal on policy,
+    and worker epochs bump live; ``status`` queries a running cluster's
+    health (per-worker epochs, writer lag); ``worker`` is the
+    per-shard process entry point the supervisor launches.
 ``stats``
     Print the observability snapshot: counters, gauges, latency
     histograms, recent tracing spans, and (with ``--slowlog``) the
@@ -280,6 +283,41 @@ def build_parser() -> argparse.ArgumentParser:
     pc_serve.add_argument(
         "--slowlog", type=pathlib.Path, default=None,
         help="JSONL file for slow-query records (default in-memory only)",
+    )
+    pc_serve.add_argument(
+        "--writable", action="store_true",
+        help="embed the primary writer: accept /add, seal checkpoints "
+             "on policy, and bump worker epochs live (the process takes "
+             "the store's single-writer lock)",
+    )
+    pc_serve.add_argument(
+        "--seal-every", type=int, default=64, metavar="RECORDS",
+        help="writable: seal + bump once this many WAL records are "
+             "dirty (0 disables the record trigger)",
+    )
+    pc_serve.add_argument(
+        "--seal-interval", type=float, default=15.0, metavar="SECONDS",
+        help="writable: seal + bump dirty state older than this many "
+             "seconds (0 disables the age trigger)",
+    )
+    pc_serve.add_argument(
+        "--ingest-method", choices=("fast-update", "fold-in"),
+        default="fast-update",
+        help="writable: per-batch ingest kernel (fast-update = "
+             "Vecharynski-Saad projection update; fold-in = Eq. 7)",
+    )
+    pc_serve.add_argument(
+        "--fast-update-rank", type=int, default=8,
+        help="writable: residual sketch rank for fast-update",
+    )
+    pc_serve.add_argument(
+        "--ann-clusters", type=int, default=None,
+        help="writable: ANN cells per sealed checkpoint "
+             "(default auto, 0 disables)",
+    )
+    pc_serve.add_argument(
+        "--retain", type=int, default=3,
+        help="writable: checkpoints retained on disk (min 3)",
     )
 
     pc_status = cluster_sub.add_parser(
@@ -578,10 +616,23 @@ def _cmd_cluster(args, out) -> int:
         for row in health.get("workers", []):
             print(
                 f"shard {row['shard']:<4}: {row['state']:<10} "
-                f"rows=[{row['lo']},{row['hi']}) pid={row['pid']} "
-                f"port={row['port']} restarts={row['restarts']}",
+                f"rows=[{row['lo']},{row['hi']}) epoch={row.get('epoch')} "
+                f"pid={row['pid']} port={row['port']} "
+                f"restarts={row['restarts']}",
                 file=out,
             )
+        writer = health.get("writer") or {}
+        if writer.get("enabled"):
+            print(
+                f"writer    : {writer.get('ingest_method')} "
+                f"wal_lsn={writer.get('wal_lsn')} "
+                f"sealed_epoch={writer.get('sealed_epoch')} "
+                f"lag={writer.get('lag_records')} record(s) "
+                f"seals={writer.get('seals_total')}",
+                file=out,
+            )
+        else:
+            print("writer    : read-only", file=out)
         slowlog = health.get("slowlog") or {}
         if slowlog:
             slowest = slowlog.get("slowest_ms")
@@ -605,6 +656,17 @@ def _cmd_cluster(args, out) -> int:
     from repro.server import start_http_server
 
     config = ClusterConfig(
+        writable=args.writable,
+        seal_every_records=(
+            args.seal_every if args.seal_every > 0 else None
+        ),
+        seal_interval_s=(
+            args.seal_interval if args.seal_interval > 0 else None
+        ),
+        ingest_method=args.ingest_method,
+        fast_update_rank=args.fast_update_rank,
+        ann_clusters=args.ann_clusters,
+        retain=args.retain,
         workers=args.workers,
         worker_timeout_ms=args.worker_timeout_ms,
         hedge_quantile=args.hedge_quantile,
@@ -635,6 +697,7 @@ def _cmd_cluster(args, out) -> int:
             f"across {service.plan.n_shards} shards "
             f"(epoch {service.epoch}, checkpoint {service.checkpoint}"
             + (", ann" if service.ann else "")
+            + (", writable" if service.primary is not None else "")
             + f") on http://{args.host}:{port}",
             file=out, flush=True,
         )

@@ -16,9 +16,25 @@ eviction, backoff restarts), and while one is down the router serves
 failing.  :class:`~repro.cluster.service.ClusterService` packages the
 whole thing behind the existing HTTP front end (``repro cluster
 serve``).
+
+With ``--writable`` the cluster also ingests: the
+:class:`~repro.cluster.primary.PrimaryWriter` owns the durable store's
+write lock, WAL-logs every ``/add`` (acknowledged = fsynced, SIGKILL
+recovers bit-identically), applies the Vecharynski-Saad fast SVD
+update per batch, seals format-v2 checkpoints on its policy, and
+broadcasts epoch *bumps* — each worker hot-remaps the new checkpoint
+behind an atomic swap while keeping the previous epoch's state alive
+(:mod:`~repro.cluster.epochs`), so in-flight queries finish against
+the epoch they started on and zero queries drop across a bump.
 """
 
+from repro.cluster.epochs import (
+    EpochHandle,
+    handle_for_checkpoint,
+    latest_handle,
+)
 from repro.cluster.plan import PLAN_FORMAT, ShardPlan, ShardRange
+from repro.cluster.primary import PrimaryWriter, WriterConfig
 from repro.cluster.router import (
     ClusterResult,
     ClusterRouter,
@@ -31,6 +47,11 @@ from repro.cluster.worker import ShardWorker, WorkerServer, run_worker
 
 __all__ = [
     "PLAN_FORMAT",
+    "EpochHandle",
+    "handle_for_checkpoint",
+    "latest_handle",
+    "PrimaryWriter",
+    "WriterConfig",
     "ShardPlan",
     "ShardRange",
     "ClusterResult",

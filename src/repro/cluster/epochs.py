@@ -1,0 +1,94 @@
+"""Epoch handles: one immutable view of one sealed checkpoint.
+
+The writable cluster changes state by *replacing* a single reference,
+never by mutating shared structures — the same discipline
+:class:`repro.server.state.EpochSnapshot` uses in-process.  An
+:class:`EpochHandle` bundles everything the front end needs to answer
+one query consistently — the projection model, the checkpoint identity,
+and the :class:`~repro.cluster.plan.ShardPlan` that scatter must use —
+so a request that snapshots the handle at entry keeps scoring against
+one epoch even while the primary writer seals, bumps, and publishes the
+next one.  Workers hold the same invariant on their side: the scoring
+state for the superseded epoch stays alive until the bump *after* the
+one that replaced it, so in-flight queries land on matching state and
+zero queries drop across a bump.
+
+Epoch numbering is the store's WAL LSN at seal time (see
+``DurableIndexStore.checkpoint``): strictly increasing with every
+acknowledged write, equal across bit-identical recoveries.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+
+from repro.cluster.plan import ShardPlan
+from repro.core.model import LSIModel
+from repro.errors import StoreError
+from repro.store.checkpoint import latest_valid_checkpoint
+from repro.store.mmap_io import open_checkpoint_ann, open_checkpoint_model
+
+__all__ = ["EpochHandle", "handle_for_checkpoint", "latest_handle"]
+
+
+@dataclass(frozen=True)
+class EpochHandle:
+    """Everything one request needs from one epoch, immutably.
+
+    ``model`` is the memory-mapped checkpoint model (vocabulary, ``U``,
+    ``Σ`` for query projection; ``doc_ids`` for result labelling),
+    ``ann`` records whether the checkpoint carries a trained coarse
+    quantizer, and ``plan`` is the shard plan pinned against exactly
+    this checkpoint — scattering with any other plan would mix epochs.
+    """
+
+    epoch: int
+    checkpoint: str
+    model: LSIModel
+    ann: bool
+    plan: ShardPlan
+
+    @property
+    def n_documents(self) -> int:
+        """Documents this epoch serves."""
+        return self.model.n_documents
+
+
+def handle_for_checkpoint(
+    path: pathlib.Path, meta: dict, n_shards: int
+) -> EpochHandle:
+    """Build the handle for one checkpoint directory.
+
+    ``meta`` is the checkpoint manifest's ``meta`` block (the caller
+    already has it from checkpoint discovery or a fresh seal); the model
+    is memory-mapped, so this is O(header) and safe to run on the
+    writer's bump path.
+    """
+    epoch = int(meta.get("epoch", 0))
+    model = open_checkpoint_model(path, mmap=True)
+    ann = open_checkpoint_ann(path, mmap=True) is not None
+    plan = ShardPlan.compute(
+        model.n_documents, n_shards, epoch=epoch, checkpoint=path.name
+    )
+    return EpochHandle(
+        epoch=epoch,
+        checkpoint=path.name,
+        model=model,
+        ann=ann,
+        plan=plan,
+    )
+
+
+def latest_handle(data_dir: pathlib.Path, n_shards: int) -> EpochHandle:
+    """The handle for the newest valid checkpoint under ``data_dir``."""
+    from repro.store.durable import STORE_LAYOUT
+
+    checkpoints = pathlib.Path(data_dir) / STORE_LAYOUT["checkpoints"]
+    info, problems = latest_valid_checkpoint(checkpoints)
+    if info is None:
+        detail = f" ({'; '.join(problems)})" if problems else ""
+        raise StoreError(f"no valid checkpoint under {checkpoints}{detail}")
+    return handle_for_checkpoint(
+        info.path, info.manifest.get("meta", {}), n_shards
+    )

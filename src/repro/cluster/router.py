@@ -32,8 +32,8 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.cluster.plan import ShardPlan
-from repro.cluster.wire import read_frame, write_frame
-from repro.errors import ClusterError, DeadlineExceededError
+from repro.cluster.wire import BUMP_OP, read_frame, write_frame
+from repro.errors import ClusterError, DeadlineExceededError, EpochSkewError
 from repro.obs.metrics import registry
 from repro.obs.trace_context import TraceContext, current_trace
 from repro.obs.tracing import span
@@ -194,6 +194,17 @@ class ClusterRouter:
         self._endpoints: dict[int, tuple[str, int]] = {}
         registry.set_gauge("cluster.workers_live", 0)
 
+    def update_plan(self, plan: ShardPlan) -> None:
+        """Atomically publish a new epoch's plan for *future* scatters.
+
+        One reference assignment: a :meth:`search_batch` already running
+        snapshotted the old plan at entry and finishes against it (the
+        workers retain that epoch's state through the bump window), so
+        nothing in flight is disturbed.
+        """
+        self.plan = plan
+        registry.set_gauge("cluster.plan_epoch", plan.epoch)
+
     # ------------------------------------------------------------------ #
     # membership
     # ------------------------------------------------------------------ #
@@ -322,6 +333,11 @@ class ClusterRouter:
                     )
                     registry.observe("cluster.rpc_seconds", latency)
                     if "error" in response:
+                        if response.get("stale_epoch"):
+                            raise EpochSkewError(
+                                f"shard {shard_id} no longer holds the "
+                                f"requested epoch: {response['error']}"
+                            )
                         raise ClusterError(
                             f"shard {shard_id} rejected the request: "
                             f"{response['error']}"
@@ -352,6 +368,7 @@ class ClusterRouter:
         timeout_ms: float | None = None,
         probes: int | None = None,
         exact: bool = False,
+        plan: ShardPlan | None = None,
     ) -> ClusterResult:
         """Scatter a scaled ``(q, k)`` batch, merge exact per-query top-k.
 
@@ -361,7 +378,13 @@ class ClusterRouter:
         worker for the probe-bounded scan (each clips the same global
         candidate cells to its own rows); workers without a quantizer
         answer exactly, which only ever *adds* candidates to the merge.
+
+        ``plan`` pins the epoch to scatter against (the service passes
+        its request-entry handle's plan); default is the router's
+        current plan, snapshotted once here — a concurrent
+        :meth:`update_plan` never splits one request across epochs.
         """
+        plan = plan if plan is not None else self.plan
         Q = np.atleast_2d(np.asarray(Qs, dtype=np.float64))
         n_queries = Q.shape[0]
         timeout = (
@@ -369,7 +392,11 @@ class ClusterRouter:
             else self.config.worker_timeout_ms
         ) / 1000.0
         registry.inc("cluster.requests_total")
-        message: dict = {"op": "score", "queries": Q.tolist()}
+        message: dict = {
+            "op": "score",
+            "queries": Q.tolist(),
+            "epoch": plan.epoch,
+        }
         if top is not None:
             message["top"] = int(top)
         if threshold is not None:
@@ -386,7 +413,7 @@ class ClusterRouter:
         missed_sids: list[int] = []
         with span(
             "cluster.scatter",
-            shards=self.plan.n_shards,
+            shards=plan.n_shards,
             queries=n_queries,
         ) as scatter:
             # Carry the request's trace identity in every score frame,
@@ -399,7 +426,7 @@ class ClusterRouter:
                     scatter.span_id or ctx.parent_span_id,
                 ).to_wire()
             calls: dict[int, asyncio.Future] = {}
-            for shard in self.plan.shards:
+            for shard in plan.shards:
                 sid = shard.shard_id
                 channel = self._channels.get(sid)
                 if channel is None or channel.closed:
@@ -424,6 +451,12 @@ class ClusterRouter:
                     registry.inc("cluster.deadline_misses_total")
                     missing_sids.add(sid)
                     missed_sids.append(sid)
+                elif isinstance(exc, EpochSkewError):
+                    # The worker ran ahead (or restarted onto a newer
+                    # checkpoint) — its rows are missing from *this
+                    # epoch's* answer, but the worker is healthy.
+                    registry.inc("cluster.epoch_skew_total")
+                    missing_sids.add(sid)
                 elif isinstance(exc, (ConnectionError, OSError)):
                     missing_sids.add(sid)
                     dead.append(sid)
@@ -447,13 +480,13 @@ class ClusterRouter:
                 raise ClusterError(
                     f"shard {sid} answered as shard {response.get('shard')}"
                 )
-            if int(response.get("epoch", -1)) != self.plan.epoch:
+            if int(response.get("epoch", -1)) != plan.epoch:
                 raise ClusterError(
                     f"shard {sid} serves epoch {response.get('epoch')} but "
-                    f"the plan covers epoch {self.plan.epoch}"
+                    f"the plan covers epoch {plan.epoch}"
                 )
 
-        k = int(top) if top is not None else max(1, self.plan.n_documents)
+        k = int(top) if top is not None else max(1, plan.n_documents)
         answered = sorted(responses)  # ascending sid == document order
         results: list[list[tuple[int, float]]] = []
         with span("cluster.merge", shards=len(answered), queries=n_queries):
@@ -471,13 +504,13 @@ class ClusterRouter:
         if partial:
             registry.inc("cluster.partial_responses")
         missing = [
-            self.plan.shard(sid).as_pair() for sid in sorted(missing_sids)
+            plan.shard(sid).as_pair() for sid in sorted(missing_sids)
         ]
         return ClusterResult(
             results=results,
             partial=partial,
             missing=[(lo, hi) for lo, hi in missing],
-            epoch=self.plan.epoch,
+            epoch=plan.epoch,
             shard_timings=shard_timings,
             hedged=sorted(hedged_sids),
             deadline_missed=sorted(missed_sids),
@@ -513,6 +546,31 @@ class ClusterRouter:
             for sid, response in zip(sids, answers)
             if isinstance(response, dict) and "error" not in response
         }
+
+    async def broadcast_bump(
+        self, plan: ShardPlan, *, timeout: float = 30.0
+    ) -> dict[int, int]:
+        """Tell every live worker to remap onto ``plan``'s checkpoint.
+
+        Returns ``{shard_id: acked_epoch}`` for workers that remapped
+        (or already held the epoch).  A worker that fails, rejects, or
+        times out is simply absent — the primary writer re-bumps
+        laggards on its next poll, and a restart spawns onto the new
+        plan anyway.  The timeout is generous: a remap is O(header)
+        mmap opens plus one shard's coordinate materialization.
+        """
+        responses = await self._scatter_op(
+            {"op": BUMP_OP, "plan": plan.to_json()}, timeout=timeout
+        )
+        acked = {
+            sid: int(response["epoch"])
+            for sid, response in responses.items()
+            if response.get("ok") and response.get("epoch") == plan.epoch
+        }
+        registry.inc("cluster.bump_broadcasts_total")
+        if len(acked) < len(self.live_shards()):
+            registry.inc("cluster.bump_laggards_total")
+        return acked
 
     async def fetch_stats(self, *, timeout: float = 2.0) -> dict[int, dict]:
         """Every live worker's registry snapshot, keyed by shard id."""

@@ -11,10 +11,16 @@ themselves), pins a :class:`~repro.cluster.plan.ShardPlan` against that
 checkpoint's epoch, and wires the router's dead-connection reports into
 the supervisor's restart machinery.
 
-The cluster is a *read-only* serving tier: ``/add`` is refused.  Writes
-go to the store's single writer (``repro serve --data-dir``); a new
-checkpoint is picked up by restarting the cluster, which re-pins the
-plan — by design, since a plan is only valid against one checkpoint.
+By default the cluster is a *read-only* serving tier: ``/add`` is
+refused with :class:`~repro.errors.ClusterReadOnlyError`, and a new
+checkpoint is picked up by restarting the cluster.  With
+``writable=True`` the service embeds the
+:class:`~repro.cluster.primary.PrimaryWriter`: ``/add`` WAL-logs
+through the durable store, the writer seals checkpoints on its policy
+and bumps the workers, and the front end hot-swaps its
+:class:`~repro.cluster.epochs.EpochHandle` — ``search`` snapshots the
+handle at entry, so in-flight queries finish against the superseded
+epoch (which every worker retains) and zero queries drop across a bump.
 """
 
 from __future__ import annotations
@@ -26,11 +32,11 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.cluster.plan import ShardPlan
+from repro.cluster.epochs import EpochHandle, handle_for_checkpoint
 from repro.cluster.router import ClusterResult, ClusterRouter, RouterConfig
 from repro.cluster.supervisor import ClusterSupervisor, SupervisorConfig
 from repro.core.query import project_query
-from repro.errors import ReproError, StoreError
+from repro.errors import ClusterReadOnlyError, StoreError
 from repro.obs.aggregate import label_snapshots
 from repro.obs.export import SCHEMA
 from repro.obs.metrics import registry
@@ -39,7 +45,6 @@ from repro.obs.slowlog import SlowQueryLog
 from repro.obs.trace_context import current_trace
 from repro.obs.tracing import recent_spans, span, spans_for_trace
 from repro.store.checkpoint import latest_valid_checkpoint
-from repro.store.mmap_io import open_checkpoint_ann, open_checkpoint_model
 
 __all__ = ["ClusterConfig", "ClusterService"]
 
@@ -67,6 +72,20 @@ class ClusterConfig:
     slowlog_path: str | None = None
     #: Bound on retained slow-query records (memory and on-disk).
     slowlog_max_records: int = 256
+    #: Embed the primary writer: ``/add`` accepted, epochs bump live.
+    writable: bool = False
+    #: Writer seal policy — records threshold (``None`` disables).
+    seal_every_records: int | None = 64
+    #: Writer seal policy — dirty-age threshold, seconds (``None`` off).
+    seal_interval_s: float | None = 15.0
+    #: Writer ingest kernel: ``"fast-update"`` or ``"fold-in"``.
+    ingest_method: str = "fast-update"
+    #: Residual sketch rank for the fast-update kernel.
+    fast_update_rank: int = 8
+    #: ANN cells per sealed checkpoint: ``None`` auto, ``0`` disables.
+    ann_clusters: int | None = None
+    #: Checkpoints retained by the writer (>= 3 under a cluster).
+    retain: int = 3
 
 
 class ClusterService:
@@ -85,6 +104,26 @@ class ClusterService:
 
         from repro.store.durable import STORE_LAYOUT
 
+        # In writable mode the primary opens (locks) the store *first*
+        # and seals — so the handle pinned below already serves every
+        # WAL-acknowledged document and records the writer's ingest
+        # configuration in its manifest.
+        self.primary = None
+        if self.config.writable:
+            from repro.cluster.primary import PrimaryWriter, WriterConfig
+
+            self.primary = PrimaryWriter(
+                self.data_dir,
+                WriterConfig(
+                    seal_every_records=self.config.seal_every_records,
+                    seal_interval_s=self.config.seal_interval_s,
+                    ingest_method=self.config.ingest_method,
+                    fast_update_rank=self.config.fast_update_rank,
+                    ann_clusters=self.config.ann_clusters,
+                    retain=self.config.retain,
+                ),
+            )
+
         checkpoints = self.data_dir / STORE_LAYOUT["checkpoints"]
         info, problems = latest_valid_checkpoint(checkpoints)
         if info is None:
@@ -92,20 +131,14 @@ class ClusterService:
             raise StoreError(
                 f"no valid checkpoint under {checkpoints}{detail}"
             )
-        self.checkpoint = info.path.name
-        self.epoch = int(info.manifest.get("meta", {}).get("epoch", 0))
-        # Mapped once here for projection (U, Σ, vocabulary); each worker
-        # maps the same .npy files itself — the page cache is shared.
-        self.model = open_checkpoint_model(info.path, mmap=True)
-        # Presence only — workers map the quantizer themselves; the
-        # router never scores, it just reports availability and sets the
-        # store.ann_missing gauge in this (front-end) process's registry.
-        self.ann = open_checkpoint_ann(info.path, mmap=True) is not None
-        self.plan = ShardPlan.compute(
-            self.model.n_documents,
+        # The handle memory-maps the checkpoint model for projection (U,
+        # Σ, vocabulary); each worker maps the same .npy files itself —
+        # the page cache is shared.  ``search`` snapshots this reference
+        # at entry; ``publish_handle`` replaces it atomically on bump.
+        self._handle = handle_for_checkpoint(
+            info.path,
+            info.manifest.get("meta", {}),
             self.config.workers,
-            epoch=self.epoch,
-            checkpoint=self.checkpoint,
         )
         self.router = ClusterRouter(
             self.plan,
@@ -137,15 +170,61 @@ class ClusterService:
         self._started = False
 
     # ------------------------------------------------------------------ #
+    # The serving epoch: every per-epoch attribute reads through one
+    # reference, replaced atomically by ``publish_handle`` — the
+    # multi-process analogue of ``EpochSnapshot.swap``.
+    # ------------------------------------------------------------------ #
+    @property
+    def handle(self) -> EpochHandle:
+        """The currently-published epoch (snapshot this, then use it)."""
+        return self._handle
+
+    @property
+    def epoch(self) -> int:
+        return self._handle.epoch
+
+    @property
+    def checkpoint(self) -> str:
+        return self._handle.checkpoint
+
+    @property
+    def model(self):
+        return self._handle.model
+
+    @property
+    def ann(self) -> bool:
+        return self._handle.ann
+
+    @property
+    def plan(self):
+        return self._handle.plan
+
+    def publish_handle(self, handle: EpochHandle) -> None:
+        """Swap the serving epoch (writer-only; last step of a bump).
+
+        One reference assignment: requests that already snapshotted the
+        old handle finish against it — the workers still hold that
+        epoch's state as *previous* — while every later request scatters
+        with the new plan.
+        """
+        self._handle = handle
+        registry.set_gauge("cluster.epoch", handle.epoch)
+        registry.set_gauge("cluster.n_documents", handle.n_documents)
+
+    # ------------------------------------------------------------------ #
     async def start(self) -> None:
         """Spawn and attach every worker (idempotent)."""
         if not self._started:
             with span("cluster.start", workers=self.plan.n_shards):
                 await self.supervisor.start()
+            if self.primary is not None:
+                await self.primary.start(self)
             self._started = True
 
     async def drain(self) -> None:
-        """Graceful shutdown: SIGTERM workers, close channels."""
+        """Graceful shutdown: stop the writer, SIGTERM workers."""
+        if self.primary is not None:
+            await self.primary.stop(flush=True)
         await self.supervisor.drain()
         self._started = False
 
@@ -155,10 +234,11 @@ class ClusterService:
         return self.supervisor.draining
 
     # ------------------------------------------------------------------ #
-    def _scale(self, Q: np.ndarray) -> np.ndarray:
+    def _scale(self, Q: np.ndarray, model=None) -> np.ndarray:
         """``Q Σ`` — exactly ``DocumentIndex.prepare_queries`` in scaled
         mode, applied router-side so every worker scores identical bytes."""
-        return np.atleast_2d(np.asarray(Q, dtype=np.float64)) * self.model.s
+        s = (model if model is not None else self.model).s
+        return np.atleast_2d(np.asarray(Q, dtype=np.float64)) * s
 
     async def search(
         self,
@@ -179,9 +259,13 @@ class ClusterService:
         and the unscored ``[lo, hi)`` ranges listed.
         """
         t0 = time.perf_counter()
-        qhat = project_query(self.model, query)
+        # One epoch per request: project, scatter, and label against the
+        # same handle even if the writer publishes a bump mid-flight.
+        handle = self._handle
+        qhat = project_query(handle.model, query)
         result = await self.router.search_batch(
-            self._scale(qhat),
+            self._scale(qhat, handle.model),
+            plan=handle.plan,
             top=top,
             threshold=threshold,
             timeout_ms=(
@@ -197,10 +281,10 @@ class ClusterService:
         self._record_slow(
             time.perf_counter() - t0, result, top=top, probes=probes
         )
-        doc_ids = self.model.doc_ids
+        doc_ids = handle.model.doc_ids
         return {
             "epoch": result.epoch,
-            "n_documents": self.model.n_documents,
+            "n_documents": handle.n_documents,
             "partial": result.partial,
             "missing": [list(pair) for pair in result.missing],
             "results": [
@@ -261,14 +345,16 @@ class ClusterService:
         array — the same convention as ``sharded_batch_search``, whose
         output this is element-identical to when all workers are live.
         """
+        handle = self._handle
         if isinstance(queries, np.ndarray):
             Q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         else:
             from repro.parallel.batch import batch_project_queries
 
-            Q = batch_project_queries(self.model, queries)
+            Q = batch_project_queries(handle.model, queries)
         return await self.router.search_batch(
-            self._scale(Q),
+            self._scale(Q, handle.model),
+            plan=handle.plan,
             top=top,
             threshold=threshold,
             timeout_ms=(
@@ -283,34 +369,54 @@ class ClusterService:
         )
 
     async def add(self, texts, doc_ids=None) -> dict:
-        """Refused: the cluster serves a pinned checkpoint, read-only."""
-        raise ReproError(
-            "cluster serving is read-only: write through the store's "
-            "single writer (repro serve --data-dir) and restart the "
-            "cluster to pick up the new checkpoint"
-        )
+        """Ingest through the primary writer, or refuse read-only.
+
+        Writable: returns once the batch is WAL-fsynced (``durable``);
+        the documents become searchable at the next seal/bump, which
+        the response's ``epoch`` (the acknowledging WAL LSN) and the
+        healthz ``writer.lag_records`` let callers track.  Read-only:
+        raises the typed :class:`ClusterReadOnlyError` the HTTP layer
+        maps to 403, request id attached server-side.
+        """
+        if self.primary is None:
+            raise ClusterReadOnlyError(
+                "cluster serving is read-only: restart with "
+                "--writable to ingest here, or write through the "
+                "store's single writer (repro serve --data-dir) and "
+                "restart the cluster to pick up the new checkpoint"
+            )
+        return await self.primary.add_texts(texts, doc_ids)
 
     # ------------------------------------------------------------------ #
     def healthz(self) -> dict:
-        """Cluster liveness: worker table, live count, degradation."""
+        """Cluster liveness: worker table (with per-worker checkpoint
+        epoch), live count, degradation, and the writer block — enabled
+        flag, WAL position, and ``lag_records`` (acknowledged but not
+        yet sealed/remapped) when the cluster is writable."""
+        handle = self._handle
         workers = self.supervisor.describe()
         live = sum(1 for w in workers if w["state"] == "up")
         if self.draining:
             status = "draining"
-        elif live < self.plan.n_shards:
+        elif live < handle.plan.n_shards:
             status = "degraded"
         else:
             status = "ok"
+        if self.primary is None:
+            writer = {"enabled": False}
+        else:
+            writer = self.primary.describe(handle.epoch)
         return {
             "status": status,
             "draining": self.draining,
-            "epoch": self.epoch,
-            "checkpoint": self.checkpoint,
-            "n_documents": self.model.n_documents,
-            "n_shards": self.plan.n_shards,
+            "epoch": handle.epoch,
+            "checkpoint": handle.checkpoint,
+            "n_documents": handle.n_documents,
+            "n_shards": handle.plan.n_shards,
             "workers_live": live,
             "workers": workers,
-            "ann": self.ann,
+            "writer": writer,
+            "ann": handle.ann,
             "default_probes": self.config.default_probes,
             "slowlog": self.slowlog.describe(),
         }

@@ -67,6 +67,9 @@ class _WorkerRecord:
     state: str = "starting"
     missed_heartbeats: int = 0
     restarts: int = 0
+    #: Checkpoint epoch this worker last reported serving (banner at
+    #: spawn, then bump acks) — the per-worker lag signal healthz shows.
+    epoch: int = 0
     tasks: list[asyncio.Task] = field(default_factory=list)
 
 
@@ -95,6 +98,30 @@ class ClusterSupervisor:
         self._restarting: set[int] = set()
         self._draining = False
         self._heartbeat_task: asyncio.Task | None = None
+
+    def update_plan(self, plan: ShardPlan) -> None:
+        """Point future spawns at a newer epoch's plan.
+
+        Called by the primary writer *before* broadcasting the bump, so
+        a worker that dies mid-bump restarts directly onto the new
+        checkpoint instead of the superseded one.  Running workers are
+        untouched — they catch up through the bump op.
+        """
+        if plan.n_shards != self.plan.n_shards:
+            raise ClusterError(
+                f"plan update changes shard count "
+                f"{self.plan.n_shards} -> {plan.n_shards}; worker "
+                "processes are fixed per shard"
+            )
+        self.plan = plan
+
+    def note_epoch(self, shard_id: int, epoch: int) -> None:
+        """Record a worker's acked epoch (bump ack or spawn banner)."""
+        record = self._records.get(shard_id)
+        if record is None:
+            return
+        record.epoch = int(epoch)
+        registry.set_gauge(f"cluster.worker.{shard_id}.epoch", record.epoch)
 
     # ------------------------------------------------------------------ #
     # spawn
@@ -150,6 +177,7 @@ class ClusterSupervisor:
             )
         record.port = banner["port"]
         record.pid = banner["pid"]
+        self.note_epoch(shard_id, banner.get("epoch", 0))
         await self.router.attach(shard_id, self.host, record.port)
         record.state = "up"
         self._announce(
@@ -180,7 +208,11 @@ class ClusterSupervisor:
                 pid = int(line.rsplit("pid=", 1)[1])
             except (IndexError, ValueError):
                 raise ClusterError(f"unparseable worker banner: {line!r}")
-            return {"port": port, "pid": pid}
+            try:
+                epoch = int(line.rsplit("epoch=", 1)[1].split()[0])
+            except (IndexError, ValueError):
+                epoch = 0
+            return {"port": port, "pid": pid, "epoch": epoch}
 
     async def _pump_stdout(
         self, shard_id: int, proc: asyncio.subprocess.Process
@@ -358,6 +390,7 @@ class ClusterSupervisor:
                     "state": state,
                     "pid": record.pid,
                     "port": record.port,
+                    "epoch": record.epoch,
                     "restarts": record.restarts,
                     "missed_heartbeats": record.missed_heartbeats,
                 }

@@ -29,12 +29,20 @@ from repro.errors import ClusterError
 
 __all__ = [
     "MAX_FRAME_BYTES",
+    "BUMP_OP",
     "encode_frame",
     "send_frame",
     "recv_frame",
     "write_frame",
     "read_frame",
 ]
+
+#: Control op broadcast by the primary writer after sealing a new
+#: checkpoint: ``{"op": BUMP_OP, "plan": <canonical ShardPlan JSON>}``.
+#: A worker hot-remaps the named checkpoint behind an atomic swap and
+#: acks with its new epoch; the superseded epoch keeps serving in-flight
+#: queries until the bump after this one.
+BUMP_OP = "bump"
 
 #: Largest accepted frame payload; bounds per-connection memory and
 #: turns a desynchronized stream (length bytes read mid-message) into a

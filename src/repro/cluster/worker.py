@@ -10,6 +10,18 @@ serves two things over length-prefixed JSON frames on a local socket:
 no lock on the store.  Restarting a worker is therefore always safe and
 cheap, which is what the supervisor's crash-restart loop relies on.
 
+Epoch window
+------------
+Under a writable cluster the primary writer broadcasts a ``bump`` op
+after sealing each new checkpoint.  The worker remaps the named
+checkpoint into a fresh :class:`_EpochState` and swaps it in with one
+reference assignment — the superseded state is retained as *previous*
+until the next bump, so ``score`` frames carrying the old epoch (sent
+by front-end requests that snapshotted their handle before the swap)
+still score against exactly the state they started on.  A request for
+an epoch outside this two-deep window is answered with a skew marker
+the router degrades to a partial response.
+
 Exactness contract
 ------------------
 :meth:`ShardWorker.score` runs the *identical* kernel and selection the
@@ -36,7 +48,7 @@ import time
 import numpy as np
 
 from repro.cluster.plan import ShardPlan, ShardRange
-from repro.cluster.wire import recv_frame, send_frame
+from repro.cluster.wire import BUMP_OP, recv_frame, send_frame
 from repro.core.model import LSIModel
 from repro.errors import ShapeError
 from repro.obs.metrics import registry
@@ -51,11 +63,12 @@ from repro.store.mmap_io import open_checkpoint_ann, open_checkpoint_model
 __all__ = ["ShardWorker", "WorkerServer", "serve_shard", "run_worker"]
 
 
-class ShardWorker:
-    """Transport-free scoring core for one shard of one model.
+class _EpochState:
+    """One epoch's immutable scoring state for one shard.
 
-    Separated from the socket loop so tests (and the router's in-process
-    parity harnesses) can drive :meth:`handle` directly.
+    Built once per (checkpoint, shard) and never mutated — the worker
+    swaps whole instances, which is what lets in-flight queries keep a
+    consistent view without any locking on the score path.
     """
 
     def __init__(
@@ -82,8 +95,36 @@ class ShardWorker:
         # therefore faults in) just the mapped pages of V[lo:hi].
         self.coords = np.ascontiguousarray(model.V[lo:hi] * model.s)
         self.norms = row_norms(self.coords)
+
+
+class ShardWorker:
+    """Transport-free scoring core for one shard, epoch-windowed.
+
+    Separated from the socket loop so tests (and the router's in-process
+    parity harnesses) can drive :meth:`handle` directly.  The worker
+    holds the *current* epoch's scoring state plus the immediately
+    superseded one (see the module docstring); attribute access
+    (``model``, ``shard``, ``coords``, …) reads the current state.
+    """
+
+    def __init__(
+        self,
+        model: LSIModel,
+        shard: ShardRange,
+        *,
+        epoch: int = 0,
+        ann: CoarseQuantizer | None = None,
+        data_dir: pathlib.Path | None = None,
+    ):
+        self._state = _EpochState(model, shard, epoch=epoch, ann=ann)
+        self._previous: _EpochState | None = None
+        self._swap_lock = threading.Lock()  # serializes bumps, not scores
+        #: Store directory bumps remap checkpoints from; ``None`` makes
+        #: the worker bump-refusing (in-process/test construction).
+        self.data_dir = pathlib.Path(data_dir) if data_dir else None
         self.started_unix = time.time()
         self.requests_served = 0
+        self.bumps_applied = 0
         # Fault-injection hook for smoke tests: a fixed per-request delay
         # (milliseconds) that pushes requests over the slow-log threshold.
         self.inject_delay_s = (
@@ -91,21 +132,142 @@ class ShardWorker:
             / 1000.0
         )
 
+    # Current-epoch views: the swap replaces ``_state`` wholesale, so a
+    # reader that grabs it once works against one consistent epoch.
+    @property
+    def model(self) -> LSIModel:
+        return self._state.model
+
+    @property
+    def shard(self) -> ShardRange:
+        return self._state.shard
+
+    @property
+    def epoch(self) -> int:
+        return self._state.epoch
+
+    @property
+    def ann(self) -> CoarseQuantizer | None:
+        return self._state.ann
+
+    @property
+    def coords(self) -> np.ndarray:
+        return self._state.coords
+
+    @property
+    def norms(self) -> np.ndarray:
+        return self._state.norms
+
+    def _state_for_epoch(self, epoch) -> _EpochState | None:
+        """The held state matching ``epoch`` (None = current), if any."""
+        state, previous = self._state, self._previous
+        if epoch is None or int(epoch) == state.epoch:
+            return state
+        if previous is not None and int(epoch) == previous.epoch:
+            return previous
+        return None
+
     # ------------------------------------------------------------------ #
     def info(self) -> dict:
         """Identity block for hellos, status pages, and debugging."""
+        state, previous = self._state, self._previous
         return {
-            "shard": self.shard.shard_id,
-            "lo": self.shard.lo,
-            "hi": self.shard.hi,
-            "epoch": self.epoch,
-            "n_documents": self.model.n_documents,
-            "k": self.model.k,
+            "shard": state.shard.shard_id,
+            "lo": state.shard.lo,
+            "hi": state.shard.hi,
+            "epoch": state.epoch,
+            "previous_epoch": previous.epoch if previous else None,
+            "n_documents": state.model.n_documents,
+            "k": state.model.k,
             "pid": os.getpid(),
             "uptime_seconds": time.time() - self.started_unix,
             "requests_served": self.requests_served,
-            "ann": self.ann is not None,
+            "bumps_applied": self.bumps_applied,
+            "ann": state.ann is not None,
         }
+
+    # ------------------------------------------------------------------ #
+    def bump(self, plan_json: str) -> dict:
+        """Hot-remap to the plan's checkpoint; retain the old epoch.
+
+        Idempotent for the current epoch.  Returns the ack dict (or an
+        error dict the router surfaces); on success the superseded
+        state stays answerable until the next bump.
+        """
+        if self.data_dir is None:
+            return {"error": "worker has no data dir — cannot remap"}
+        try:
+            plan = ShardPlan.from_json(plan_json)
+        except Exception as exc:  # noqa: BLE001 — malformed plan
+            return {"error": f"malformed bump plan: {exc!r}"}
+        with self._swap_lock:
+            current = self._state
+            if plan.epoch == current.epoch:
+                return {
+                    "ok": True,
+                    "shard": current.shard.shard_id,
+                    "epoch": current.epoch,
+                    "noop": True,
+                }
+            shard_id = current.shard.shard_id
+            if not 0 <= shard_id < plan.n_shards:
+                return {
+                    "error": (
+                        f"bump plan has {plan.n_shards} shards; worker "
+                        f"serves shard {shard_id}"
+                    )
+                }
+            from repro.store.durable import STORE_LAYOUT
+            from repro.store.checkpoint import list_checkpoints
+
+            checkpoints = self.data_dir / STORE_LAYOUT["checkpoints"]
+            info = next(
+                (
+                    c
+                    for c in list_checkpoints(checkpoints)
+                    if c.path.name == plan.checkpoint
+                ),
+                None,
+            )
+            if info is None:
+                return {
+                    "error": (
+                        f"bump names checkpoint {plan.checkpoint!r} but it "
+                        f"is not under {checkpoints}"
+                    )
+                }
+            epoch = int(info.manifest.get("meta", {}).get("epoch", 0))
+            if epoch != plan.epoch:
+                return {
+                    "error": (
+                        f"checkpoint {plan.checkpoint} carries epoch "
+                        f"{epoch} but the bump plan says {plan.epoch}"
+                    )
+                }
+            try:
+                model = open_checkpoint_model(info.path, mmap=True)
+                if model.n_documents != plan.n_documents:
+                    return {
+                        "error": (
+                            f"checkpoint has {model.n_documents} documents "
+                            f"but the bump plan covers {plan.n_documents}"
+                        )
+                    }
+                ann = open_checkpoint_ann(info.path, mmap=True)
+                fresh = _EpochState(
+                    model, plan.shard(shard_id), epoch=epoch, ann=ann
+                )
+            except Exception as exc:  # noqa: BLE001 — keep serving old epoch
+                return {"error": f"remap of {plan.checkpoint} failed: {exc!r}"}
+            # The swap: one reference assignment each.  In-flight scores
+            # grabbed their state reference already; new frames see the
+            # fresh epoch, old-epoch frames land on ``_previous``.
+            self._previous = current
+            self._state = fresh
+            self.bumps_applied += 1
+            registry.inc("cluster.worker.bumps_total")
+            registry.set_gauge("cluster.worker.epoch", epoch)
+            return {"ok": True, "shard": shard_id, "epoch": epoch}
 
     def score(
         self,
@@ -115,6 +277,7 @@ class ShardWorker:
         *,
         probes: int | None = None,
         exact: bool = False,
+        state: _EpochState | None = None,
     ) -> list[list[list]]:
         """Per-query ranked ``[global_index, score]`` pairs for this shard.
 
@@ -125,30 +288,32 @@ class ShardWorker:
         probed cells' rows that land in this shard — cell selection is
         a pure function of the scaled query and the shared checkpoint
         quantizer, so every shard probes the same cells and the merged
-        result equals a single-node probe at the same count.
+        result equals a single-node probe at the same count.  ``state``
+        pins the epoch to score against (default: current).
         """
-        lo = self.shard.lo
-        if self.shard.n_rows == 0:
+        state = state if state is not None else self._state
+        lo = state.shard.lo
+        if state.shard.n_rows == 0:
             return [[] for _ in range(Qs.shape[0])]
         if probes is not None and not exact:
-            if self.ann is None:
+            if state.ann is None:
                 registry.inc("ann.exact_fallbacks_total")
             else:
                 out = []
                 for q in Qs:
-                    pairs, _stats = self.ann.select(
-                        self.coords,
-                        self.norms,
+                    pairs, _stats = state.ann.select(
+                        state.coords,
+                        state.norms,
                         q,
                         probes=probes,
                         top=top,
                         threshold=threshold,
                         lo=lo,
-                        n_total=self.model.n_documents,
+                        n_total=state.model.n_documents,
                     )
                     out.append([[j, score] for j, score in pairs])
                 return out
-        S = cosine_scores(self.coords, Qs, norms=self.norms)
+        S = cosine_scores(state.coords, Qs, norms=state.norms)
         out = []
         for row in S:
             order = ranked_order(row, top=top, threshold=threshold)
@@ -163,17 +328,39 @@ class ShardWorker:
             return {"ok": True, "shard": self.shard.shard_id, "epoch": self.epoch}
         if op == "info":
             return self.info()
+        if op == BUMP_OP:
+            plan_json = message.get("plan")
+            if not isinstance(plan_json, str) or not plan_json:
+                return {"error": "'plan' must be the canonical plan JSON"}
+            try:
+                return self.bump(plan_json)
+            except Exception as exc:  # noqa: BLE001 — keep serving
+                return {"error": f"bump failed: {exc!r}"}
         if op == "score":
+            # Pin the epoch the frame asks for (absent = current) before
+            # anything else: every read below must come from one state.
+            state = self._state_for_epoch(message.get("epoch"))
+            if state is None:
+                registry.inc("cluster.worker.epoch_skew_total")
+                return {
+                    "error": (
+                        f"epoch {message.get('epoch')} is no longer held "
+                        f"(current {self._state.epoch})"
+                    ),
+                    "stale_epoch": True,
+                    "shard": self._state.shard.shard_id,
+                    "epoch": self._state.epoch,
+                }
             try:
                 Qs = np.atleast_2d(
                     np.asarray(message["queries"], dtype=np.float64)
                 )
             except (KeyError, TypeError, ValueError) as exc:
                 return {"error": f"malformed 'queries': {exc!r}"}
-            if Qs.ndim != 2 or Qs.shape[1] != self.model.k:
+            if Qs.ndim != 2 or Qs.shape[1] != state.model.k:
                 return {
                     "error": (
-                        f"queries have shape {Qs.shape} for k={self.model.k}"
+                        f"queries have shape {Qs.shape} for k={state.model.k}"
                     )
                 }
             top = message.get("top")
@@ -193,9 +380,10 @@ class ShardWorker:
             try:
                 with trace_scope(ctx), span(
                     "cluster.worker.score",
-                    shard=self.shard.shard_id,
-                    lo=self.shard.lo,
-                    hi=self.shard.hi,
+                    shard=state.shard.shard_id,
+                    lo=state.shard.lo,
+                    hi=state.shard.hi,
+                    epoch=state.epoch,
                     queries=int(Qs.shape[0]),
                     probes=probes,
                 ):
@@ -207,16 +395,17 @@ class ShardWorker:
                         None if threshold is None else float(threshold),
                         probes=probes,
                         exact=bool(exact),
+                        state=state,
                     )
             except Exception as exc:  # noqa: BLE001 — a query must not kill the worker
                 return {"error": repr(exc)}
             self.requests_served += 1
             return {
-                "shard": self.shard.shard_id,
-                "epoch": self.epoch,
+                "shard": state.shard.shard_id,
+                "epoch": state.epoch,
                 "results": results,
                 "ann": bool(
-                    probes is not None and not exact and self.ann is not None
+                    probes is not None and not exact and state.ann is not None
                 ),
             }
         if op == "stats":
@@ -320,23 +509,39 @@ def run_worker(
         )
         return 1
 
+    from repro.store.checkpoint import list_checkpoints
     from repro.store.durable import STORE_LAYOUT
 
     checkpoints = pathlib.Path(data_dir) / STORE_LAYOUT["checkpoints"]
-    info, problems = latest_valid_checkpoint(checkpoints)
-    if info is None:
-        detail = f" ({'; '.join(problems)})" if problems else ""
-        print(f"error: no valid checkpoint under {checkpoints}{detail}",
-              file=sys.stderr)
-        return 1
-    epoch = int(info.manifest.get("meta", {}).get("epoch", 0))
-    if plan.checkpoint and info.path.name != plan.checkpoint:
-        print(
-            f"error: newest checkpoint is {info.path.name} but the plan "
-            f"covers {plan.checkpoint} — store changed under the cluster",
-            file=sys.stderr,
+    if plan.checkpoint:
+        # Open exactly the checkpoint the plan pins — under a writable
+        # cluster the store may already hold a *newer* seal (a restart
+        # racing the writer); the worker starts on the plan's epoch and
+        # catches up through the normal bump broadcast.
+        info = next(
+            (
+                c
+                for c in list_checkpoints(checkpoints)
+                if c.path.name == plan.checkpoint
+            ),
+            None,
         )
-        return 1
+        if info is None:
+            print(
+                f"error: the plan covers checkpoint {plan.checkpoint} but "
+                f"it is not under {checkpoints} — store changed under the "
+                "cluster",
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        info, problems = latest_valid_checkpoint(checkpoints)
+        if info is None:
+            detail = f" ({'; '.join(problems)})" if problems else ""
+            print(f"error: no valid checkpoint under {checkpoints}{detail}",
+                  file=sys.stderr)
+            return 1
+    epoch = int(info.manifest.get("meta", {}).get("epoch", 0))
     if epoch != plan.epoch:
         print(
             f"error: checkpoint epoch {epoch} != plan epoch {plan.epoch}",
@@ -355,7 +560,10 @@ def run_worker(
     # The quantizer is optional: a pre-format-2 checkpoint has none and
     # the worker answers probe requests by exact scan (gauge raised).
     ann = open_checkpoint_ann(info.path, mmap=True)
-    worker = ShardWorker(model, plan.shard(shard_id), epoch=epoch, ann=ann)
+    worker = ShardWorker(
+        model, plan.shard(shard_id), epoch=epoch, ann=ann,
+        data_dir=pathlib.Path(data_dir),
+    )
     server = serve_shard(worker, host, port)
     bound_port = server.server_address[1]
 

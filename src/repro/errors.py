@@ -23,6 +23,8 @@ __all__ = [
     "StoreCorruptError",
     "StoreLockedError",
     "ClusterError",
+    "ClusterReadOnlyError",
+    "EpochSkewError",
 ]
 
 
@@ -126,6 +128,31 @@ class ClusterError(ReproError, RuntimeError):
     Worker *death* during a query is deliberately not an exception on
     the serving path — the router degrades to a ``partial=true``
     response instead (see :mod:`repro.cluster.router`).
+    """
+
+
+class ClusterReadOnlyError(ClusterError):
+    """A write was sent to a cluster with no primary writer.
+
+    ``repro cluster serve`` without ``--writable`` pins one sealed
+    checkpoint and refuses ``/add`` — writes must go through a writable
+    cluster (``--writable``) or the store's single-process writer
+    (``repro serve --data-dir``).  Maps to HTTP 403 so clients can
+    distinguish "this tier does not take writes" from a malformed
+    request (400) or an overloaded one (429); carries ``request_id``
+    (see :class:`ReproError`) when raised client-side.
+    """
+
+
+class EpochSkewError(ClusterError):
+    """A shard worker no longer holds the epoch a request asked for.
+
+    During an epoch bump every worker keeps the superseded epoch's
+    scoring state alive until the *next* bump, so in-flight queries
+    finish against the snapshot they started on.  A worker that fell
+    more than one epoch behind the request (or restarted straight onto
+    a newer checkpoint) answers with a skew marker; the router degrades
+    that shard to a ``partial=True`` miss instead of failing the query.
     """
 
 

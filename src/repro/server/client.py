@@ -4,9 +4,11 @@ The counterpart to :mod:`repro.server.http`: one *persistent* keep-alive
 connection reused across calls, JSON in and out, server-side failures
 mapped back onto the library's exception hierarchy (429 →
 :class:`ServerOverloadError` with ``reason="queue_full"``, 503 →
-``reason="draining"``, 504 → :class:`DeadlineExceededError`, other
-non-2xx → :class:`ReproError`), so a caller's retry/backoff logic reads
-the same whether it drives the engine in-process or over the wire.
+``reason="draining"``, 504 → :class:`DeadlineExceededError`, 403 →
+:class:`ClusterReadOnlyError` with the server-assigned request id on
+``.request_id``, other non-2xx → :class:`ReproError`), so a caller's
+retry/backoff logic reads the same whether it drives the engine
+in-process or over the wire.
 
 Reusing a connection admits exactly one new failure mode: the server
 (or a middlebox) closed it between our calls, so the next request dies
@@ -28,7 +30,12 @@ import json
 import urllib.parse
 from typing import Sequence
 
-from repro.errors import DeadlineExceededError, ReproError, ServerOverloadError
+from repro.errors import (
+    ClusterReadOnlyError,
+    DeadlineExceededError,
+    ReproError,
+    ServerOverloadError,
+)
 
 __all__ = ["ServerClient"]
 
@@ -144,6 +151,10 @@ class ServerClient:
                 exc = DeadlineExceededError(
                     data.get("error", "deadline exceeded") + suffix
                 )
+            elif response.status == 403:
+                exc = ClusterReadOnlyError(
+                    data.get("error", "cluster is read-only") + suffix
+                )
             else:
                 exc = ReproError(
                     f"server returned {response.status}: "
@@ -207,7 +218,13 @@ class ServerClient:
     def add(
         self, texts: Sequence[str], doc_ids: Sequence[str] | None = None
     ) -> dict:
-        """Live-add documents; returns the new epoch description."""
+        """Live-add documents; returns the new epoch description.
+
+        Against a read-only cluster this raises
+        :class:`ClusterReadOnlyError` (HTTP 403) with the
+        server-assigned id on ``.request_id`` — typed, so callers can
+        redirect the write rather than treat it as a request bug.
+        """
         payload: dict = {"texts": list(texts)}
         if doc_ids is not None:
             payload["doc_ids"] = list(doc_ids)

@@ -35,8 +35,9 @@ including shard workers) and is echoed back as ``X-Request-Id`` on
 timed-out work stays correlatable.
 
 Status mapping: overload → **429**, draining → **503**, expired
-deadline → **504**, malformed/failed requests → **400**, oversized
-bodies → **413**, unknown routes → **404**.  Overload rejections are
+deadline → **504**, write against a read-only cluster → **403**
+(``read_only: true`` in the body), malformed/failed requests →
+**400**, oversized bodies → **413**, unknown routes → **404**.  Overload rejections are
 written and the connection closed before any scoring work happens —
 that is the backpressure contract.
 
@@ -54,7 +55,12 @@ import asyncio
 import json
 import urllib.parse
 
-from repro.errors import DeadlineExceededError, ReproError, ServerOverloadError
+from repro.errors import (
+    ClusterReadOnlyError,
+    DeadlineExceededError,
+    ReproError,
+    ServerOverloadError,
+)
 from repro.obs.trace_context import TraceContext, coerce_trace_id, trace_scope
 from repro.obs.tracing import span
 from repro.server.service import QueryService
@@ -67,6 +73,7 @@ MAX_BODY_BYTES = 8 * 1024 * 1024
 _REASONS = {
     200: "OK",
     400: "Bad Request",
+    403: "Forbidden",
     404: "Not Found",
     413: "Payload Too Large",
     429: "Too Many Requests",
@@ -247,6 +254,13 @@ async def _handle(
                 payload = {"error": str(exc), "reason": exc.reason}
             except DeadlineExceededError as exc:
                 status, payload = 504, {"error": str(exc)}
+            except ClusterReadOnlyError as exc:
+                # Before ReproError: a write against a read-only cluster
+                # is a policy refusal (403), not a malformed request.
+                status, payload = 403, {
+                    "error": str(exc),
+                    "read_only": True,
+                }
             except _TooLarge:
                 status, payload = 413, {
                     "error": f"body exceeds {MAX_BODY_BYTES} bytes"

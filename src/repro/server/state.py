@@ -337,6 +337,8 @@ def manager_from_texts(
     distortion_budget: float = 0.1,
     drift_cap: float = 2.0,
     seed: int = 0,
+    ingest_method: str = "fold-in",
+    fast_update_rank: int = 8,
 ) -> LSIIndexManager:
     """Fit the live-updatable index manager ``repro serve`` runs on.
 
@@ -357,6 +359,8 @@ def manager_from_texts(
         distortion_budget=distortion_budget,
         drift_cap=drift_cap,
         seed=seed,
+        ingest_method=ingest_method,
+        fast_update_rank=fast_update_rank,
     )
 
 

@@ -48,6 +48,7 @@ import pathlib
 import shutil
 import threading
 import time
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -73,6 +74,7 @@ from repro.updating.manager import IndexEvent, LSIIndexManager
 
 __all__ = [
     "STORE_LAYOUT",
+    "SealInfo",
     "DurableIndexStore",
     "DurableServingState",
     "read_store_status",
@@ -103,6 +105,24 @@ def _checkpoint_summary(info) -> dict:
         ),
         "ann_clusters": info.meta.get("ann", {}).get("n_clusters"),
     }
+
+
+@dataclass(frozen=True)
+class SealInfo:
+    """What one sealed checkpoint covers — the epoch-bump handshake.
+
+    The cluster's primary writer turns this directly into the next
+    :class:`~repro.cluster.plan.ShardPlan`: ``epoch`` is the WAL LSN
+    the checkpoint captured (the store's logical version number),
+    ``name``/``path`` pin the exact checkpoint workers must remap, and
+    ``n_documents`` re-derives the shard ranges as the collection grows.
+    """
+
+    path: pathlib.Path
+    name: str
+    epoch: int
+    wal_lsn: int
+    n_documents: int
 
 
 class DurableIndexStore:
@@ -136,6 +156,9 @@ class DurableIndexStore:
         self._last_checkpoint_bytes = 0
         self._checkpointer: Checkpointer | None = None
         self._closed = False
+        #: Description of the newest checkpoint written *by this
+        #: process* (None until the first :meth:`checkpoint`/:meth:`seal`).
+        self.last_seal: SealInfo | None = None
         for info in list_checkpoints(self.checkpoints_dir):
             self._last_checkpoint_time = float(info.manifest["created_unix"])
             self._last_checkpoint_bytes = checkpoint_bytes(info)
@@ -302,7 +325,10 @@ class DurableIndexStore:
             raise
         if self._checkpointer is not None:
             self._checkpointer.notify(
-                consolidated=event is not None and event.action != "fold-in"
+                # Only a true consolidation rewrites the factor matrices;
+                # fast-update is a per-batch ingest kernel like fold-in.
+                consolidated=event is not None
+                and event.action in ("svd-update", "recompute")
             )
         self.publish_gauges()
         return event
@@ -463,12 +489,30 @@ class DurableIndexStore:
             self._last_checkpoint_lsn = wal_lsn
             self._last_checkpoint_time = time.time()
             self._last_checkpoint_bytes = checkpoint_bytes(info)
+            self.last_seal = SealInfo(
+                path=info.path,
+                name=info.path.name,
+                epoch=wal_lsn,
+                wal_lsn=wal_lsn,
+                n_documents=int(meta["n_documents"]),
+            )
             elapsed = time.perf_counter() - t0
             registry.inc("store.checkpoints_total")
             registry.observe("store.checkpoint_seconds", elapsed)
             self._prune_checkpoints()
             self.publish_gauges()
             return info.path
+
+    def seal(self, reason: str = "seal") -> SealInfo:
+        """Snapshot current state and describe exactly what was sealed.
+
+        Same operation as :meth:`checkpoint`, returning the
+        :class:`SealInfo` an epoch bump needs (checkpoint name, epoch,
+        covered document count) instead of just the path — the entry
+        point the cluster's primary writer drives.
+        """
+        self.checkpoint(reason=reason)
+        return self.last_seal
 
     def _prune_checkpoints(self) -> None:
         infos = list_checkpoints(self.checkpoints_dir)

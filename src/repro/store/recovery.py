@@ -117,6 +117,13 @@ def capture_manager(
         "tdm_data": manager.tdm.matrix.data,
         "pending": pending,
     }
+    if model.U is not base.U or model.s is not base.s:
+        # Fold-in shares the base factors by reference, so the common
+        # case stores U/Σ once.  The fast-update ingest kernel rotates
+        # them per batch; capture the serving copies too so a checkpoint
+        # taken mid-pending restores bit-identically.
+        arrays["model_U"] = model.U
+        arrays["model_s"] = model.s
     meta = {
         "k": manager.k,
         "seed": manager.seed,
@@ -128,6 +135,8 @@ def capture_manager(
         "distortion_budget": manager.distortion_budget,
         "drift_cap": manager.drift_cap,
         "exact_updates": manager.exact_updates,
+        "ingest_method": manager.ingest_method,
+        "fast_update_rank": manager.fast_update_rank,
         "vocabulary": vocab,
         "doc_ids": list(model.doc_ids),
         "base_doc_ids": list(base.doc_ids),
@@ -177,6 +186,12 @@ def restore_manager(
         doc_ids=list(meta["doc_ids"]),
         provenance=meta["provenance"],
     )
+    if "model_U" in arrays:
+        model = replace(
+            model,
+            U=np.asarray(arrays["model_U"]),
+            s=np.asarray(arrays["model_s"]),
+        )
     m, n = (int(x) for x in meta["tdm_shape"])
     tdm = TermDocumentMatrix(
         CSCMatrix(
@@ -202,6 +217,10 @@ def restore_manager(
         drift_cap=float(meta["drift_cap"]),
         exact_updates=bool(meta["exact_updates"]),
         seed=int(meta["seed"]),
+        # Absent in pre-writable-cluster checkpoints: default to the
+        # historical fold-in behaviour.
+        ingest_method=meta.get("ingest_method", "fold-in"),
+        fast_update_rank=int(meta.get("fast_update_rank", 8)),
     )
 
 

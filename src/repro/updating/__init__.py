@@ -22,6 +22,7 @@ fidelity:
 """
 
 from repro.updating.folding import fold_in_documents, fold_in_terms, fold_in_texts
+from repro.updating.fast_update import fast_update_documents
 from repro.updating.svd_update import (
     update_documents,
     update_terms,
@@ -44,6 +45,7 @@ __all__ = [
     "fold_in_documents",
     "fold_in_terms",
     "fold_in_texts",
+    "fast_update_documents",
     "update_documents",
     "update_terms",
     "update_weights",

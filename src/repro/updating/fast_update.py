@@ -1,0 +1,168 @@
+"""Fast (projection-based) SVD-updating of the rank-k model.
+
+Implements the document-update variant of Vecharynski & Saad, *Fast
+updating algorithms for latent semantic indexing* (see PAPERS.md): the
+exact Zha-Simon update (:func:`repro.updating.svd_update.
+update_documents` with ``exact=True``) must orthonormalize the full
+residual ``R = (I − U_k U_kᵀ) D`` — an ``m × p`` factorization whose
+cost dominates sustained ingest — before solving the small core SVD.
+The fast update replaces that residual basis with a *much smaller*
+one: a rank-``l`` (``l ≪ p``) orthonormal basis ``X`` of the dominant
+left singular directions of ``R``, computed by a seeded randomized
+range finder (Gaussian sketch + power iteration).  The updated factors
+are then found by a Rayleigh-Ritz projection onto ``span([U_k, X])``::
+
+    B = (A_k | D) ≈ [U_k X] K [V_k ⊕ I_p]ᵀ,
+    K = [[Σ_k, U_kᵀD], [0, XᵀR]]          ((k+l) × (k+p))
+
+whose SVD rotates the old factors exactly as in Eq. 10.  Because
+``X ⊂ range(R) ⟂ span(U_k)``, the produced ``U`` and ``V`` are
+orthonormal to rounding — the update inherits the §4.3 drift behaviour
+of the exact update, not of folding-in — while the per-batch cost
+drops from the exact update's ``O(m p²)`` residual factorization to
+``O(m p l)`` sketch products.  When ``l ≥ rank(R)`` the sketch spans
+the whole residual and the result coincides with the exact update.
+
+Determinism: the Gaussian sketch is seeded from ``(seed, n_documents,
+p)``, so replaying the same batch against the same model reproduces
+bit-identical factors — the property the store's WAL recovery relies
+on when the cluster's primary writer ingests through this kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.model import LSIModel
+from repro.errors import ShapeError
+from repro.linalg.jacobi_svd import jacobi_svd
+from repro.obs.metrics import registry
+from repro.obs.tracing import span
+from repro.serving.index import invalidate_model
+from repro.updating.folding import _weight_columns
+
+__all__ = ["fast_update_documents"]
+
+#: Sketch directions with singular value below this (relative to the
+#: block norm) carry no residual mass and are dropped.
+_SKETCH_TOL = 1e-10
+
+#: Default sketch rank: enough for the low-dimensional residual energy
+#: of topical text batches, tiny next to typical batch sizes.
+DEFAULT_SKETCH_RANK = 8
+
+
+def _orthonormal_columns(Y: np.ndarray, scale: float) -> np.ndarray:
+    """An orthonormal basis of ``range(Y)``, rank-revealing.
+
+    Columns whose singular value falls below ``_SKETCH_TOL · scale``
+    are dropped — they are rounding noise, and keeping them would
+    reintroduce components of ``span(U_k)`` into the residual basis.
+    """
+    if Y.size == 0 or Y.shape[1] == 0:
+        return np.zeros((Y.shape[0], 0))
+    U, s, _V = jacobi_svd(Y)
+    return U[:, s > _SKETCH_TOL * max(scale, 1.0)]
+
+
+def _residual_basis(
+    R: np.ndarray,
+    U: np.ndarray,
+    rank: int,
+    *,
+    power_iters: int,
+    scale: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Rank-``rank`` orthonormal sketch of ``range(R)``, kept ``⟂ U``.
+
+    Halko-style randomized range finder: ``Y = R Ω`` with a Gaussian
+    ``Ω``, sharpened by ``power_iters`` rounds of ``R Rᵀ`` to bias the
+    basis toward the residual's dominant directions.  The final
+    re-projection against ``U`` removes any retained-subspace component
+    rounding re-introduced, so ``[U, X]`` stays orthonormal.
+    """
+    p = R.shape[1]
+    l = min(rank, p, R.shape[0])
+    if l <= 0 or np.sqrt(np.sum(R * R)) <= _SKETCH_TOL * max(scale, 1.0):
+        return np.zeros((R.shape[0], 0))
+    Y = R @ rng.standard_normal((p, l))
+    for _ in range(max(0, power_iters)):
+        Q = _orthonormal_columns(Y, scale)
+        if Q.shape[1] == 0:
+            return Q
+        Y = R @ (R.T @ Q)
+    X = _orthonormal_columns(Y, scale)
+    if X.shape[1]:
+        X = X - U @ (U.T @ X)
+        X = _orthonormal_columns(X, scale)
+    return X
+
+
+def fast_update_documents(
+    model: LSIModel,
+    counts: np.ndarray,
+    doc_ids: Sequence[str],
+    *,
+    rank: int = DEFAULT_SKETCH_RANK,
+    power_iters: int = 1,
+    seed: int = 0,
+) -> LSIModel:
+    """Rayleigh-Ritz fast update with ``p`` new document columns.
+
+    Approximates the rank-k SVD of ``B = (A_k | D)`` (Eq. 10's target)
+    through a rank-``rank`` sketch of the residual ``(I − U_kU_kᵀ)D``
+    instead of its full orthonormal factor — the Vecharynski-Saad
+    construction (module docstring).  Factors come back orthonormal to
+    rounding; ``rank ≥ rank(residual)`` reproduces the exact update.
+    """
+    with span("lsi.update.fast_documents", rank=rank) as sp:
+        D = _weight_columns(model, counts)  # (m, p) weighted
+        p = D.shape[1]
+        sp.set_attr("p", p)
+        if len(doc_ids) != p:
+            raise ShapeError(f"{len(doc_ids)} ids for {p} documents")
+        if rank < 1:
+            raise ShapeError(f"sketch rank must be >= 1, got {rank}")
+        # The update supersedes the source model: invalidate its cached
+        # serving index (repro.serving.index invalidation contract).
+        invalidate_model(model)
+        registry.inc("updating.fast_updated_documents", p)
+        k = model.k
+        Dhat = model.U.T @ D  # (k, p)
+        R = D - model.U @ Dhat  # residual, ⟂ span(U_k)
+        scale = np.sqrt(np.sum(D * D))
+        rng = np.random.default_rng(
+            [int(seed) & 0x7FFFFFFF, model.n_documents, p]
+        )
+        X = _residual_basis(
+            R, model.U, rank, power_iters=power_iters, scale=scale, rng=rng
+        )
+        l = X.shape[1]
+        sp.set_attr("sketch_rank", l)
+        # K = [[Σ_k, D̂], [0, XᵀR]], (k+l) × (k+p) — the projected core.
+        K = np.zeros((k + l, k + p))
+        K[:k, :k] = np.diag(model.s)
+        K[:k, k:] = Dhat
+        if l:
+            K[k:, k:] = X.T @ R
+        UK, sK, VK = jacobi_svd(K)
+        UK, sK, VK = UK[:, :k], sK[:k], VK[:, :k]
+        U_new = model.U @ UK[:k, :]
+        if l:
+            U_new = U_new + X @ UK[k:, :]
+        # V_B = (V_k ⊕ I_p) V_K: top rows rotate V_k, bottom p rows are
+        # V_K's tail block verbatim — identical structure to Eq. 10.
+        V_new = np.vstack([model.V @ VK[:k, :], VK[k:, :]])
+        return LSIModel(
+            U=U_new,
+            s=sK,
+            V=V_new,
+            vocabulary=model.vocabulary,
+            doc_ids=model.doc_ids + list(doc_ids),
+            scheme=model.scheme,
+            global_weights=model.global_weights,
+            provenance="fast-update",
+        )

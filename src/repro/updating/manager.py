@@ -36,6 +36,7 @@ from repro.sparse.build import from_dense
 from repro.sparse.ops import hstack_csc
 from repro.text.tdm import TermDocumentMatrix, count_vector
 from repro.text.tokenizer import tokenize
+from repro.updating.fast_update import fast_update_documents
 from repro.updating.folding import fold_in_documents
 from repro.updating.orthogonality import drift_report
 from repro.updating.planner import plan_update
@@ -48,7 +49,7 @@ __all__ = ["IndexEvent", "LSIIndexManager"]
 class IndexEvent:
     """One maintenance action taken by the manager (for observability)."""
 
-    action: str  # "fold-in" | "svd-update" | "recompute"
+    action: str  # "fold-in" | "fast-update" | "svd-update" | "recompute"
     n_documents: int
     pending_before: int
     doc_loss: float
@@ -78,6 +79,19 @@ class LSIIndexManager:
         common case while still catching pathological drift.
     exact_updates:
         Use the residual-retaining (exact) SVD-update variant.
+    ingest_method:
+        How an incoming batch becomes queryable before consolidation:
+        ``"fold-in"`` (Eq. 7, the paper's default — cheapest, but the
+        appended vectors corrupt orthogonality) or ``"fast-update"``
+        (the Vecharynski-Saad Rayleigh-Ritz projection update of
+        :mod:`repro.updating.fast_update` — slightly costlier per
+        batch, keeps the factors orthonormal, which is what the
+        cluster's primary writer runs under sustained ingest).  Either
+        way the raw counts accumulate in the pending block and
+        consolidation still applies the exact SVD-update (or a
+        recompute) to the pristine base model.
+    fast_update_rank:
+        Residual sketch rank ``l`` for ``ingest_method="fast-update"``.
     """
 
     tdm: TermDocumentMatrix
@@ -87,6 +101,8 @@ class LSIIndexManager:
     drift_cap: float = 2.0
     exact_updates: bool = True
     seed: int = 0
+    ingest_method: str = "fold-in"
+    fast_update_rank: int = 8
 
     model: LSIModel = field(init=False)
     events: list[IndexEvent] = field(init=False, default_factory=list)
@@ -117,6 +133,8 @@ class LSIIndexManager:
         drift_cap: float = 2.0,
         exact_updates: bool = True,
         seed: int = 0,
+        ingest_method: str = "fold-in",
+        fast_update_rank: int = 8,
     ) -> "LSIIndexManager":
         """Rebuild a manager from previously captured state — no refit.
 
@@ -137,6 +155,8 @@ class LSIIndexManager:
         manager.drift_cap = drift_cap
         manager.exact_updates = exact_updates
         manager.seed = seed
+        manager.ingest_method = ingest_method
+        manager.fast_update_rank = fast_update_rank
         manager._base_model = base_model
         manager.model = model
         manager.events = list(events)
@@ -209,8 +229,18 @@ class LSIIndexManager:
                 f"m={self.model.n_terms}"
             )
         pending_before = self.pending
-        # Always fold first: the index must answer queries immediately.
-        self.model = fold_in_documents(self.model, counts, list(doc_ids))
+        # Ingest first: the index must answer queries immediately.  The
+        # paper's fold-in is the default; the fast-update kernel is the
+        # writer-side alternative that keeps the factors orthonormal.
+        if self.ingest_method == "fast-update":
+            self.model = fast_update_documents(
+                self.model, counts, list(doc_ids),
+                rank=self.fast_update_rank, seed=self.seed,
+            )
+            ingest_action = "fast-update"
+        else:
+            self.model = fold_in_documents(self.model, counts, list(doc_ids))
+            ingest_action = "fold-in"
         self._pending_counts.append(counts)
         self._pending_ids.extend(doc_ids)
 
@@ -224,9 +254,10 @@ class LSIIndexManager:
         )
         doc_loss = self.drift()
         if plan.method == "fold-in" and doc_loss <= self.drift_cap:
-            registry.inc("manager.events.fold-in")
+            registry.inc(f"manager.events.{ingest_action}")
             event = IndexEvent(
-                "fold-in", len(doc_ids), pending_before, doc_loss, plan.reason
+                ingest_action, len(doc_ids), pending_before, doc_loss,
+                plan.reason,
             )
         else:
             reason = (
