@@ -19,6 +19,13 @@ prints (and parity is still asserted) but the floor is reported, not
 enforced — four processes on one core cannot beat one process on one
 core.
 
+The replication sweep measures the *other* axis: the same two shard
+ranges served at R in {1, 2, 3} replicas, driven by concurrent query
+lanes so power-of-two-choices actually has load to spread.  With >= 4
+cores, R=2 must sustain >= 1.5x the R=1 read QPS (two extra processes
+absorb half of each range's scatters); the sweep is recorded as
+``BENCH_cluster_replication.json``.
+
 ``BENCH_SMOKE=1`` shrinks the corpus for CI.
 """
 
@@ -30,6 +37,8 @@ for _var in ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS", "MKL_NUM_THREADS"):
     os.environ.setdefault(_var, "1")
 
 import asyncio
+import json
+import pathlib
 import tempfile
 import time
 
@@ -38,6 +47,7 @@ import numpy as np
 from conftest import emit
 from obs_export import maybe_export_obs
 from repro import obs
+from repro.obs.metrics import registry
 from repro.cluster import ClusterConfig, ClusterService
 from repro.obs.trace_context import TraceContext, trace_scope
 from repro.store.checkpoint import write_checkpoint
@@ -52,6 +62,12 @@ WAVE = 32  # queries per scatter
 WAVES = 12 if SMOKE else 30
 WORKER_COUNTS = (1, 4)
 MIN_SPEEDUP_AT_4 = 2.0
+#: Replication sweep: the same RANGES_HA shard ranges at R replicas each.
+RANGES_HA = 2
+REPLICATION_COUNTS = (1, 2, 3)
+#: Concurrent query lanes — replicas only help when scatters overlap.
+HA_CONCURRENCY = 8
+MIN_HA_SPEEDUP_AT_2 = 1.5
 #: Distributed tracing must stay near-free on the scatter path.
 MAX_TRACING_OVERHEAD = 0.05
 
@@ -177,6 +193,123 @@ def test_cluster_throughput_scales_with_workers():
         print(
             f"NOTE: only {cores} core(s) — speedup floor "
             f"({MIN_SPEEDUP_AT_4}x) reported, not enforced: "
+            f"{speedup:.2f}x"
+        )
+
+
+def _replicated_qps(
+    data_dir: str, replication: int, waves: list[np.ndarray]
+) -> tuple[float, list]:
+    """Read QPS at one replication factor, plus the warm-up results.
+
+    ``HA_CONCURRENCY`` asyncio lanes issue scatters concurrently —
+    sequential waves would never have two requests in flight, so
+    power-of-two-choices would have nothing to balance and extra
+    replicas would measure as pure overhead.
+    """
+
+    async def main() -> tuple[float, list]:
+        service = ClusterService(
+            data_dir,
+            ClusterConfig(
+                workers=RANGES_HA * replication,
+                replication=replication,
+                hedge=False,
+                worker_timeout_ms=60_000.0,
+            ),
+        )
+        await service.start()
+        try:
+            first = await service.search_many(waves[0], top=TOP)
+            assert first.partial is False
+
+            async def lane(idx: int) -> None:
+                for wave in waves[idx::HA_CONCURRENCY]:
+                    result = await service.search_many(wave, top=TOP)
+                    assert result.partial is False
+
+            t0 = time.perf_counter()
+            await asyncio.gather(
+                *(lane(i) for i in range(HA_CONCURRENCY))
+            )
+            elapsed = time.perf_counter() - t0
+            return WAVE * len(waves) / elapsed, first.results
+        finally:
+            await service.drain()
+
+    return asyncio.run(main())
+
+
+def test_cluster_replication_read_throughput():
+    """Replicated reads scale: R=2 sustains >= 1.5x the R=1 QPS.
+
+    Same checkpoint, same two shard ranges, same query waves — only the
+    replica count changes.  Every replication factor must also merge to
+    element-identical results (a replica answering for its range is
+    indistinguishable from its siblings).
+    """
+    cores = len(os.sched_getaffinity(0))
+    with tempfile.TemporaryDirectory() as tmp:
+        data_dir = os.path.join(tmp, "store")
+        _seed_serving_checkpoint(data_dir)
+        waves = _query_waves(K, seed=11)
+
+        qps = {}
+        reference = None
+        rows = [f"{'R':>4s}  {'workers':>8s}  {'QPS':>10s}  {'vs R=1':>8s}"]
+        for replication in REPLICATION_COUNTS:
+            # Worker ids repeat across runs; stale latency medians from
+            # the previous run would skew this run's replica ordering.
+            registry.reset("cluster.")
+            qps[replication], results = _replicated_qps(
+                data_dir, replication, waves
+            )
+            if reference is None:
+                reference = results
+            else:
+                assert results == reference
+            rows.append(
+                f"{replication:>4d}  {RANGES_HA * replication:>8d}  "
+                f"{qps[replication]:>10.0f}  "
+                f"{qps[replication] / qps[REPLICATION_COUNTS[0]]:>7.2f}x"
+            )
+
+    speedup = qps[2] / qps[1]
+    rows.append(f"cores available: {cores}")
+    emit(
+        f"cluster replication read throughput (n={N_DOCS}, k={K}, "
+        f"ranges={RANGES_HA}, {HA_CONCURRENCY} lanes, "
+        f"{WAVES} waves of {WAVE} queries)",
+        rows,
+    )
+    snapshot = {
+        "n_docs": N_DOCS,
+        "k": K,
+        "top": TOP,
+        "ranges": RANGES_HA,
+        "lanes": HA_CONCURRENCY,
+        "waves": WAVES,
+        "wave_size": WAVE,
+        "cores": cores,
+        "qps": {str(r): qps[r] for r in REPLICATION_COUNTS},
+        "speedup_2_over_1": speedup,
+        "floor_2_over_1": MIN_HA_SPEEDUP_AT_2,
+        "floor_enforced": cores >= 4,
+        "smoke": SMOKE,
+    }
+    pathlib.Path("BENCH_cluster_replication.json").write_text(
+        json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+    )
+    maybe_export_obs("cluster_replication_throughput", extra=snapshot)
+    if cores >= 4:
+        assert speedup >= MIN_HA_SPEEDUP_AT_2, (
+            f"R=2/R=1 read QPS = {speedup:.2f}x on {cores} cores, "
+            f"need >= {MIN_HA_SPEEDUP_AT_2}x"
+        )
+    else:
+        print(
+            f"NOTE: only {cores} core(s) — replication floor "
+            f"({MIN_HA_SPEEDUP_AT_2}x) reported, not enforced: "
             f"{speedup:.2f}x"
         )
 

@@ -25,6 +25,16 @@ boundaries:
 * a second tiny cluster with an injected worker delay pushes a query
   over ``--slow-ms``: it must land in the ``--slowlog`` JSONL with
   per-shard timings (uploaded as a CI artifact);
+* with ``--replication 2`` (6 workers, 3 ranges), SIGKILL-ing one
+  replica mid-stream costs **nothing**: every response stays
+  ``partial=false`` and element-identical while healthz shows the
+  range at 1/2 healthy replicas — failover, not degradation — until
+  the supervisor restores 2/2;
+* SIGKILL-ing a ``--writable`` primary's whole process group promotes
+  a ``--standby`` cluster on the same store: it adopts the lock,
+  replays the WAL tail, and serves every previously acked record —
+  zero durable-acked documents lost — with the promotion timeline
+  landing in a JSONL artifact;
 * SIGTERM drains cleanly — the process prints ``drained cleanly`` and
   exits 0.
 
@@ -83,8 +93,13 @@ def _start_cluster(
     data_dir: str,
     *extra_args: str,
     env_extra: dict[str, str] | None = None,
+    new_session: bool = False,
 ) -> tuple[subprocess.Popen, int]:
-    """Launch ``repro cluster serve``; return (proc, http port)."""
+    """Launch ``repro cluster serve``; return (proc, http port).
+
+    ``new_session=True`` puts the front end and its spawned workers in
+    their own process group, so ``os.killpg`` can SIGKILL the whole
+    cluster at once (the primary-death scenario)."""
     env = dict(os.environ, PYTHONPATH="src", PYTHONUNBUFFERED="1")
     env.update(env_extra or {})
     proc = subprocess.Popen(
@@ -97,7 +112,7 @@ def _start_cluster(
             *extra_args,
         ],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
-        text=True, env=env,
+        text=True, env=env, start_new_session=new_session,
     )
     deadline = time.monotonic() + 60
     while time.monotonic() < deadline:
@@ -242,6 +257,182 @@ def _slowlog_phase(data_dir: str) -> None:
         if proc.poll() is None:
             proc.kill()
             proc.communicate(timeout=10)
+
+
+def _replication_phase(data_dir: str, queries: list[str], expected) -> None:
+    """R=2: SIGKILL one replica mid-stream → zero partial responses."""
+    proc, port = _start_cluster(
+        data_dir, "--workers", str(2 * SHARDS), "--replication", "2"
+    )
+    try:
+        client = ServerClient(port=port)
+        health = client.healthz()
+        assert health["replication"] == 2, health
+        assert health["n_workers"] == 2 * SHARDS, health
+        assert health["n_shards"] == SHARDS, health
+        assert all(
+            r["replicas_healthy"] == 2 for r in health["ranges"]
+        ), health["ranges"]
+
+        # Kill replica 0 of range 1 and stream queries straight through
+        # the death + restart window: with a live sibling, not one
+        # response may degrade — failover is the contract, partial is
+        # the bug.
+        victim = next(
+            w for w in health["workers"]
+            if w["shard"] == 1 and w["replica"] == 0
+        )
+        os.kill(victim["pid"], signal.SIGKILL)
+        checked = partials = 0
+        one_replica_seen = recovered = False
+        deadline = time.monotonic() + 40
+        while time.monotonic() < deadline:
+            q = queries[checked % len(queries)]
+            data, got = _search_pairs(client, q)
+            checked += 1
+            partials += int(data["partial"])
+            assert got == expected[q], (q, got, expected[q])
+            r1 = next(
+                r for r in client.healthz()["ranges"] if r["shard"] == 1
+            )
+            if r1["replicas_healthy"] == 1:
+                one_replica_seen = True
+                # One dead replica of a covered range is NOT degraded.
+                assert client.healthz()["status"] == "ok"
+            if one_replica_seen and r1["replicas_healthy"] == 2:
+                recovered = True
+                break
+            time.sleep(0.05)
+        assert partials == 0, f"{partials}/{checked} responses degraded"
+        assert one_replica_seen, "never observed the 1/2-replica window"
+        assert recovered, "replica never restarted to 2/2"
+
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=45)
+        assert proc.returncode == 0, (proc.returncode, out)
+        print(
+            f"replication: R=2 SIGKILL'd worker {victim['worker']} "
+            f"(shard 1 replica 0) -> {checked} streamed responses, "
+            f"0 partial, all element-identical; range healed 1/2 -> 2/2"
+        )
+    finally:
+        _reap(proc)
+
+
+def _promotion_phase(tmp: str, texts: list[str]) -> None:
+    """SIGKILL the writable primary → the standby adopts, zero loss."""
+    data_dir = os.path.join(tmp, "store-ha")
+    _seed_store(data_dir, texts)
+    promo = os.path.abspath("SMOKE_cluster_promotion.jsonl")
+    if os.path.exists(promo):
+        os.unlink(promo)
+
+    # The primary: a writable cluster in its own process group.  Seal
+    # on every 4th record with the age trigger OFF, so the final three
+    # acked documents are WAL-only when it dies — the exact window a
+    # naive failover loses.
+    primary, pport = _start_cluster(
+        data_dir, "--writable", "--seal-every", "4", "--seal-interval",
+        "0", new_session=True,
+    )
+    standby = None
+    try:
+        # The standby: same store directory, read-only until promotion.
+        standby, sport = _start_cluster(
+            data_dir, "--standby", "--standby-poll", "0.2",
+            "--promotion-log", promo,
+        )
+        sclient = ServerClient(port=sport)
+        assert sclient.healthz()["standby"]["promoted"] is False
+        epoch0 = sclient.healthz()["epoch"]
+
+        pclient = ServerClient(port=pport)
+        acked = []
+        for i in range(7):
+            ack = pclient.add([f"w1 w5 w9 w{10 + i} w{20 + i}"], [f"HA{i}"])
+            assert ack["durable"] is True, ack
+            acked.append(f"HA{i}")
+
+        # The standby follows the primary's seal (records 1-4) while
+        # records 5-7 stay WAL-only.
+        deadline = time.monotonic() + 45
+        while sclient.healthz()["epoch"] == epoch0:
+            assert time.monotonic() < deadline, "standby never followed"
+            time.sleep(0.1)
+        assert sclient.healthz()["standby"]["promoted"] is False
+
+        # Primary dies: the whole process group, no drain, no flush.
+        os.killpg(primary.pid, signal.SIGKILL)
+        primary.communicate(timeout=15)
+
+        deadline = time.monotonic() + 90
+        while True:
+            h = sclient.healthz()
+            if (
+                h["standby"]["promoted"]
+                and h["writer"].get("enabled")
+                and h["n_documents"] == len(texts) + len(acked)
+            ):
+                break
+            assert time.monotonic() < deadline, f"no promotion: {h}"
+            time.sleep(0.2)
+
+        # Zero acked records lost: every durable /add the dead primary
+        # acknowledged — sealed or WAL-tail — is searchable, complete.
+        data = sclient.search("w1 w5 w9", top=h["n_documents"])
+        assert data["partial"] is False, data
+        ids = {row[2] for row in data["results"]}
+        assert set(acked) <= ids, sorted(set(acked) - ids)
+
+        # And the adopted writer accepts new writes.
+        ack = sclient.add(["w2 w4 w6 w8"], ["HA-post"])
+        assert ack["durable"] is True, ack
+
+        events = [
+            json.loads(line)
+            for line in open(promo, encoding="utf-8")
+        ]
+        names = [e["event"] for e in events]
+        for expected_event in (
+            "standby_start", "followed_epoch", "lock_free", "adopted",
+            "promoted",
+        ):
+            assert expected_event in names, names
+        assert names.index("lock_free") < names.index("adopted") < (
+            names.index("promoted")
+        ), names
+
+        standby.send_signal(signal.SIGTERM)
+        out, _ = standby.communicate(timeout=45)
+        assert standby.returncode == 0, (standby.returncode, out)
+        promote_ms = 1000.0 * (
+            next(e["ts"] for e in events if e["event"] == "promoted")
+            - next(e["ts"] for e in events if e["event"] == "lock_free")
+        )
+        print(
+            f"promotion: primary SIGKILL'd with 3 WAL-only acked docs -> "
+            f"standby adopted + promoted in {promote_ms:.0f}ms, all "
+            f"{len(acked)} acked docs searchable, writes accepted "
+            f"-> {os.path.basename(promo)}"
+        )
+    finally:
+        for proc in (primary, standby):
+            _reap(proc)
+
+
+def _reap(proc: subprocess.Popen | None) -> None:
+    """Failure-path cleanup: kill the front end, tolerate a held pipe.
+
+    A SIGKILLed front end cannot SIGTERM its workers, and they inherit
+    its stdout pipe — so ``communicate`` may never see EOF; the timeout
+    keeps a failed phase from hanging the whole smoke."""
+    if proc is None or proc.poll() is not None:
+        return
+    proc.kill()
+    try:
+        proc.communicate(timeout=10)
+    except subprocess.TimeoutExpired:
+        pass
 
 
 def main() -> None:
@@ -401,6 +592,12 @@ def main() -> None:
 
         # Phase 5: a fresh cluster with a delayed worker → slow-query log.
         _slowlog_phase(data_dir)
+
+        # Phase 6: R=2 — a SIGKILL'd replica costs nothing mid-stream.
+        _replication_phase(data_dir, queries, expected)
+
+        # Phase 7: primary SIGKILL → standby adoption, zero acked loss.
+        _promotion_phase(tmp, texts)
 
     print("cluster smoke: OK")
 

@@ -248,7 +248,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="durable store directory whose newest checkpoint to serve",
     )
     pc_serve.add_argument("--workers", type=int, default=4,
-                          help="shard worker processes (= shards)")
+                          help="shard worker processes (workers // "
+                               "replication shard ranges are carved)")
+    pc_serve.add_argument(
+        "--replication", type=int, default=1, metavar="R",
+        help="replicas per shard range: reads load-balance across them, "
+             "a dead replica fails over to a sibling, and epoch bumps "
+             "publish on per-range quorum (default 1)",
+    )
     pc_serve.add_argument("--host", default="127.0.0.1")
     pc_serve.add_argument("--port", type=int, default=8080,
                           help="HTTP port (0 picks an ephemeral port)")
@@ -319,6 +326,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--retain", type=int, default=3,
         help="writable: checkpoints retained on disk (min 3)",
     )
+    pc_serve.add_argument(
+        "--standby", action="store_true",
+        help="warm standby writer: tail the primary's checkpoints + WAL "
+             "read-only and adopt the store lock (promote, replay the "
+             "WAL tail, resume sealing) when the primary dies; mutually "
+             "exclusive with --writable",
+    )
+    pc_serve.add_argument(
+        "--standby-poll", type=float, default=0.5, metavar="SECONDS",
+        help="standby: epoch-tail and lock-probe cadence",
+    )
+    pc_serve.add_argument(
+        "--promotion-log", type=pathlib.Path, default=None,
+        help="standby: JSONL file recording the promotion timeline",
+    )
 
     pc_status = cluster_sub.add_parser(
         "status", help="query a running cluster's health"
@@ -335,6 +357,9 @@ def build_parser() -> argparse.ArgumentParser:
     pc_worker.add_argument("--data-dir", type=pathlib.Path, required=True)
     pc_worker.add_argument("--shard", type=int, required=True,
                            help="shard id within the plan")
+    pc_worker.add_argument("--replica", type=int, default=0,
+                           help="replica index within the shard's "
+                                "replica set (identity only)")
     pc_worker.add_argument("--plan", required=True,
                            help="canonical shard-plan JSON")
     pc_worker.add_argument("--host", default="127.0.0.1")
@@ -593,7 +618,7 @@ def _cmd_cluster(args, out) -> int:
 
         return run_worker(
             args.data_dir, args.plan, args.shard,
-            host=args.host, port=args.port, out=out,
+            replica=args.replica, host=args.host, port=args.port, out=out,
         )
 
     if args.action == "status":
@@ -610,14 +635,27 @@ def _cmd_cluster(args, out) -> int:
         print(f"documents : {health.get('n_documents')}", file=out)
         print(
             f"shards    : {health.get('workers_live')}/"
-            f"{health.get('n_shards')} live",
+            f"{health.get('n_workers', health.get('n_shards'))} "
+            "workers live",
             file=out,
         )
+        if health.get("replication", 1) > 1:
+            print(f"replication: {health['replication']}", file=out)
+        for rng in health.get("ranges", []):
+            print(
+                f"range {rng['shard']:<4}: "
+                f"{rng['replicas_healthy']}/{rng['replicas_total']} "
+                f"replicas healthy rows=[{rng['lo']},{rng['hi']})",
+                file=out,
+            )
         for row in health.get("workers", []):
+            replica = (
+                f" replica={row['replica']}" if "replica" in row else ""
+            )
             print(
                 f"shard {row['shard']:<4}: {row['state']:<10} "
-                f"rows=[{row['lo']},{row['hi']}) epoch={row.get('epoch')} "
-                f"pid={row['pid']} port={row['port']} "
+                f"rows=[{row['lo']},{row['hi']}) epoch={row.get('epoch')}"
+                f"{replica} pid={row['pid']} port={row['port']} "
                 f"restarts={row['restarts']}",
                 file=out,
             )
@@ -668,6 +706,13 @@ def _cmd_cluster(args, out) -> int:
         ann_clusters=args.ann_clusters,
         retain=args.retain,
         workers=args.workers,
+        replication=args.replication,
+        standby=args.standby,
+        standby_poll_s=args.standby_poll,
+        promotion_log=(
+            str(args.promotion_log)
+            if args.promotion_log is not None else None
+        ),
         worker_timeout_ms=args.worker_timeout_ms,
         hedge_quantile=args.hedge_quantile,
         hedge=not args.no_hedge,
@@ -696,8 +741,13 @@ def _cmd_cluster(args, out) -> int:
             f"cluster serving {service.model.n_documents} documents "
             f"across {service.plan.n_shards} shards "
             f"(epoch {service.epoch}, checkpoint {service.checkpoint}"
+            + (
+                f", replication={service.plan.replication}"
+                if service.plan.replication > 1 else ""
+            )
             + (", ann" if service.ann else "")
             + (", writable" if service.primary is not None else "")
+            + (", standby" if service.standby is not None else "")
             + f") on http://{args.host}:{port}",
             file=out, flush=True,
         )

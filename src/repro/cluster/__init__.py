@@ -26,6 +26,20 @@ broadcasts epoch *bumps* — each worker hot-remaps the new checkpoint
 behind an atomic swap while keeping the previous epoch's state alive
 (:mod:`~repro.cluster.epochs`), so in-flight queries finish against
 the epoch they started on and zero queries drop across a bump.
+
+With ``--replication R`` the cluster is highly available on both paths.
+Reads: a :class:`~repro.cluster.placement.ReplicaPlan` assigns every
+shard range R distinct worker processes; the router load-balances with
+power-of-two-choices over live per-replica load (latency-history
+tiebreak), fails a dead
+or skewed replica over to a sibling before declaring rows missing, and
+hedges stragglers across replicas — a SIGKILL'd worker costs nothing
+while a sibling lives, and epoch bumps publish only once a quorum of
+each range's replicas remap.  Writes: ``--standby`` runs a
+:class:`~repro.cluster.standby.StandbyWriter` that tails checkpoints
+and the WAL read-only, and on primary death adopts the store lock
+(fencing generation bumped — see :mod:`repro.store.lock`), replays the
+WAL tail, and resumes sealing with zero acked records lost.
 """
 
 from repro.cluster.epochs import (
@@ -33,8 +47,15 @@ from repro.cluster.epochs import (
     handle_for_checkpoint,
     latest_handle,
 )
+from repro.cluster.placement import (
+    REPLICA_PLAN_FORMAT,
+    ReplicaPlan,
+    ReplicaSet,
+    as_replica_plan,
+)
 from repro.cluster.plan import PLAN_FORMAT, ShardPlan, ShardRange
 from repro.cluster.primary import PrimaryWriter, WriterConfig
+from repro.cluster.standby import StandbyConfig, StandbyWriter
 from repro.cluster.router import (
     ClusterResult,
     ClusterRouter,
@@ -47,13 +68,19 @@ from repro.cluster.worker import ShardWorker, WorkerServer, run_worker
 
 __all__ = [
     "PLAN_FORMAT",
+    "REPLICA_PLAN_FORMAT",
     "EpochHandle",
     "handle_for_checkpoint",
     "latest_handle",
     "PrimaryWriter",
     "WriterConfig",
+    "StandbyConfig",
+    "StandbyWriter",
     "ShardPlan",
     "ShardRange",
+    "ReplicaPlan",
+    "ReplicaSet",
+    "as_replica_plan",
     "ClusterResult",
     "ClusterRouter",
     "RouterConfig",

@@ -23,7 +23,7 @@ from __future__ import annotations
 import pathlib
 from dataclasses import dataclass
 
-from repro.cluster.plan import ShardPlan
+from repro.cluster.placement import ReplicaPlan
 from repro.core.model import LSIModel
 from repro.errors import StoreError
 from repro.store.checkpoint import latest_valid_checkpoint
@@ -47,7 +47,7 @@ class EpochHandle:
     checkpoint: str
     model: LSIModel
     ann: bool
-    plan: ShardPlan
+    plan: ReplicaPlan
 
     @property
     def n_documents(self) -> int:
@@ -56,20 +56,31 @@ class EpochHandle:
 
 
 def handle_for_checkpoint(
-    path: pathlib.Path, meta: dict, n_shards: int
+    path: pathlib.Path,
+    meta: dict,
+    n_workers: int,
+    *,
+    replication: int = 1,
 ) -> EpochHandle:
     """Build the handle for one checkpoint directory.
 
     ``meta`` is the checkpoint manifest's ``meta`` block (the caller
     already has it from checkpoint discovery or a fresh seal); the model
     is memory-mapped, so this is O(header) and safe to run on the
-    writer's bump path.
+    writer's bump path.  ``n_workers`` is the worker *budget*;
+    ``replication`` carves it into ``n_workers // replication`` ranges
+    with R replicas each (at the default R=1 the plan is the classic
+    one-worker-per-shard layout).
     """
     epoch = int(meta.get("epoch", 0))
     model = open_checkpoint_model(path, mmap=True)
     ann = open_checkpoint_ann(path, mmap=True) is not None
-    plan = ShardPlan.compute(
-        model.n_documents, n_shards, epoch=epoch, checkpoint=path.name
+    plan = ReplicaPlan.compute(
+        model.n_documents,
+        n_workers,
+        replication,
+        epoch=epoch,
+        checkpoint=path.name,
     )
     return EpochHandle(
         epoch=epoch,
@@ -80,7 +91,9 @@ def handle_for_checkpoint(
     )
 
 
-def latest_handle(data_dir: pathlib.Path, n_shards: int) -> EpochHandle:
+def latest_handle(
+    data_dir: pathlib.Path, n_workers: int, *, replication: int = 1
+) -> EpochHandle:
     """The handle for the newest valid checkpoint under ``data_dir``."""
     from repro.store.durable import STORE_LAYOUT
 
@@ -90,5 +103,8 @@ def latest_handle(data_dir: pathlib.Path, n_shards: int) -> EpochHandle:
         detail = f" ({'; '.join(problems)})" if problems else ""
         raise StoreError(f"no valid checkpoint under {checkpoints}{detail}")
     return handle_for_checkpoint(
-        info.path, info.manifest.get("meta", {}), n_shards
+        info.path,
+        info.manifest.get("meta", {}),
+        n_workers,
+        replication=replication,
     )

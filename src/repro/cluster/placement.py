@@ -1,0 +1,277 @@
+"""Replica placement: R distinct workers per shard range, deterministically.
+
+The replicated cluster keeps the :class:`~repro.cluster.plan.ShardPlan`
+as the *data* layout — contiguous document-row ranges whose merge is
+element-identical to the flat search — and layers placement on top: a
+:class:`ReplicaPlan` assigns each range a **replica set** of R worker
+slots, spread so no two replicas of a range share a worker.  Like the
+shard plan, the replica plan is computed, never negotiated: worker slot
+ids are a pure function of ``(n_workers, replication)``,
+
+    ``worker_id = replica_index * n_ranges + shard_id``
+
+so replica 0 of every range occupies worker ids ``[0, n_ranges)`` —
+which makes a replication-1 plan's worker ids *equal* to its shard ids,
+and every metric name, supervisor row, and router channel from the
+unreplicated cluster carries over unchanged.
+
+The plan is canonical-JSON-pinned exactly like the shard plan:
+:meth:`ReplicaPlan.to_json` is byte-stable, and :meth:`from_json`
+recomputes the placement from the header fields and refuses any payload
+whose ranges disagree — placement skew between router and supervisor
+fails at parse time, not as queries quietly served by the wrong rows.
+Workers themselves never see the replica plan: each is handed the
+underlying ``base`` shard plan (its contract is rows, not placement)
+plus its replica index for identity.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.cluster.plan import ShardPlan, ShardRange
+from repro.errors import ClusterConfigError, ClusterError
+
+__all__ = [
+    "REPLICA_PLAN_FORMAT",
+    "ReplicaSet",
+    "ReplicaPlan",
+    "as_replica_plan",
+]
+
+#: Bumped on any change to the replica plan's JSON shape or placement math.
+REPLICA_PLAN_FORMAT = "repro-cluster-replica-plan/1"
+
+
+@dataclass(frozen=True)
+class ReplicaSet:
+    """One range's replicas: the worker slots that all serve ``[lo, hi)``."""
+
+    shard_id: int
+    lo: int
+    hi: int
+    #: Worker slot ids serving this range, replica index order.  All
+    #: distinct by construction — a worker dying never costs two copies.
+    workers: tuple[int, ...]
+
+    @property
+    def replication(self) -> int:
+        return len(self.workers)
+
+    def as_pair(self) -> list[int]:
+        """``[lo, hi]`` — mirrors :meth:`ShardRange.as_pair`."""
+        return [self.lo, self.hi]
+
+
+@dataclass(frozen=True)
+class ReplicaPlan:
+    """R replicas per shard range over a fixed worker budget.
+
+    Duck-types the read surface of :class:`ShardPlan` (``n_shards``,
+    ``shards``, ``shard()``, ``ranges()``, ``n_documents``, ``epoch``,
+    ``checkpoint``) so the router, supervisor, and service treat both
+    interchangeably — ``n_shards`` is the number of *ranges*, not worker
+    processes; ``n_workers`` is the process count.
+    """
+
+    base: ShardPlan
+    replication: int
+    replicas: tuple[ReplicaSet, ...]
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def compute(
+        cls,
+        n_documents: int,
+        n_workers: int,
+        replication: int = 1,
+        *,
+        epoch: int = 0,
+        checkpoint: str = "",
+    ) -> "ReplicaPlan":
+        """The canonical placement of ``n_workers`` over R-replicated ranges.
+
+        ``n_workers // replication`` ranges are carved (a remainder of
+        workers goes unused rather than leaving one range under-
+        replicated); raises :class:`~repro.errors.ClusterConfigError`
+        when the topology is impossible.
+        """
+        n_workers = int(n_workers)
+        replication = int(replication)
+        if replication < 1:
+            raise ClusterConfigError(
+                f"replication factor must be >= 1, got {replication}"
+            )
+        if n_workers < 1:
+            raise ClusterConfigError(
+                f"worker budget must be >= 1, got {n_workers}"
+            )
+        if replication > n_workers:
+            raise ClusterConfigError(
+                f"replication {replication} exceeds the worker budget: "
+                f"every shard range needs {replication} distinct workers "
+                f"but only {n_workers} were requested — raise --workers "
+                f"to at least {replication} or lower --replication"
+            )
+        n_ranges = n_workers // replication
+        base = ShardPlan.compute(
+            n_documents, n_ranges, epoch=epoch, checkpoint=checkpoint
+        )
+        replicas = tuple(
+            ReplicaSet(
+                s.shard_id,
+                s.lo,
+                s.hi,
+                tuple(
+                    r * n_ranges + s.shard_id for r in range(replication)
+                ),
+            )
+            for s in base.shards
+        )
+        return cls(base=base, replication=replication, replicas=replicas)
+
+    # ------------------------------------------------------------------ #
+    # ShardPlan duck-typed read surface
+    # ------------------------------------------------------------------ #
+    @property
+    def n_documents(self) -> int:
+        return self.base.n_documents
+
+    @property
+    def n_shards(self) -> int:
+        """Number of *ranges* (the merge arity), not worker processes."""
+        return self.base.n_shards
+
+    @property
+    def epoch(self) -> int:
+        return self.base.epoch
+
+    @property
+    def checkpoint(self) -> str:
+        return self.base.checkpoint
+
+    @property
+    def shards(self) -> tuple[ShardRange, ...]:
+        return self.base.shards
+
+    def shard(self, shard_id: int) -> ShardRange:
+        return self.base.shard(shard_id)
+
+    def ranges(self) -> list[tuple[int, int]]:
+        return self.base.ranges()
+
+    # ------------------------------------------------------------------ #
+    # placement surface
+    # ------------------------------------------------------------------ #
+    @property
+    def n_workers(self) -> int:
+        """Worker processes the plan occupies (= ranges x replication)."""
+        return self.n_shards * self.replication
+
+    def quorum(self) -> int:
+        """Replicas of a range that must remap before a bump completes."""
+        return self.replication // 2 + 1
+
+    def replica_set(self, shard_id: int) -> ReplicaSet:
+        """The replica set serving range ``shard_id``."""
+        self.base.shard(shard_id)  # validates the id
+        return self.replicas[shard_id]
+
+    def worker_ids(self) -> list[int]:
+        """Every worker slot id, ascending."""
+        return list(range(self.n_workers))
+
+    def range_of(self, worker_id: int) -> int:
+        """The shard range worker slot ``worker_id`` serves."""
+        if not 0 <= int(worker_id) < self.n_workers:
+            raise ClusterError(
+                f"worker {worker_id} out of range for "
+                f"{self.n_workers} worker slots"
+            )
+        return int(worker_id) % self.n_shards
+
+    def replica_of(self, worker_id: int) -> int:
+        """The replica index worker slot ``worker_id`` occupies."""
+        if not 0 <= int(worker_id) < self.n_workers:
+            raise ClusterError(
+                f"worker {worker_id} out of range for "
+                f"{self.n_workers} worker slots"
+            )
+        return int(worker_id) // self.n_shards
+
+    # ------------------------------------------------------------------ #
+    def to_json(self) -> str:
+        """Canonical byte-stable serialization (sorted keys, no spaces)."""
+        return json.dumps(
+            {
+                "format": REPLICA_PLAN_FORMAT,
+                "n_documents": self.n_documents,
+                "n_workers": self.n_workers,
+                "replication": self.replication,
+                "epoch": self.epoch,
+                "checkpoint": self.checkpoint,
+                "shards": [s.as_pair() for s in self.shards],
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ReplicaPlan":
+        """Parse and *verify*: placement must be recomputable.
+
+        Any payload whose ranges differ from the canonical placement of
+        its own header — hand-edited, truncated, or produced by a
+        process with different placement math — raises
+        :class:`~repro.errors.ClusterError`.
+        """
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ClusterError(f"replica plan is not valid JSON: {exc}")
+        if not isinstance(data, dict) or (
+            data.get("format") != REPLICA_PLAN_FORMAT
+        ):
+            raise ClusterError(
+                f"replica plan format {data.get('format')!r} is not "
+                f"{REPLICA_PLAN_FORMAT!r}" if isinstance(data, dict)
+                else "replica plan must be a JSON object"
+            )
+        try:
+            plan = cls.compute(
+                int(data["n_documents"]),
+                int(data["n_workers"]),
+                int(data["replication"]),
+                epoch=int(data["epoch"]),
+                checkpoint=str(data["checkpoint"]),
+            )
+            claimed = [list(map(int, pair)) for pair in data["shards"]]
+        except ClusterConfigError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ClusterError(f"replica plan is missing fields: {exc!r}")
+        if claimed != [s.as_pair() for s in plan.shards]:
+            raise ClusterError(
+                "replica plan ranges do not match the canonical "
+                f"placement of n={plan.n_documents} over "
+                f"{plan.n_workers} workers at replication "
+                f"{plan.replication} — placement math disagrees"
+            )
+        return plan
+
+
+def as_replica_plan(plan: ShardPlan | ReplicaPlan) -> ReplicaPlan:
+    """Normalize either plan flavor to a :class:`ReplicaPlan`.
+
+    A bare :class:`ShardPlan` wraps as replication 1, under which every
+    worker slot id equals its shard id — the unreplicated cluster is
+    exactly the R=1 special case of the replicated one.
+    """
+    if isinstance(plan, ReplicaPlan):
+        return plan
+    replicas = tuple(
+        ReplicaSet(s.shard_id, s.lo, s.hi, (s.shard_id,))
+        for s in plan.shards
+    )
+    return ReplicaPlan(base=plan, replication=1, replicas=replicas)

@@ -15,6 +15,12 @@ bytes, (b) recomputing the partition from ``(n_documents, n_shards)``
 reproduces the ranges, and (c) the checkpoint it opened matches the
 plan's ``epoch``/``checkpoint`` stamp.  Any version or state skew
 between router and worker fails at spawn, not as silently wrong merges.
+
+Replication layers *on top of* this plan, never inside it: a
+:class:`~repro.cluster.placement.ReplicaPlan` assigns each range R
+worker slots, but the data layout — and therefore the merge contract —
+stays exactly this shard plan, which is also what workers receive over
+the bump wire (their contract is rows, not placement).
 """
 
 from __future__ import annotations

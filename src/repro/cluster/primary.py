@@ -150,6 +150,9 @@ class PrimaryWriter:
         self.last_seal_unix = time.time()
         self._service = None
         self._task: asyncio.Task | None = None
+        #: A sealed handle whose bump did not reach quorum yet: the old
+        #: epoch keeps serving, and the poll loop retries the publish.
+        self._pending_handle: EpochHandle | None = None
         self._stopped = False
         self._seal_guard = asyncio.Lock()
         # All store compute runs on this one de-prioritized thread: the
@@ -326,29 +329,45 @@ class PrimaryWriter:
         handle = handle_for_checkpoint(
             seal.path,
             {"epoch": seal.epoch},
-            service.plan.n_shards,
+            service.plan.n_workers,
+            replication=service.plan.replication,
         )
         # Ordering is the zero-drop contract (module docstring): future
-        # restarts first, then the workers, then — only once the live
-        # fleet acked — the front end's handle.
-        service.supervisor.update_plan(handle.plan)
-        acks = await service.router.broadcast_bump(
-            handle.plan, timeout=self.config.bump_timeout_s
+        # restarts first, then the workers, then — only once a quorum of
+        # every range's replicas acked — the front end's handle.  A bump
+        # that misses quorum parks the handle and the poll loop retries:
+        # the old epoch keeps serving (every worker retains it) and no
+        # write is lost — the WAL already holds the records the next
+        # successful publish will serve.
+        published = await service.propagate_handle(
+            handle, bump_timeout=self.config.bump_timeout_s
         )
-        for sid, epoch in acks.items():
-            service.supervisor.note_epoch(sid, epoch)
-        service.publish_handle(handle)
+        self._pending_handle = None if published else handle
         self._publish_writer_gauges()
         return handle
 
     async def _rebump_laggards(self) -> None:
-        """Re-broadcast the current plan to workers behind the epoch."""
+        """Re-broadcast the current plan to workers behind the epoch.
+
+        Retries a quorum-parked handle first — once enough replicas
+        remap, the publish completes here — then re-bumps any worker
+        that is up but behind the *published* epoch (its rows would
+        otherwise fail over to siblings until it catches up).
+        """
         service = self._service
         if service is None:
             return
+        pending = self._pending_handle
+        if pending is not None and pending.epoch > service.plan.epoch:
+            published = await service.propagate_handle(
+                pending, bump_timeout=self.config.bump_timeout_s
+            )
+            if published:
+                self._pending_handle = None
+            return
         plan = service.plan
         behind = [
-            row["shard"]
+            row["worker"]
             for row in service.supervisor.describe()
             if row["state"] == "up" and row["epoch"] != plan.epoch
         ]
@@ -357,8 +376,8 @@ class PrimaryWriter:
         acks = await service.router.broadcast_bump(
             plan, timeout=self.config.bump_timeout_s
         )
-        for sid, epoch in acks.items():
-            service.supervisor.note_epoch(sid, epoch)
+        for wid, epoch in acks.items():
+            service.supervisor.note_epoch(wid, epoch)
 
     async def _seal_loop(self) -> None:
         while not self._stopped:

@@ -1,39 +1,52 @@
-"""The scatter-gather router: fan out, hedge stragglers, merge exactly.
+"""The scatter-gather router: replica sets, failover, hedging, exact merge.
 
 One :class:`ClusterRouter` holds a persistent, id-multiplexed frame
-connection to each live shard worker.  A query batch is scaled once
-(``Q Σ``, mirroring :meth:`DocumentIndex.prepare_queries`), scattered to
-every shard, and the per-shard stable top-k lists are merged per query
-with :func:`repro.parallel.sharding.merge_topk` — the same function the
-in-process sharded search uses, over byte-identical inputs, so with all
-workers live the cluster's answer is element-identical to
-``sharded_batch_search``: indices, scores, tie order.
+connection to each live worker slot of a
+:class:`~repro.cluster.placement.ReplicaPlan`.  A query batch is scaled
+once (``Q Σ``, mirroring :meth:`DocumentIndex.prepare_queries`),
+scattered **once per range** — not per worker — and the per-range stable
+top-k lists are merged per query with
+:func:`repro.parallel.sharding.merge_topk`, the same function the
+in-process sharded search uses, over byte-identical inputs.  Every
+replica of a range holds identical scoring state for an epoch, so with
+any one replica per range live the cluster's answer is element-identical
+to ``sharded_batch_search``: indices, scores, tie order — regardless of
+*which* replica answered.
 
-Failure is degradation, not an error.  A worker that misses the
-per-worker deadline leaves its rows out of this response (the heartbeat
-loop, not a slow query, decides eviction); a worker whose connection
-dies is detached and reported to the supervisor.  Either way the caller
-gets HTTP-200-shaped data with ``partial=True`` and the missing ``[lo,
-hi)`` ranges named, because a search over 3/4 of the collection is far
-more useful than a 500.  Tail latency is hedged: once a worker's
-latency histogram has enough samples, a second one-shot request is sent
-to the same worker after the configured quantile of its own history,
-and the first answer wins.
+Reads load-balance: each scatter picks a range's first candidate by
+power-of-two-choices (sample two replicas, send to the one with fewer
+requests in flight, breaking ties by the faster latency-history
+median), which spreads concurrent requests across replicas without
+global coordination.  Failure is failover
+before degradation: a replica whose connection dies (or whose epoch
+skewed) has a sibling tried immediately; a replica that is merely slow
+gets a sibling *hedge* — after its own latency-quantile when history
+has armed, else at an even split of the remaining budget — and the
+first answer wins, all other attempts cancelled, so one range can never
+contribute twice to a merge.  Only when every replica of a range is
+exhausted does the response degrade to ``partial=True`` with that
+range's ``[lo, hi)`` rows named — a search over most of the collection
+is far more useful than a 500.  With replication 1 all of this reduces
+to the original single-worker behavior: same-worker one-shot hedging,
+deadline misses as partials, eviction left to the heartbeat loop.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
+import random
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.cluster.placement import ReplicaPlan, as_replica_plan
 from repro.cluster.plan import ShardPlan
 from repro.cluster.wire import BUMP_OP, read_frame, write_frame
-from repro.errors import ClusterError, DeadlineExceededError, EpochSkewError
+from repro.errors import ClusterError
 from repro.obs.metrics import registry
 from repro.obs.trace_context import TraceContext, current_trace
 from repro.obs.tracing import span
@@ -46,7 +59,8 @@ __all__ = ["RouterConfig", "WorkerChannel", "ClusterResult", "ClusterRouter"]
 class RouterConfig:
     """Tunables for the scatter-gather path."""
 
-    #: Per-worker deadline for one scatter RPC, milliseconds.
+    #: Per-range deadline for one scatter RPC (all replica attempts
+    #: share it), milliseconds.
     worker_timeout_ms: float = 2000.0
     #: Quantile of the worker's own latency history after which a
     #: straggling request is hedged with a duplicate.
@@ -161,11 +175,13 @@ class ClusterResult:
     """One scatter-gather answer, possibly degraded.
 
     ``results[qi]`` is the merged ``(doc_index, score)`` list for query
-    ``qi`` over every shard that answered.  ``partial`` is True when any
-    shard did not, and ``missing`` lists those shards' ``(lo, hi)`` row
-    ranges so the caller knows exactly which documents went unscored.
-    ``shard_timings`` (shard id → RPC milliseconds), ``hedged``, and
-    ``deadline_missed`` are the slow-query evidence the slow log dumps.
+    ``qi`` over every range that answered.  ``partial`` is True when any
+    range did not, and ``missing`` lists those ranges' ``(lo, hi)`` row
+    spans so the caller knows exactly which documents went unscored.
+    ``shard_timings`` (range id → RPC milliseconds), ``served_by``
+    (range id → the worker slot whose answer won), ``hedged``,
+    ``failovers``, and ``deadline_missed`` are the slow-query evidence
+    the slow log dumps.
     """
 
     results: list[list[tuple[int, float]]]
@@ -175,26 +191,51 @@ class ClusterResult:
     shard_timings: dict[int, float] = field(default_factory=dict)
     hedged: list[int] = field(default_factory=list)
     deadline_missed: list[int] = field(default_factory=list)
+    served_by: dict[int, int] = field(default_factory=dict)
+    #: Range ids where at least one replica attempt failed over to a
+    #: sibling (connection death or epoch skew) before the answer came.
+    failovers: list[int] = field(default_factory=list)
+
+
+@dataclass
+class _RangeOutcome:
+    """What one range's replica-set scatter produced."""
+
+    kind: str = "dead"  # ok | deadline | skew | dead | rejected
+    response: dict | None = None
+    latency: float = 0.0
+    served_by: int = -1
+    hedged: bool = False
+    failovers: int = 0
+    skewed: bool = False
+    dead: list[int] = field(default_factory=list)
+    error: BaseException | None = None
 
 
 class ClusterRouter:
-    """Scatter queries over the plan's shards, gather and merge exactly."""
+    """Scatter queries over the plan's replica sets, gather, merge exactly."""
 
     def __init__(
         self,
-        plan: ShardPlan,
+        plan: ShardPlan | ReplicaPlan,
         config: RouterConfig | None = None,
         *,
         on_worker_dead: Callable[[int], None] | None = None,
     ):
-        self.plan = plan
+        self.plan = as_replica_plan(plan)
         self.config = config or RouterConfig()
         self.on_worker_dead = on_worker_dead
+        #: Channels and endpoints are keyed by worker *slot* id (== shard
+        #: id at replication 1).
         self._channels: dict[int, WorkerChannel] = {}
         self._endpoints: dict[int, tuple[str, int]] = {}
+        #: Live per-worker in-flight request counts — the load signal
+        #: for power-of-two-choices (latency medians adapt too slowly
+        #: under bursts and would herd scatters onto one replica).
+        self._inflight: dict[int, int] = {}
         registry.set_gauge("cluster.workers_live", 0)
 
-    def update_plan(self, plan: ShardPlan) -> None:
+    def update_plan(self, plan: ShardPlan | ReplicaPlan) -> None:
         """Atomically publish a new epoch's plan for *future* scatters.
 
         One reference assignment: a :meth:`search_batch` already running
@@ -202,45 +243,49 @@ class ClusterRouter:
         workers retain that epoch's state through the bump window), so
         nothing in flight is disturbed.
         """
-        self.plan = plan
-        registry.set_gauge("cluster.plan_epoch", plan.epoch)
+        self.plan = as_replica_plan(plan)
+        registry.set_gauge("cluster.plan_epoch", self.plan.epoch)
 
     # ------------------------------------------------------------------ #
     # membership
     # ------------------------------------------------------------------ #
     def live_shards(self) -> list[int]:
-        """Shard ids with an open channel, ascending."""
+        """Worker slot ids with an open channel, ascending.
+
+        (Kept under its historical name: at replication 1 worker ids
+        and shard ids coincide.)
+        """
         return sorted(
-            sid for sid, ch in self._channels.items() if not ch.closed
+            wid for wid, ch in self._channels.items() if not ch.closed
         )
 
-    async def attach(self, shard_id: int, host: str, port: int) -> None:
-        """Connect (or reconnect) the channel for ``shard_id``."""
-        self.plan.shard(shard_id)  # validates the id
-        old = self._channels.pop(shard_id, None)
+    async def attach(self, worker_id: int, host: str, port: int) -> None:
+        """Connect (or reconnect) the channel for worker slot ``worker_id``."""
+        self.plan.range_of(worker_id)  # validates the id
+        old = self._channels.pop(worker_id, None)
         if old is not None:
             await old.close()
-        self._endpoints[shard_id] = (host, port)
-        self._channels[shard_id] = await WorkerChannel.connect(
+        self._endpoints[worker_id] = (host, port)
+        self._channels[worker_id] = await WorkerChannel.connect(
             host, port, timeout=self.config.connect_timeout
         )
         registry.set_gauge("cluster.workers_live", len(self.live_shards()))
 
-    async def detach(self, shard_id: int) -> None:
-        """Drop the channel for ``shard_id`` (worker dead or evicted)."""
-        channel = self._channels.pop(shard_id, None)
+    async def detach(self, worker_id: int) -> None:
+        """Drop the channel for ``worker_id`` (worker dead or evicted)."""
+        channel = self._channels.pop(worker_id, None)
         if channel is not None:
             await channel.close()
         registry.set_gauge("cluster.workers_live", len(self.live_shards()))
 
     async def close(self) -> None:
         """Drop every channel."""
-        for sid in list(self._channels):
-            await self.detach(sid)
+        for wid in list(self._channels):
+            await self.detach(wid)
 
-    async def ping(self, shard_id: int, *, timeout: float = 1.0) -> bool:
+    async def ping(self, worker_id: int, *, timeout: float = 1.0) -> bool:
         """One heartbeat: True iff the worker answers in time."""
-        channel = self._channels.get(shard_id)
+        channel = self._channels.get(worker_id)
         if channel is None or channel.closed:
             return False
         try:
@@ -252,13 +297,13 @@ class ClusterRouter:
         return response.get("ok") is True
 
     # ------------------------------------------------------------------ #
-    # one worker RPC, with hedging
+    # replica selection and the per-range RPC
     # ------------------------------------------------------------------ #
-    def _hedge_delay(self, shard_id: int) -> float | None:
-        """Seconds after which to hedge ``shard_id``, or None (not yet)."""
+    def _hedge_delay(self, worker_id: int) -> float | None:
+        """Seconds after which to hedge ``worker_id``, or None (not yet)."""
         if not self.config.hedge:
             return None
-        hist = registry.histogram(f"cluster.worker.{shard_id}.rpc_seconds")
+        hist = registry.histogram(f"cluster.worker.{worker_id}.rpc_seconds")
         if hist is None or hist.count < self.config.hedge_min_samples:
             return None
         return max(
@@ -266,9 +311,51 @@ class ClusterRouter:
             self.config.hedge_floor_ms / 1000.0,
         )
 
-    async def _one_shot(self, shard_id: int, message: dict) -> dict:
+    def _latency_estimate(self, worker_id: int) -> float:
+        """Median RPC latency from this worker's own history (0 = unknown)."""
+        hist = registry.histogram(f"cluster.worker.{worker_id}.rpc_seconds")
+        if hist is None or hist.count == 0:
+            return 0.0
+        return hist.quantile(0.5)
+
+    def _candidate_key(self, worker_id: int) -> tuple[int, float]:
+        """(in-flight requests, median latency): less loaded, then faster."""
+        return (
+            self._inflight.get(worker_id, 0),
+            self._latency_estimate(worker_id),
+        )
+
+    def _release(self, worker_id: int) -> None:
+        left = self._inflight.get(worker_id, 0) - 1
+        if left > 0:
+            self._inflight[worker_id] = left
+        else:
+            self._inflight.pop(worker_id, None)
+
+    def _order_candidates(self, worker_ids: Sequence[int]) -> list[int]:
+        """Power-of-two-choices over live load, latency as tiebreak.
+
+        Sample two replicas at random and lead with the one carrying
+        fewer in-flight requests (faster latency median on a tie) — the
+        classic load-balancing result: the random pair breaks herding
+        (every scatter picking the one "best" replica), while the
+        comparison still avoids the loaded or known-slow one.
+        Remaining candidates follow in the same order as failover/hedge
+        targets.
+        """
+        if len(worker_ids) <= 1:
+            return list(worker_ids)
+        pool = list(worker_ids)
+        a, b = random.sample(pool, 2)
+        first = a if self._candidate_key(a) <= self._candidate_key(b) else b
+        rest = sorted(
+            (w for w in pool if w != first), key=self._candidate_key
+        )
+        return [first, *rest]
+
+    async def _one_shot(self, worker_id: int, message: dict) -> dict:
         """A hedge request on a fresh connection (closed after one use)."""
-        host, port = self._endpoints[shard_id]
+        host, port = self._endpoints[worker_id]
         channel = await WorkerChannel.connect(
             host, port, timeout=self.config.connect_timeout
         )
@@ -277,84 +364,163 @@ class ClusterRouter:
         finally:
             await channel.close()
 
-    async def _call_worker(
-        self, shard_id: int, message: dict, timeout: float
-    ) -> tuple[dict, float, bool]:
-        """One scatter RPC: primary call, optional hedge, hard deadline.
+    async def _call_range(
+        self,
+        shard_id: int,
+        candidates: Sequence[int],
+        message: dict,
+        timeout: float,
+    ) -> _RangeOutcome:
+        """Scatter one range over its replica set; first answer wins.
 
-        Returns ``(response, latency_seconds, hedged)`` so the gather
-        side can assemble per-shard slow-query evidence.
+        The attempt ladder: lead with the power-of-two choice; on
+        ``ConnectionError`` or epoch skew fail over to the next untried
+        sibling immediately; on slowness hedge a sibling after the
+        leader's own latency quantile (or an even split of the budget
+        before history arms).  When no sibling remains, fall back to
+        the same-worker one-shot hedge the unreplicated router used.
+        All attempts share one deadline and all losers are cancelled —
+        exactly one response can represent the range.  Never raises;
+        the gather side reads the outcome.
         """
-        channel = self._channels.get(shard_id)
-        if channel is None or channel.closed:
-            raise ConnectionError(f"no live channel for shard {shard_id}")
         start = time.perf_counter()
-        hedge_at = self._hedge_delay(shard_id)
-        hedged = False
-        tasks = [asyncio.ensure_future(channel.call(message))]
-        errors: list[BaseException] = []
+        untried = deque(self._order_candidates(candidates))
+        in_flight: dict[asyncio.Future, int] = {}
+        outcome = _RangeOutcome()
+        one_shot_sent = False
+        launched = 0
+        last_launch = start
+        last_wid = -1
+
+        def _launch_next() -> bool:
+            nonlocal launched, last_launch, last_wid
+            while untried:
+                wid = untried.popleft()
+                channel = self._channels.get(wid)
+                if channel is None or channel.closed:
+                    if channel is not None and wid not in outcome.dead:
+                        outcome.dead.append(wid)
+                    continue
+                task = asyncio.ensure_future(channel.call(message))
+                in_flight[task] = wid
+                self._inflight[wid] = self._inflight.get(wid, 0) + 1
+                launched += 1
+                last_launch = time.perf_counter()
+                last_wid = wid
+                return True
+            return False
+
+        if not _launch_next():
+            return outcome  # kind == "dead": no live replica at all
         try:
-            while tasks:
-                elapsed = time.perf_counter() - start
-                remaining = timeout - elapsed
+            while True:
+                now = time.perf_counter()
+                remaining = timeout - (now - start)
                 if remaining <= 0:
                     break
+                if not in_flight and not _launch_next():
+                    break  # every attempt errored, nothing left to try
+                # When does the *next* extra attempt launch?  A sibling
+                # after the leader's hedge quantile (or an even split of
+                # the budget before history arms); with no sibling left,
+                # the same-worker one-shot after the quantile.
+                spawn_at = None
+                if untried:
+                    hedge_at = self._hedge_delay(last_wid)
+                    if hedge_at is not None:
+                        spawn_at = last_launch + hedge_at
+                    else:
+                        spawn_at = start + timeout * launched / (
+                            launched + len(untried)
+                        )
+                elif not one_shot_sent:
+                    hedge_at = self._hedge_delay(last_wid)
+                    if hedge_at is not None:
+                        spawn_at = last_launch + hedge_at
                 slice_ = remaining
-                if hedge_at is not None and not hedged:
-                    slice_ = min(slice_, max(0.0, hedge_at - elapsed))
+                if spawn_at is not None:
+                    slice_ = min(slice_, max(0.0, spawn_at - now))
                 done, _pending = await asyncio.wait(
-                    tasks, timeout=slice_,
+                    in_flight,
+                    timeout=slice_,
                     return_when=asyncio.FIRST_COMPLETED,
                 )
                 if not done:
-                    if (
-                        hedge_at is not None
-                        and not hedged
-                        and time.perf_counter() - start >= hedge_at
-                    ):
-                        hedged = True
+                    now = time.perf_counter()
+                    if spawn_at is None or now < spawn_at:
+                        continue  # pure deadline slice elapsed
+                    if untried:
+                        if _launch_next():
+                            outcome.hedged = True
+                            registry.inc("cluster.hedges_total")
+                        continue
+                    if not one_shot_sent:
+                        one_shot_sent = True
+                        outcome.hedged = True
                         registry.inc("cluster.hedges_total")
-                        tasks.append(
-                            asyncio.ensure_future(
-                                self._one_shot(shard_id, message)
-                            )
+                        task = asyncio.ensure_future(
+                            self._one_shot(last_wid, message)
+                        )
+                        in_flight[task] = last_wid
+                        self._inflight[last_wid] = (
+                            self._inflight.get(last_wid, 0) + 1
                         )
                     continue
                 for task in done:
-                    tasks.remove(task)
+                    wid = in_flight.pop(task)
+                    self._release(wid)
                     exc = task.exception()
-                    if exc is not None:
-                        errors.append(exc)
-                        continue
-                    response = task.result()
-                    latency = time.perf_counter() - start
-                    registry.observe(
-                        f"cluster.worker.{shard_id}.rpc_seconds", latency
-                    )
-                    registry.observe("cluster.rpc_seconds", latency)
-                    if "error" in response:
-                        if response.get("stale_epoch"):
-                            raise EpochSkewError(
-                                f"shard {shard_id} no longer holds the "
-                                f"requested epoch: {response['error']}"
+                    if exc is None:
+                        response = task.result()
+                        if "error" in response:
+                            if response.get("stale_epoch"):
+                                # This replica ran ahead (or restarted
+                                # onto a newer checkpoint); a sibling may
+                                # still hold the requested epoch.
+                                outcome.skewed = True
+                                registry.inc("cluster.epoch_skew_total")
+                                if _launch_next():
+                                    outcome.failovers += 1
+                                    registry.inc("cluster.failovers_total")
+                                continue
+                            outcome.kind = "rejected"
+                            outcome.error = ClusterError(
+                                f"range {shard_id} worker {wid} rejected "
+                                f"the request: {response['error']}"
                             )
-                        raise ClusterError(
-                            f"shard {shard_id} rejected the request: "
-                            f"{response['error']}"
+                            return outcome
+                        latency = time.perf_counter() - start
+                        registry.observe(
+                            f"cluster.worker.{wid}.rpc_seconds", latency
                         )
-                    return response, latency, hedged
-            if errors:
-                for exc in errors:
+                        registry.observe("cluster.rpc_seconds", latency)
+                        outcome.kind = "ok"
+                        outcome.response = response
+                        outcome.latency = latency
+                        outcome.served_by = wid
+                        return outcome
                     if isinstance(exc, (ConnectionError, OSError)):
-                        raise exc
-                raise errors[0]
-            raise DeadlineExceededError(
-                f"shard {shard_id} missed its {timeout * 1000:.0f} ms "
-                "deadline"
-            )
+                        if wid not in outcome.dead:
+                            outcome.dead.append(wid)
+                        if _launch_next():
+                            outcome.failovers += 1
+                            registry.inc("cluster.failovers_total")
+                        continue
+                    outcome.kind = "rejected"
+                    outcome.error = exc
+                    return outcome
+            # Budget exhausted, or every replica failed.
+            if in_flight:
+                outcome.kind = "deadline"
+            elif outcome.skewed:
+                outcome.kind = "skew"
+            else:
+                outcome.kind = "dead"
+            return outcome
         finally:
-            for task in tasks:
+            for task, wid in in_flight.items():
                 task.cancel()
+                self._release(wid)
 
     # ------------------------------------------------------------------ #
     # the scatter-gather search
@@ -368,7 +534,7 @@ class ClusterRouter:
         timeout_ms: float | None = None,
         probes: int | None = None,
         exact: bool = False,
-        plan: ShardPlan | None = None,
+        plan: ShardPlan | ReplicaPlan | None = None,
     ) -> ClusterResult:
         """Scatter a scaled ``(q, k)`` batch, merge exact per-query top-k.
 
@@ -384,7 +550,7 @@ class ClusterRouter:
         current plan, snapshotted once here — a concurrent
         :meth:`update_plan` never splits one request across epochs.
         """
-        plan = plan if plan is not None else self.plan
+        plan = as_replica_plan(plan) if plan is not None else self.plan
         Q = np.atleast_2d(np.asarray(Qs, dtype=np.float64))
         n_queries = Q.shape[0]
         timeout = (
@@ -407,10 +573,13 @@ class ClusterRouter:
             message["exact"] = True
 
         missing_sids: set[int] = set()
+        dead_wids: set[int] = set()
         responses: dict[int, dict] = {}
         shard_timings: dict[int, float] = {}
+        served_by: dict[int, int] = {}
         hedged_sids: list[int] = []
         missed_sids: list[int] = []
+        failover_sids: list[int] = []
         with span(
             "cluster.scatter",
             shards=plan.n_shards,
@@ -426,50 +595,61 @@ class ClusterRouter:
                     scatter.span_id or ctx.parent_span_id,
                 ).to_wire()
             calls: dict[int, asyncio.Future] = {}
-            for shard in plan.shards:
-                sid = shard.shard_id
-                channel = self._channels.get(sid)
-                if channel is None or channel.closed:
+            for rset in plan.replicas:
+                sid = rset.shard_id
+                candidates = []
+                for wid in rset.workers:
+                    channel = self._channels.get(wid)
+                    if channel is None:
+                        continue
+                    if channel.closed:
+                        dead_wids.add(wid)
+                    else:
+                        candidates.append(wid)
+                if not candidates:
                     missing_sids.add(sid)
                     continue
                 calls[sid] = asyncio.ensure_future(
-                    self._call_worker(sid, message, timeout)
+                    self._call_range(sid, candidates, message, timeout)
                 )
             if calls:
                 await asyncio.wait(calls.values())
-            dead: list[int] = []
             for sid, task in calls.items():
-                exc = task.exception()
-                if exc is None:
-                    response, latency, was_hedged = task.result()
-                    responses[sid] = response
-                    shard_timings[sid] = latency * 1000.0
-                    if was_hedged:
-                        hedged_sids.append(sid)
-                elif isinstance(exc, DeadlineExceededError):
+                outcome: _RangeOutcome = task.result()
+                dead_wids.update(outcome.dead)
+                if outcome.hedged:
+                    hedged_sids.append(sid)
+                if outcome.failovers:
+                    failover_sids.append(sid)
+                if outcome.kind == "ok":
+                    responses[sid] = outcome.response
+                    shard_timings[sid] = outcome.latency * 1000.0
+                    served_by[sid] = outcome.served_by
+                elif outcome.kind == "deadline":
                     # Slow is not dead: leave eviction to the heartbeat.
                     registry.inc("cluster.deadline_misses_total")
                     missing_sids.add(sid)
                     missed_sids.append(sid)
-                elif isinstance(exc, EpochSkewError):
-                    # The worker ran ahead (or restarted onto a newer
-                    # checkpoint) — its rows are missing from *this
-                    # epoch's* answer, but the worker is healthy.
-                    registry.inc("cluster.epoch_skew_total")
+                elif outcome.kind == "skew":
+                    # No replica still holds this epoch — its rows are
+                    # missing from *this epoch's* answer, but the
+                    # workers are healthy.
                     missing_sids.add(sid)
-                elif isinstance(exc, (ConnectionError, OSError)):
+                elif outcome.kind == "dead":
                     missing_sids.add(sid)
-                    dead.append(sid)
-                else:
-                    raise exc
-            for sid in dead:
-                await self.detach(sid)
+                else:  # "rejected": a structural protocol error
+                    raise outcome.error
+            for wid in sorted(dead_wids):
+                await self.detach(wid)
                 if self.on_worker_dead is not None:
-                    self.on_worker_dead(sid)
-            # Flag degraded shards on the scatter span itself, so the
-            # assembled trace names hedges and deadline misses inline.
+                    self.on_worker_dead(wid)
+            # Flag degraded ranges on the scatter span itself, so the
+            # assembled trace names hedges, failovers, and deadline
+            # misses inline.
             if hedged_sids:
                 scatter.set_attr("hedged", sorted(hedged_sids))
+            if failover_sids:
+                scatter.set_attr("failovers", sorted(failover_sids))
             if missed_sids:
                 scatter.set_attr("deadline_missed", sorted(missed_sids))
             if missing_sids:
@@ -478,16 +658,16 @@ class ClusterRouter:
         for sid, response in responses.items():
             if response.get("shard") != sid:
                 raise ClusterError(
-                    f"shard {sid} answered as shard {response.get('shard')}"
+                    f"range {sid} answered as shard {response.get('shard')}"
                 )
             if int(response.get("epoch", -1)) != plan.epoch:
                 raise ClusterError(
-                    f"shard {sid} serves epoch {response.get('epoch')} but "
+                    f"range {sid} serves epoch {response.get('epoch')} but "
                     f"the plan covers epoch {plan.epoch}"
                 )
 
         k = int(top) if top is not None else max(1, plan.n_documents)
-        answered = sorted(responses)  # ascending sid == document order
+        answered = sorted(responses)  # ascending range id == document order
         results: list[list[tuple[int, float]]] = []
         with span("cluster.merge", shards=len(answered), queries=n_queries):
             for qi in range(n_queries):
@@ -514,6 +694,8 @@ class ClusterRouter:
             shard_timings=shard_timings,
             hedged=sorted(hedged_sids),
             deadline_missed=sorted(missed_sids),
+            served_by=served_by,
+            failovers=sorted(failover_sids),
         )
 
     # ------------------------------------------------------------------ #
@@ -527,10 +709,10 @@ class ClusterRouter:
         A worker that fails or times out is simply absent from the
         result — observability must never take the serving path down.
         """
-        sids = self.live_shards()
+        wids = self.live_shards()
 
-        async def _one(sid: int) -> dict | None:
-            channel = self._channels.get(sid)
+        async def _one(wid: int) -> dict | None:
+            channel = self._channels.get(wid)
             if channel is None or channel.closed:
                 return None
             try:
@@ -540,31 +722,35 @@ class ClusterRouter:
             except (asyncio.TimeoutError, ConnectionError, OSError):
                 return None
 
-        answers = await asyncio.gather(*(_one(sid) for sid in sids))
+        answers = await asyncio.gather(*(_one(wid) for wid in wids))
         return {
-            sid: response
-            for sid, response in zip(sids, answers)
+            wid: response
+            for wid, response in zip(wids, answers)
             if isinstance(response, dict) and "error" not in response
         }
 
     async def broadcast_bump(
-        self, plan: ShardPlan, *, timeout: float = 30.0
+        self, plan: ShardPlan | ReplicaPlan, *, timeout: float = 30.0
     ) -> dict[int, int]:
         """Tell every live worker to remap onto ``plan``'s checkpoint.
 
-        Returns ``{shard_id: acked_epoch}`` for workers that remapped
-        (or already held the epoch).  A worker that fails, rejects, or
-        times out is simply absent — the primary writer re-bumps
-        laggards on its next poll, and a restart spawns onto the new
-        plan anyway.  The timeout is generous: a remap is O(header)
-        mmap opens plus one shard's coordinate materialization.
+        Workers receive the underlying *shard* plan (their contract is
+        rows, not placement).  Returns ``{worker_id: acked_epoch}`` for
+        workers that remapped (or already held the epoch).  A worker
+        that fails, rejects, or times out is simply absent — the epoch
+        only *publishes* once a quorum of every range's replicas acked
+        (the supervisor tracks that), and the primary writer re-bumps
+        laggards each poll.  The timeout is generous: a remap is
+        O(header) mmap opens plus one shard's coordinate
+        materialization.
         """
+        plan = as_replica_plan(plan)
         responses = await self._scatter_op(
-            {"op": BUMP_OP, "plan": plan.to_json()}, timeout=timeout
+            {"op": BUMP_OP, "plan": plan.base.to_json()}, timeout=timeout
         )
         acked = {
-            sid: int(response["epoch"])
-            for sid, response in responses.items()
+            wid: int(response["epoch"])
+            for wid, response in responses.items()
             if response.get("ok") and response.get("epoch") == plan.epoch
         }
         registry.inc("cluster.bump_broadcasts_total")
@@ -573,23 +759,23 @@ class ClusterRouter:
         return acked
 
     async def fetch_stats(self, *, timeout: float = 2.0) -> dict[int, dict]:
-        """Every live worker's registry snapshot, keyed by shard id."""
+        """Every live worker's registry snapshot, keyed by worker id."""
         responses = await self._scatter_op({"op": "stats"}, timeout=timeout)
         return {
-            sid: response["snapshot"]
-            for sid, response in responses.items()
+            wid: response["snapshot"]
+            for wid, response in responses.items()
             if isinstance(response.get("snapshot"), dict)
         }
 
     async def fetch_trace(
         self, trace_id: str, *, timeout: float = 2.0
     ) -> dict[int, list[dict]]:
-        """Every live worker's spans for ``trace_id``, keyed by shard id."""
+        """Every live worker's spans for ``trace_id``, keyed by worker id."""
         responses = await self._scatter_op(
             {"op": "trace", "trace_id": trace_id}, timeout=timeout
         )
         return {
-            sid: [s for s in response.get("spans", []) if isinstance(s, dict)]
-            for sid, response in responses.items()
+            wid: [s for s in response.get("spans", []) if isinstance(s, dict)]
+            for wid, response in responses.items()
             if isinstance(response.get("spans"), list)
         }

@@ -36,7 +36,11 @@ from repro.cluster.epochs import EpochHandle, handle_for_checkpoint
 from repro.cluster.router import ClusterResult, ClusterRouter, RouterConfig
 from repro.cluster.supervisor import ClusterSupervisor, SupervisorConfig
 from repro.core.query import project_query
-from repro.errors import ClusterReadOnlyError, StoreError
+from repro.errors import (
+    ClusterConfigError,
+    ClusterReadOnlyError,
+    StoreError,
+)
 from repro.obs.aggregate import label_snapshots
 from repro.obs.export import SCHEMA
 from repro.obs.metrics import registry
@@ -54,6 +58,9 @@ class ClusterConfig:
     """Tunables for one cluster instance (CLI flags map 1:1 onto these)."""
 
     workers: int = 4
+    #: Replicas per shard range; ``workers // replication`` ranges are
+    #: carved, each served by R distinct worker processes.
+    replication: int = 1
     worker_timeout_ms: float = 2000.0
     hedge_quantile: float = 0.95
     hedge: bool = True
@@ -86,6 +93,13 @@ class ClusterConfig:
     ann_clusters: int | None = None
     #: Checkpoints retained by the writer (>= 3 under a cluster).
     retain: int = 3
+    #: Run a warm standby writer: tail checkpoints + WAL read-only and
+    #: adopt the store lock (promote to primary) when it frees.
+    standby: bool = False
+    #: Standby poll cadence, seconds (epoch tail + lock probe).
+    standby_poll_s: float = 0.5
+    #: JSONL file recording the standby's promotion timeline events.
+    promotion_log: str | None = None
 
 
 class ClusterService:
@@ -103,6 +117,31 @@ class ClusterService:
         self.config = config or ClusterConfig()
 
         from repro.store.durable import STORE_LAYOUT
+
+        # Refuse impossible topologies before any process is spawned or
+        # store lock taken (ReplicaPlan.compute re-validates later, but
+        # by then a writable primary would already hold the flock).
+        if self.config.replication < 1:
+            raise ClusterConfigError(
+                f"replication factor must be >= 1, got "
+                f"{self.config.replication}"
+            )
+        if self.config.replication > self.config.workers:
+            raise ClusterConfigError(
+                f"replication {self.config.replication} exceeds the "
+                f"worker budget: every shard range needs "
+                f"{self.config.replication} distinct workers but only "
+                f"{self.config.workers} were requested — raise --workers "
+                f"to at least {self.config.replication} or lower "
+                f"--replication"
+            )
+        if self.config.writable and self.config.standby:
+            raise ClusterConfigError(
+                "--writable and --standby are mutually exclusive: a "
+                "standby must *not* hold the store lock until it "
+                "promotes — run the primary with --writable and the "
+                "standby with --standby"
+            )
 
         # In writable mode the primary opens (locks) the store *first*
         # and seals — so the handle pinned below already serves every
@@ -139,6 +178,7 @@ class ClusterService:
             info.path,
             info.manifest.get("meta", {}),
             self.config.workers,
+            replication=self.config.replication,
         )
         self.router = ClusterRouter(
             self.plan,
@@ -162,6 +202,31 @@ class ClusterService:
             announce=announce,
         )
         self.router.on_worker_dead = self.supervisor.notify_worker_dead
+
+        # The warm standby never touches the store at construction: it
+        # starts tailing (and probing the lock) only once the cluster
+        # runs, and installs itself as ``self.primary`` on promotion.
+        self.standby = None
+        if self.config.standby:
+            from repro.cluster.primary import WriterConfig
+            from repro.cluster.standby import StandbyConfig, StandbyWriter
+
+            self.standby = StandbyWriter(
+                self.data_dir,
+                StandbyConfig(
+                    poll_seconds=self.config.standby_poll_s,
+                    promotion_log=self.config.promotion_log,
+                    writer=WriterConfig(
+                        seal_every_records=self.config.seal_every_records,
+                        seal_interval_s=self.config.seal_interval_s,
+                        ingest_method=self.config.ingest_method,
+                        fast_update_rank=self.config.fast_update_rank,
+                        ann_clusters=self.config.ann_clusters,
+                        retain=self.config.retain,
+                    ),
+                ),
+            )
+
         self.slowlog = SlowQueryLog(
             self.config.slowlog_path,
             threshold_ms=self.config.slow_ms,
@@ -211,18 +276,47 @@ class ClusterService:
         registry.set_gauge("cluster.epoch", handle.epoch)
         registry.set_gauge("cluster.n_documents", handle.n_documents)
 
+    async def propagate_handle(
+        self, handle: EpochHandle, *, bump_timeout: float = 30.0
+    ) -> bool:
+        """Push a new epoch to the workers; publish only on quorum.
+
+        The bump sequence: point future restarts at the new plan, bump
+        every live worker, record the acks — then *publish* only if a
+        quorum (``replication // 2 + 1``) of every range's replicas now
+        serves the new epoch.  Returns False (leaving the old handle
+        serving) when quorum is not met; the caller retries on its poll
+        loop — laggards ack on re-bump, dead workers restart directly
+        onto the new plan, and quorum converges.
+        """
+        self.supervisor.update_plan(handle.plan)
+        acked = await self.router.broadcast_bump(
+            handle.plan, timeout=bump_timeout
+        )
+        for worker_id, epoch in acked.items():
+            self.supervisor.note_epoch(worker_id, epoch)
+        if not self.supervisor.quorum_met(handle.plan):
+            registry.inc("cluster.bump_quorum_misses_total")
+            return False
+        self.publish_handle(handle)
+        return True
+
     # ------------------------------------------------------------------ #
     async def start(self) -> None:
         """Spawn and attach every worker (idempotent)."""
         if not self._started:
-            with span("cluster.start", workers=self.plan.n_shards):
+            with span("cluster.start", workers=self.plan.n_workers):
                 await self.supervisor.start()
             if self.primary is not None:
                 await self.primary.start(self)
+            if self.standby is not None:
+                await self.standby.start(self)
             self._started = True
 
     async def drain(self) -> None:
         """Graceful shutdown: stop the writer, SIGTERM workers."""
+        if self.standby is not None:
+            await self.standby.stop(flush=True)
         if self.primary is not None:
             await self.primary.stop(flush=True)
         await self.supervisor.drain()
@@ -379,6 +473,12 @@ class ClusterService:
         maps to 403, request id attached server-side.
         """
         if self.primary is None:
+            if self.standby is not None:
+                raise ClusterReadOnlyError(
+                    "standby has not adopted the store yet: the primary "
+                    "still holds the writer lock — send writes there "
+                    "until promotion"
+                )
             raise ClusterReadOnlyError(
                 "cluster serving is read-only: restart with "
                 "--writable to ingest here, or write through the "
@@ -395,10 +495,16 @@ class ClusterService:
         yet sealed/remapped) when the cluster is writable."""
         handle = self._handle
         workers = self.supervisor.describe()
+        ranges = self.supervisor.describe_ranges()
         live = sum(1 for w in workers if w["state"] == "up")
+        # Health is per *range*: one dead replica of a still-covered
+        # range is not degradation — the router fails reads over to its
+        # siblings.  Only a range with zero healthy replicas (which at
+        # replication 1 is any dead worker) degrades the cluster.
+        uncovered = sum(1 for r in ranges if r["replicas_healthy"] == 0)
         if self.draining:
             status = "draining"
-        elif live < handle.plan.n_shards:
+        elif uncovered > 0:
             status = "degraded"
         else:
             status = "ok"
@@ -406,20 +512,26 @@ class ClusterService:
             writer = {"enabled": False}
         else:
             writer = self.primary.describe(handle.epoch)
-        return {
+        payload = {
             "status": status,
             "draining": self.draining,
             "epoch": handle.epoch,
             "checkpoint": handle.checkpoint,
             "n_documents": handle.n_documents,
             "n_shards": handle.plan.n_shards,
+            "replication": handle.plan.replication,
+            "n_workers": handle.plan.n_workers,
             "workers_live": live,
             "workers": workers,
+            "ranges": ranges,
             "writer": writer,
             "ann": handle.ann,
             "default_probes": self.config.default_probes,
             "slowlog": self.slowlog.describe(),
         }
+        if self.standby is not None:
+            payload["standby"] = self.standby.describe()
+        return payload
 
     def stats(self) -> dict:
         """The observability snapshot for ``/stats`` (obs-export schema)."""

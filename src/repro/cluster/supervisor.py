@@ -1,11 +1,13 @@
 """Worker lifecycle: spawn, watch, evict on silence, restart with backoff.
 
 The supervisor owns the worker *processes*; the router owns the worker
-*connections*.  Each shard gets a ``python -m repro cluster worker``
-subprocess whose ready banner (printed only after the checkpoint is
-mapped and the socket bound) is parsed for its ephemeral port, then the
-router is attached.  From there two independent signals cover the two
-ways a worker can fail:
+*connections*.  Each worker slot of the
+:class:`~repro.cluster.placement.ReplicaPlan` — R slots per shard range
+— gets a ``python -m repro cluster worker`` subprocess whose ready
+banner (printed only after the checkpoint is mapped and the socket
+bound) is parsed for its ephemeral port, then the router is attached.
+From there two independent signals cover the two ways a worker can
+fail:
 
 * **exit** — a per-worker watcher task awaits the process and, unless
   the cluster is draining, detaches the router and schedules a restart
@@ -15,9 +17,14 @@ ways a worker can fail:
   considered wedged (alive but not answering — the failure mode exit
   codes cannot see) and is killed, which hands it to the watcher path.
 
-Between a worker's death and its restart the router simply serves
-``partial=True`` responses missing that shard's rows; nothing here
-blocks the query path.
+Between a worker's death and its restart the range's *siblings* carry
+its reads (the router fails over before declaring rows missing); only
+when every replica of a range is down does the query path degrade to
+``partial=True``.  Health is therefore judged per *range*, not per
+process: :meth:`describe_ranges` reports ``replicas_healthy`` /
+``replicas_total`` for each range, and :meth:`quorum_met` answers the
+epoch-bump question — has a majority of every range's replicas remapped
+onto the new checkpoint?
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ import sys
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.cluster.placement import ReplicaPlan, as_replica_plan
 from repro.cluster.plan import ShardPlan
 from repro.cluster.router import ClusterRouter
 from repro.errors import ClusterError
@@ -58,9 +66,11 @@ class SupervisorConfig:
 
 @dataclass
 class _WorkerRecord:
-    """Mutable per-shard process state."""
+    """Mutable per-worker-slot process state."""
 
+    worker_id: int
     shard_id: int
+    replica: int
     proc: asyncio.subprocess.Process | None = None
     port: int = 0
     pid: int = 0
@@ -74,12 +84,12 @@ class _WorkerRecord:
 
 
 class ClusterSupervisor:
-    """Keeps one worker process per shard of ``plan`` alive and attached."""
+    """Keeps one process per worker slot of ``plan`` alive and attached."""
 
     def __init__(
         self,
         data_dir: pathlib.Path,
-        plan: ShardPlan,
+        plan: ShardPlan | ReplicaPlan,
         router: ClusterRouter,
         config: SupervisorConfig | None = None,
         *,
@@ -87,19 +97,22 @@ class ClusterSupervisor:
         announce: Callable[[str], None] | None = None,
     ):
         self.data_dir = pathlib.Path(data_dir)
-        self.plan = plan
+        self.plan = as_replica_plan(plan)
         self.router = router
         self.config = config or SupervisorConfig()
         self.host = host
         self._announce = announce or (lambda line: None)
         self._records: dict[int, _WorkerRecord] = {
-            s.shard_id: _WorkerRecord(s.shard_id) for s in plan.shards
+            wid: _WorkerRecord(
+                wid, self.plan.range_of(wid), self.plan.replica_of(wid)
+            )
+            for wid in self.plan.worker_ids()
         }
         self._restarting: set[int] = set()
         self._draining = False
         self._heartbeat_task: asyncio.Task | None = None
 
-    def update_plan(self, plan: ShardPlan) -> None:
+    def update_plan(self, plan: ShardPlan | ReplicaPlan) -> None:
         """Point future spawns at a newer epoch's plan.
 
         Called by the primary writer *before* broadcasting the bump, so
@@ -107,31 +120,42 @@ class ClusterSupervisor:
         checkpoint instead of the superseded one.  Running workers are
         untouched — they catch up through the bump op.
         """
+        plan = as_replica_plan(plan)
         if plan.n_shards != self.plan.n_shards:
             raise ClusterError(
                 f"plan update changes shard count "
                 f"{self.plan.n_shards} -> {plan.n_shards}; worker "
                 "processes are fixed per shard"
             )
+        if plan.replication != self.plan.replication:
+            raise ClusterError(
+                f"plan update changes replication "
+                f"{self.plan.replication} -> {plan.replication}; worker "
+                "slots are fixed for the cluster's lifetime"
+            )
         self.plan = plan
 
-    def note_epoch(self, shard_id: int, epoch: int) -> None:
+    def note_epoch(self, worker_id: int, epoch: int) -> None:
         """Record a worker's acked epoch (bump ack or spawn banner)."""
-        record = self._records.get(shard_id)
+        record = self._records.get(worker_id)
         if record is None:
             return
         record.epoch = int(epoch)
-        registry.set_gauge(f"cluster.worker.{shard_id}.epoch", record.epoch)
+        registry.set_gauge(f"cluster.worker.{worker_id}.epoch", record.epoch)
 
     # ------------------------------------------------------------------ #
     # spawn
     # ------------------------------------------------------------------ #
-    def _worker_command(self, shard_id: int) -> list[str]:
+    def _worker_command(self, worker_id: int) -> list[str]:
+        record = self._records[worker_id]
         return [
             sys.executable, "-m", "repro", "--no-obs", "cluster", "worker",
             "--data-dir", str(self.data_dir),
-            "--shard", str(shard_id),
-            "--plan", self.plan.to_json(),
+            "--shard", str(record.shard_id),
+            "--replica", str(record.replica),
+            # Workers receive the *shard* plan: their contract is rows,
+            # not placement (see repro.cluster.placement).
+            "--plan", self.plan.base.to_json(),
             "--host", self.host,
             "--port", "0",
         ]
@@ -147,13 +171,13 @@ class ClusterSupervisor:
         )
         return env
 
-    async def _spawn(self, shard_id: int) -> None:
+    async def _spawn(self, worker_id: int) -> None:
         """Start one worker, parse its banner, attach the router."""
-        record = self._records[shard_id]
+        record = self._records[worker_id]
         record.state = "starting"
         record.missed_heartbeats = 0
         proc = await asyncio.create_subprocess_exec(
-            *self._worker_command(shard_id),
+            *self._worker_command(worker_id),
             stdout=asyncio.subprocess.PIPE,
             stderr=None,  # inherit: worker errors land in our stderr
             env=self._worker_env(),
@@ -166,27 +190,28 @@ class ClusterSupervisor:
         except asyncio.TimeoutError:
             proc.kill()
             raise ClusterError(
-                f"worker {shard_id} produced no ready banner within "
+                f"worker {worker_id} produced no ready banner within "
                 f"{self.config.spawn_timeout:.0f} s"
             )
         if banner is None:
             code = await proc.wait()
             raise ClusterError(
-                f"worker {shard_id} exited with code {code} before "
+                f"worker {worker_id} exited with code {code} before "
                 "becoming ready"
             )
         record.port = banner["port"]
         record.pid = banner["pid"]
-        self.note_epoch(shard_id, banner.get("epoch", 0))
-        await self.router.attach(shard_id, self.host, record.port)
+        self.note_epoch(worker_id, banner.get("epoch", 0))
+        await self.router.attach(worker_id, self.host, record.port)
         record.state = "up"
         self._announce(
-            f"worker {shard_id} up on {self.host}:{record.port} "
+            f"worker {worker_id} (shard {record.shard_id} replica "
+            f"{record.replica}) up on {self.host}:{record.port} "
             f"pid={record.pid}"
         )
         record.tasks = [
-            asyncio.ensure_future(self._watch(shard_id, proc)),
-            asyncio.ensure_future(self._pump_stdout(shard_id, proc)),
+            asyncio.ensure_future(self._watch(worker_id, proc)),
+            asyncio.ensure_future(self._pump_stdout(worker_id, proc)),
         ]
 
     @staticmethod
@@ -215,7 +240,7 @@ class ClusterSupervisor:
             return {"port": port, "pid": pid, "epoch": epoch}
 
     async def _pump_stdout(
-        self, shard_id: int, proc: asyncio.subprocess.Process
+        self, worker_id: int, proc: asyncio.subprocess.Process
     ) -> None:
         """Drain post-banner stdout so the worker can never block on it."""
         assert proc.stdout is not None
@@ -226,7 +251,7 @@ class ClusterSupervisor:
                     return
                 line = raw.decode("utf-8", "replace").strip()
                 if line:
-                    self._announce(f"worker {shard_id}: {line}")
+                    self._announce(f"worker {worker_id}: {line}")
         except asyncio.CancelledError:
             return
 
@@ -234,22 +259,22 @@ class ClusterSupervisor:
     # failure handling
     # ------------------------------------------------------------------ #
     async def _watch(
-        self, shard_id: int, proc: asyncio.subprocess.Process
+        self, worker_id: int, proc: asyncio.subprocess.Process
     ) -> None:
         """Await one process; on unexpected death, detach and restart."""
         code = await proc.wait()
-        record = self._records[shard_id]
+        record = self._records[worker_id]
         if self._draining or record.proc is not proc:
             return
         record.state = "dead"
         registry.inc("cluster.worker_exits_total")
         self._announce(
-            f"worker {shard_id} (pid {record.pid}) exited with code {code}"
+            f"worker {worker_id} (pid {record.pid}) exited with code {code}"
         )
-        await self.router.detach(shard_id)
-        self._schedule_restart(shard_id)
+        await self.router.detach(worker_id)
+        self._schedule_restart(worker_id)
 
-    def notify_worker_dead(self, shard_id: int) -> None:
+    def notify_worker_dead(self, worker_id: int) -> None:
         """Router callback: a connection died mid-query.
 
         The watcher usually fires first (the process exited), but a
@@ -258,19 +283,19 @@ class ClusterSupervisor:
         """
         if self._draining:
             return
-        record = self._records.get(shard_id)
+        record = self._records.get(worker_id)
         if record is None or record.state != "up":
             return
         record.missed_heartbeats = self.config.miss_limit
 
-    def _schedule_restart(self, shard_id: int) -> None:
-        if self._draining or shard_id in self._restarting:
+    def _schedule_restart(self, worker_id: int) -> None:
+        if self._draining or worker_id in self._restarting:
             return
-        self._restarting.add(shard_id)
-        asyncio.ensure_future(self._restart(shard_id))
+        self._restarting.add(worker_id)
+        asyncio.ensure_future(self._restart(worker_id))
 
-    async def _restart(self, shard_id: int) -> None:
-        record = self._records[shard_id]
+    async def _restart(self, worker_id: int) -> None:
+        record = self._records[worker_id]
         try:
             record.restarts += 1
             delay = min(
@@ -280,31 +305,31 @@ class ClusterSupervisor:
             record.state = "restarting"
             registry.inc("cluster.restarts_total")
             self._announce(
-                f"restarting worker {shard_id} in {delay:.1f} s "
+                f"restarting worker {worker_id} in {delay:.1f} s "
                 f"(restart #{record.restarts})"
             )
             await asyncio.sleep(delay)
             if self._draining:
                 return
-            await self._spawn(shard_id)
+            await self._spawn(worker_id)
         except ClusterError as exc:
             # Spawn failed outright; try again along the backoff curve.
-            self._announce(f"worker {shard_id} restart failed: {exc}")
+            self._announce(f"worker {worker_id} restart failed: {exc}")
             record.state = "dead"
-            self._restarting.discard(shard_id)
-            self._schedule_restart(shard_id)
+            self._restarting.discard(worker_id)
+            self._schedule_restart(worker_id)
             return
         finally:
-            self._restarting.discard(shard_id)
+            self._restarting.discard(worker_id)
 
     async def _heartbeat_loop(self) -> None:
         interval = self.config.heartbeat_interval
         while not self._draining:
             await asyncio.sleep(interval)
-            for shard_id, record in self._records.items():
+            for worker_id, record in self._records.items():
                 if record.state != "up" or self._draining:
                     continue
-                ok = await self.router.ping(shard_id, timeout=interval)
+                ok = await self.router.ping(worker_id, timeout=interval)
                 if ok:
                     record.missed_heartbeats = 0
                     continue
@@ -313,7 +338,7 @@ class ClusterSupervisor:
                     continue
                 registry.inc("cluster.evictions_total")
                 self._announce(
-                    f"worker {shard_id} missed "
+                    f"worker {worker_id} missed "
                     f"{record.missed_heartbeats} heartbeats; evicting"
                 )
                 if record.proc is not None:
@@ -327,9 +352,9 @@ class ClusterSupervisor:
     # lifecycle
     # ------------------------------------------------------------------ #
     async def start(self) -> None:
-        """Spawn every shard's worker; raises if any fails its first spawn."""
-        for shard in self.plan.shards:
-            await self._spawn(shard.shard_id)
+        """Spawn every worker slot; raises if any fails its first spawn."""
+        for worker_id in self.plan.worker_ids():
+            await self._spawn(worker_id)
         self._heartbeat_task = asyncio.ensure_future(self._heartbeat_loop())
 
     async def drain(self) -> None:
@@ -366,28 +391,37 @@ class ClusterSupervisor:
         await self.router.close()
 
     # ------------------------------------------------------------------ #
+    def _row_state(self, record: _WorkerRecord) -> str:
+        # A worker at the miss limit is not serving even if its process
+        # record still says "up" — the router's dead-connection report
+        # lands here synchronously, so degraded health shows immediately,
+        # without waiting for the exit watcher to run.
+        if (
+            record.state == "up"
+            and record.missed_heartbeats >= self.config.miss_limit
+        ):
+            return "unresponsive"
+        return record.state
+
     def describe(self) -> list[dict]:
-        """Per-shard status rows for healthz / ``cluster status``."""
+        """Per-worker status rows for healthz / ``cluster status``.
+
+        Flat rows in ascending worker-slot order (== shard order at
+        replication 1, so unreplicated callers can keep indexing by
+        shard id).
+        """
         rows = []
-        for shard in self.plan.shards:
-            record = self._records[shard.shard_id]
-            # A worker at the miss limit is not serving even if its
-            # process record still says "up" — the router's dead-
-            # connection report lands here synchronously, so a partial
-            # response is reflected as degraded health immediately,
-            # without waiting for the exit watcher to run.
-            state = record.state
-            if (
-                state == "up"
-                and record.missed_heartbeats >= self.config.miss_limit
-            ):
-                state = "unresponsive"
+        for worker_id in self.plan.worker_ids():
+            record = self._records[worker_id]
+            shard = self.plan.shard(record.shard_id)
             rows.append(
                 {
-                    "shard": shard.shard_id,
+                    "worker": worker_id,
+                    "shard": record.shard_id,
+                    "replica": record.replica,
                     "lo": shard.lo,
                     "hi": shard.hi,
-                    "state": state,
+                    "state": self._row_state(record),
                     "pid": record.pid,
                     "port": record.port,
                     "epoch": record.epoch,
@@ -396,6 +430,59 @@ class ClusterSupervisor:
                 }
             )
         return rows
+
+    def describe_ranges(self) -> list[dict]:
+        """Per-*range* health: one dead replica of a healthy range is
+        not degradation.
+
+        Each row aggregates the range's replica set:
+        ``replicas_healthy`` counts replicas currently serving
+        (state ``up`` and under the heartbeat miss limit) out of
+        ``replicas_total``; ``replicas`` nests the per-worker rows.
+        """
+        rows = []
+        workers = {row["worker"]: row for row in self.describe()}
+        for rset in self.plan.replicas:
+            replica_rows = [workers[wid] for wid in rset.workers]
+            healthy = sum(
+                1 for row in replica_rows if row["state"] == "up"
+            )
+            rows.append(
+                {
+                    "shard": rset.shard_id,
+                    "lo": rset.lo,
+                    "hi": rset.hi,
+                    "replicas_total": len(rset.workers),
+                    "replicas_healthy": healthy,
+                    "replicas": replica_rows,
+                }
+            )
+        return rows
+
+    def quorum_met(self, plan: ShardPlan | ReplicaPlan) -> bool:
+        """True iff every range has a quorum of replicas on ``plan.epoch``.
+
+        The epoch-bump completion test: a bump only *publishes* once a
+        majority (``replication // 2 + 1``) of each range's replicas
+        are up and have acked the new epoch — otherwise one slow
+        replica set could serve a just-published epoch from a minority
+        while its siblings still answer the old one after a failover.
+        """
+        plan = as_replica_plan(plan)
+        quorum = plan.quorum()
+        for rset in plan.replicas:
+            acked = 0
+            for wid in rset.workers:
+                record = self._records.get(wid)
+                if (
+                    record is not None
+                    and self._row_state(record) == "up"
+                    and record.epoch == plan.epoch
+                ):
+                    acked += 1
+            if acked < quorum:
+                return False
+        return True
 
     @property
     def draining(self) -> bool:

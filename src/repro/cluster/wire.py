@@ -15,7 +15,11 @@ asyncio helpers (:func:`write_frame` / :func:`read_frame`) for the
 scatter-gather router.  A clean EOF *between* frames reads as ``None``
 (peer hung up); an EOF *inside* a frame raises ``ConnectionError``
 (peer died mid-message) — the router treats both as worker death, but
-the distinction keeps error reports honest.
+the distinction keeps error reports honest.  Under replication that
+death report is what triggers sibling failover: every pending call on
+the dead channel fails with ``ConnectionError`` at once, and the
+router retries each affected range on another replica inside the same
+request deadline (see :mod:`repro.cluster.router`).
 """
 
 from __future__ import annotations

@@ -115,9 +115,13 @@ class ShardWorker:
         epoch: int = 0,
         ann: CoarseQuantizer | None = None,
         data_dir: pathlib.Path | None = None,
+        replica: int = 0,
     ):
         self._state = _EpochState(model, shard, epoch=epoch, ann=ann)
         self._previous: _EpochState | None = None
+        #: Replica index within this shard range's replica set —
+        #: identity only; every replica scores identical bytes.
+        self.replica = int(replica)
         self._swap_lock = threading.Lock()  # serializes bumps, not scores
         #: Store directory bumps remap checkpoints from; ``None`` makes
         #: the worker bump-refusing (in-process/test construction).
@@ -173,6 +177,7 @@ class ShardWorker:
         state, previous = self._state, self._previous
         return {
             "shard": state.shard.shard_id,
+            "replica": self.replica,
             "lo": state.shard.lo,
             "hi": state.shard.hi,
             "epoch": state.epoch,
@@ -488,6 +493,7 @@ def run_worker(
     plan_json: str,
     shard_id: int,
     *,
+    replica: int = 0,
     host: str = "127.0.0.1",
     port: int = 0,
     out=None,
@@ -562,7 +568,7 @@ def run_worker(
     ann = open_checkpoint_ann(info.path, mmap=True)
     worker = ShardWorker(
         model, plan.shard(shard_id), epoch=epoch, ann=ann,
-        data_dir=pathlib.Path(data_dir),
+        data_dir=pathlib.Path(data_dir), replica=replica,
     )
     server = serve_shard(worker, host, port)
     bound_port = server.server_address[1]
@@ -573,10 +579,12 @@ def run_worker(
 
     signal.signal(signal.SIGTERM, _stop)
     signal.signal(signal.SIGINT, _stop)
+    # The supervisor's banner parse requires pid= to stay the last token.
     print(
         f"cluster worker {shard_id} ready on {host}:{bound_port} "
         f"rows=[{worker.shard.lo},{worker.shard.hi}) epoch={epoch} "
-        f"ann={'yes' if ann is not None else 'no'} pid={os.getpid()}",
+        f"ann={'yes' if ann is not None else 'no'} replica={replica} "
+        f"pid={os.getpid()}",
         file=out, flush=True,
     )
     server.serve_forever()

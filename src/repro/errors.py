@@ -23,6 +23,7 @@ __all__ = [
     "StoreCorruptError",
     "StoreLockedError",
     "ClusterError",
+    "ClusterConfigError",
     "ClusterReadOnlyError",
     "EpochSkewError",
 ]
@@ -128,6 +129,18 @@ class ClusterError(ReproError, RuntimeError):
     Worker *death* during a query is deliberately not an exception on
     the serving path — the router degrades to a ``partial=true``
     response instead (see :mod:`repro.cluster.router`).
+    """
+
+
+class ClusterConfigError(ClusterError, ValueError):
+    """A cluster was asked for an impossible topology.
+
+    Raised before any process is spawned or store touched: a replication
+    factor below 1, or one that exceeds the worker budget (every range
+    needs R *distinct* workers), or mutually exclusive serving modes
+    (``--writable`` with ``--standby``).  Deliberately a ``ValueError``
+    subclass and part of the :class:`ReproError` hierarchy so the CLI
+    prints it as a one-line ``error:`` instead of a stack trace.
     """
 
 

@@ -53,7 +53,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.errors import ShapeError, StoreError
+from repro.errors import ShapeError, StoreError, StoreLockedError
 from repro.obs.metrics import registry
 from repro.obs.tracing import span
 from repro.serving.ann import ANN_ARRAY_NAMES, CoarseQuantizer
@@ -474,7 +474,21 @@ class DurableIndexStore:
         unlocked, so queries — which never take these locks — are
         unaffected and concurrent ``/add`` s block for microseconds at
         worst.
+
+        Fenced: if another writer adopted the directory since this
+        store opened (the lockfile generation moved — a standby
+        promoted over what it judged a dead primary), the seal is
+        refused with :class:`~repro.errors.StoreLockedError` rather
+        than interleaving two writers' checkpoint lines.  The fence is
+        checked once per seal, never on the per-record append path.
         """
+        if self._dir_lock is not None and not self._dir_lock.check():
+            raise StoreLockedError(
+                f"{self.data_dir} was adopted by another writer "
+                f"(lock generation moved past "
+                f"{self._dir_lock.generation}); this handle is fenced "
+                "and must close instead of sealing"
+            )
         with self._checkpoint_lock:
             t0 = time.perf_counter()
             with span("store.checkpoint", reason=reason):
