@@ -1,0 +1,331 @@
+"""Multi-tenant serving overheads: routing, lazy attach, isolation.
+
+The tenancy layer's claim is that hosting N indexes behind one front
+end costs almost nothing on the serving path and cannot let one tenant
+ruin another's latency.  Three measurements:
+
+* **routing overhead** — per-tenant QPS when one tenant of a 4-tenant
+  registry takes the whole load, vs an identical single-tenant
+  service: the registry resolve/pin + quota admit on every request
+  must keep >= ``MIN_TENANT_QPS_FRACTION`` of the baseline throughput
+  (same model, same batching).  The 4-way round-robin aggregate is
+  reported alongside (its batches are 4x thinner, so it is context,
+  not an acceptance bound);
+* **attach latency** — first query to a cold tenant pays the mmap/load
+  attach (and, under ``max_resident``, the LRU detach of the coldest
+  peer); the next query must drop back to warm-path latency.  Cold and
+  warm medians are reported and warm must beat cold;
+* **quota isolation** — a hot tenant saturated far past its admission
+  share (drawing per-tenant 429s) must leave a cold tenant's p99
+  within ``MAX_COLD_P99_RATIO`` of its unloaded baseline (with an
+  absolute floor so millisecond-scale noise cannot fail the run).
+
+Results land in ``BENCH_multitenant.json`` (committed at repo root,
+re-written by CI and uploaded as an artifact).
+"""
+
+import asyncio
+import json
+import os
+import pathlib
+import tempfile
+import time
+
+import numpy as np
+
+from conftest import emit
+from obs_export import maybe_export_obs
+from repro.core.model import LSIModel
+from repro.core.persistence import save_model
+from repro.errors import ServerOverloadError
+from repro.server import QueryService, ServerConfig, ServingState
+from repro.tenancy import IndexRegistry
+from repro.text.vocabulary import Vocabulary
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+N_DOCS = 4_000 if SMOKE else 16_000
+K = 64
+M_TERMS = 300
+TOP = 10
+N_TENANTS = 4
+CONCURRENCY = 8
+REQUESTS = 160 if SMOKE else 480
+#: Routed single-tenant QPS must keep this fraction of the unrouted
+#: baseline — the per-request cost of resolve/pin/quota bookkeeping.
+MIN_TENANT_QPS_FRACTION = 0.7
+#: Cold-tenant p99 under a saturated hot tenant, relative to unloaded.
+MAX_COLD_P99_RATIO = 8.0
+COLD_P99_FLOOR_S = 0.25
+
+
+def _model(seed: int) -> LSIModel:
+    """A synthetic serving-scale model straight from random factors."""
+    rng = np.random.default_rng(seed)
+    vocab = Vocabulary(f"term{i}" for i in range(M_TERMS))
+    vocab.freeze()
+    return LSIModel(
+        U=rng.standard_normal((M_TERMS, K)),
+        s=np.sort(rng.random(K) + 0.5)[::-1],
+        V=rng.standard_normal((N_DOCS, K)),
+        vocabulary=vocab,
+        doc_ids=[f"D{j}" for j in range(N_DOCS)],
+    )
+
+
+def _queries(n: int, seed: int = 5) -> list[list[str]]:
+    rng = np.random.default_rng(seed)
+    return [
+        [f"term{t}" for t in rng.choice(M_TERMS, size=4, replace=False)]
+        for _ in range(n)
+    ]
+
+
+def _registry() -> IndexRegistry:
+    reg = IndexRegistry()
+    for i in range(N_TENANTS):
+        # t0 shares the baseline's seed so the routed-vs-unrouted
+        # comparison scores the identical model.
+        reg.register(f"t{i}", state=ServingState.for_model(_model(1 + i)))
+    return reg
+
+
+def _config(queue_depth: int | None = None) -> ServerConfig:
+    return ServerConfig(
+        max_batch=CONCURRENCY,
+        max_wait_ms=2.0,
+        queue_depth=queue_depth or 4 * CONCURRENCY * N_TENANTS,
+    )
+
+
+def _qps(source, queries, *, tenant=None, round_robin=False) -> float:
+    """Batched QPS over ``queries`` in waves of ``CONCURRENCY``."""
+
+    def _tenant(i: int):
+        return f"t{i % N_TENANTS}" if round_robin else tenant
+
+    async def main() -> float:
+        service = QueryService(source, _config())
+        await service.start()
+        await asyncio.gather(
+            *(
+                service.search(q, top=TOP, tenant=_tenant(i))
+                for i, q in enumerate(queries[:CONCURRENCY])
+            )
+        )
+        t0 = time.perf_counter()
+        for start in range(0, len(queries), CONCURRENCY):
+            wave = queries[start:start + CONCURRENCY]
+            await asyncio.gather(
+                *(
+                    service.search(q, top=TOP, tenant=_tenant(start + i))
+                    for i, q in enumerate(wave)
+                )
+            )
+        elapsed = time.perf_counter() - t0
+        await service.drain()
+        return len(queries) / elapsed
+
+    return asyncio.run(main())
+
+
+def _merge_artifact(update: dict) -> None:
+    """Fold a phase's results into ``BENCH_multitenant.json``."""
+    path = pathlib.Path("BENCH_multitenant.json")
+    blob = json.loads(path.read_text()) if path.exists() else {}
+    blob.update(update)
+    blob["smoke"] = SMOKE
+    path.write_text(json.dumps(blob, indent=2, sort_keys=True) + "\n")
+
+
+def test_tenant_routing_overhead_bounded():
+    queries = _queries(REQUESTS)
+    single_qps = _qps(ServingState.for_model(_model(1)), queries)
+    routed_qps = _qps(_registry(), queries, tenant="t0")
+    aggregate_qps = _qps(_registry(), queries, round_robin=True)
+    fraction = routed_qps / single_qps
+    emit(
+        f"tenant routing overhead (n={N_DOCS}/tenant, k={K}, "
+        f"c={CONCURRENCY}, {REQUESTS} requests)",
+        [
+            f"single-tenant baseline : {single_qps:>8.0f} QPS",
+            f"routed, 1 of 4 tenants : {routed_qps:>8.0f} QPS "
+            f"({fraction:.2f}x)",
+            f"round-robin, 4 tenants : {aggregate_qps:>8.0f} QPS "
+            f"(4x thinner batches)",
+        ],
+    )
+    _merge_artifact(
+        {
+            "routing": {
+                "single_tenant_qps": single_qps,
+                "routed_qps": routed_qps,
+                "routed_fraction": fraction,
+                "round_robin_qps": aggregate_qps,
+                "n_tenants": N_TENANTS,
+            }
+        }
+    )
+    maybe_export_obs(
+        "multitenant_routing",
+        extra={"routed_fraction": fraction, "single_qps": single_qps},
+    )
+    assert fraction >= MIN_TENANT_QPS_FRACTION, (
+        f"tenant routing kept only {fraction:.2f}x of baseline QPS, "
+        f"need >= {MIN_TENANT_QPS_FRACTION}x"
+    )
+
+
+def test_attach_cold_vs_warm_latency():
+    query = _queries(2, seed=11)
+    with tempfile.TemporaryDirectory() as tmp:
+        reg = IndexRegistry(max_resident=2)
+        for i in range(N_TENANTS):
+            path = pathlib.Path(tmp) / f"t{i}.npz"
+            save_model(_model(100 + i), path)
+            reg.register(f"t{i}", data_dir=path)
+
+        async def main() -> tuple[list[float], list[float]]:
+            service = QueryService(reg, _config())
+            await service.start()
+            cold, warm = [], []
+            # Two sweeps: the second re-attaches tenants the 2-resident
+            # LRU cap already evicted, so "cold" includes steady-state
+            # detach+attach churn, not just first-boot opens.
+            for sweep in range(2):
+                for i in range(N_TENANTS):
+                    tid = f"t{i}"
+                    t0 = time.perf_counter()
+                    await service.search(query[0], top=TOP, tenant=tid)
+                    cold.append(time.perf_counter() - t0)
+                    t0 = time.perf_counter()
+                    await service.search(query[1], top=TOP, tenant=tid)
+                    warm.append(time.perf_counter() - t0)
+            attaches = {
+                tid: row["attaches"]
+                for tid, row in service.registry.describe().items()
+            }
+            await service.drain()
+            return cold, warm, attaches
+
+        cold, warm, attaches = asyncio.run(main())
+    cold_ms = 1e3 * float(np.median(cold))
+    warm_ms = 1e3 * float(np.median(warm))
+    emit(
+        f"lazy attach latency (n={N_DOCS}/tenant, {N_TENANTS} tenants, "
+        "max_resident=2, 2 sweeps)",
+        [
+            f"cold first query (attach) : {cold_ms:>8.2f} ms median",
+            f"warm next query           : {warm_ms:>8.2f} ms median",
+            f"attaches per tenant       : {sorted(attaches.values())}",
+        ],
+    )
+    _merge_artifact(
+        {
+            "attach": {
+                "cold_median_ms": cold_ms,
+                "warm_median_ms": warm_ms,
+                "max_resident": 2,
+                "attaches": attaches,
+            }
+        }
+    )
+    # Every tenant re-attached at least once under the cap, and the
+    # warm path does not pay the attach cost again.
+    assert all(n >= 2 for n in attaches.values()), attaches
+    assert warm_ms <= cold_ms, (warm_ms, cold_ms)
+
+
+def test_cold_tenant_p99_bounded_under_hot_saturation():
+    queries = _queries(64, seed=7)
+    reg = IndexRegistry()
+    reg.register("hot", state=ServingState.for_model(_model(31)))
+    reg.register("cold", state=ServingState.for_model(_model(32)))
+    probe_n = 40 if SMOKE else 80
+
+    async def main():
+        service = QueryService(reg, _config(queue_depth=2 * CONCURRENCY))
+        await service.start()
+        share = service.quotas.share
+
+        async def cold_p99(n: int) -> float:
+            lat = []
+            for i in range(n):
+                t0 = time.perf_counter()
+                await service.search(
+                    queries[i % len(queries)], top=TOP, tenant="cold"
+                )
+                lat.append(time.perf_counter() - t0)
+            return float(np.percentile(lat, 99))
+
+        baseline = await cold_p99(probe_n)
+
+        stop = [False]
+        served = [0]
+        rejected = [0]
+
+        async def flood() -> None:
+            i = 0
+            while not stop[0]:
+                try:
+                    await service.search(
+                        queries[i % len(queries)], top=TOP, tenant="hot"
+                    )
+                    served[0] += 1
+                except ServerOverloadError as exc:
+                    if exc.reason == "tenant_quota":
+                        rejected[0] += 1
+                    await asyncio.sleep(0.001)
+                i += 1
+
+        floods = [
+            asyncio.ensure_future(flood()) for _ in range(3 * share)
+        ]
+        await asyncio.sleep(0.05)  # the flood reaches saturation
+        saturated = await cold_p99(probe_n)
+        stop[0] = True
+        await asyncio.gather(*floods)
+        await service.drain()
+        return baseline, saturated, share, served[0], rejected[0]
+
+    baseline, saturated, share, served, rejected = asyncio.run(main())
+    ratio = saturated / baseline
+    bound = max(MAX_COLD_P99_RATIO * baseline, COLD_P99_FLOOR_S)
+    emit(
+        f"quota isolation (share={share}, {3 * share} hot clients, "
+        f"{probe_n} cold probes)",
+        [
+            f"cold p99, unloaded     : {baseline * 1e3:>8.2f} ms",
+            f"cold p99, hot saturated: {saturated * 1e3:>8.2f} ms "
+            f"({ratio:.2f}x)",
+            f"hot flood              : {served} served, "
+            f"{rejected} per-tenant 429(s)",
+        ],
+    )
+    _merge_artifact(
+        {
+            "isolation": {
+                "cold_p99_baseline_ms": baseline * 1e3,
+                "cold_p99_saturated_ms": saturated * 1e3,
+                "p99_ratio": ratio,
+                "hot_served": served,
+                "hot_rejected_quota": rejected,
+                "share": share,
+            }
+        }
+    )
+    maybe_export_obs(
+        "multitenant_isolation",
+        extra={"p99_ratio": ratio, "hot_rejected_quota": rejected},
+    )
+    assert rejected >= 1, "the flood never tripped the tenant quota"
+    assert saturated <= bound, (
+        f"cold-tenant p99 {saturated * 1e3:.1f} ms under hot saturation "
+        f"vs {baseline * 1e3:.1f} ms unloaded exceeds the bound "
+        f"({MAX_COLD_P99_RATIO}x or {COLD_P99_FLOOR_S * 1e3:.0f} ms)"
+    )
+
+
+if __name__ == "__main__":
+    test_tenant_routing_overhead_bounded()
+    test_attach_cold_vs_warm_latency()
+    test_cold_tenant_p99_bounded_under_hot_saturation()

@@ -36,7 +36,15 @@ boundaries:
   zero durable-acked documents lost — with the promotion timeline
   landing in a JSONL artifact;
 * SIGTERM drains cleanly — the process prints ``drained cleanly`` and
-  exits 0.
+  exits 0;
+* a two-tenant front end (``--tenants tenants.json``) routes by
+  ``X-Tenant``: interleaved queries stay element-identical to each
+  store's own in-process reference, the second tenant's fleet spawns
+  lazily on its first query, a flood past one tenant's admission share
+  draws per-tenant 429s while the other tenant still completes, a
+  SIGKILL'd worker degrades only its own tenant, and with
+  ``--max-resident 1`` the LRU tenant detaches (drains) and re-attaches
+  with exact parity.
 
 Run directly (CI does)::
 
@@ -57,6 +65,7 @@ import time
 import numpy as np
 
 from repro.core.query import project_query
+from repro.errors import ServerOverloadError, UnknownTenantError
 from repro.obs import export_trace_jsonl, read_slowlog
 from repro.parallel.sharding import (
     merge_topk,
@@ -90,22 +99,27 @@ def _seed_store(data_dir: str, texts: list[str]) -> None:
 
 
 def _start_cluster(
-    data_dir: str,
+    data_dir: str | None,
     *extra_args: str,
     env_extra: dict[str, str] | None = None,
     new_session: bool = False,
 ) -> tuple[subprocess.Popen, int]:
     """Launch ``repro cluster serve``; return (proc, http port).
 
+    ``data_dir=None`` serves a multi-tenant front end — pass
+    ``"--tenants", path`` through ``extra_args`` instead.
     ``new_session=True`` puts the front end and its spawned workers in
     their own process group, so ``os.killpg`` can SIGKILL the whole
     cluster at once (the primary-death scenario)."""
     env = dict(os.environ, PYTHONPATH="src", PYTHONUNBUFFERED="1")
     env.update(env_extra or {})
+    store_args = (
+        ["--data-dir", data_dir] if data_dir is not None else []
+    )
     proc = subprocess.Popen(
         [
             sys.executable, "-m", "repro", "--no-obs", "cluster", "serve",
-            "--data-dir", data_dir, "--workers", str(SHARDS),
+            *store_args, "--workers", str(SHARDS),
             "--port", "0", "--heartbeat-interval", "0.25",
             "--restart-backoff", str(RESTART_BACKOFF),
             "--restart-backoff-cap", str(RESTART_BACKOFF),
@@ -420,6 +434,234 @@ def _promotion_phase(tmp: str, texts: list[str]) -> None:
             _reap(proc)
 
 
+def _corpus_b() -> list[str]:
+    rng = np.random.default_rng(91)
+    vocab = [f"w{i}" for i in range(50)]
+    return [" ".join(rng.choice(vocab, size=15)) for _ in range(47)]
+
+
+def _multitenant_phase(tmp: str, texts: list[str]) -> None:
+    """Two tenants, one front end: parity, lazy attach, isolation, LRU."""
+    import threading
+
+    dirs = {
+        "alpha": os.path.join(tmp, "tenant-alpha"),
+        "beta": os.path.join(tmp, "tenant-beta"),
+    }
+    corpora = {"alpha": texts, "beta": _corpus_b()}
+    for tid, d in dirs.items():
+        _seed_store(d, corpora[tid])
+    tenants_path = os.path.join(tmp, "tenants.json")
+    with open(tenants_path, "w", encoding="utf-8") as fh:
+        json.dump(dirs, fh)
+
+    # Per-tenant references over each tenant's own store — the same
+    # in-process oracle the single-tenant phases proved the cluster
+    # element-identical to, so "identical to two single-tenant
+    # clusters" reduces to matching these.
+    fleet_shards = 2
+    models = {tid: open_latest_model(d) for tid, d in dirs.items()}
+    tenant_queries = {tid: corpora[tid][:3] for tid in dirs}
+    expected = {
+        tid: {
+            q: sharded_batch_search(
+                models[tid], [q], top=TOP, shards=fleet_shards
+            )[0]
+            for q in tenant_queries[tid]
+        }
+        for tid in dirs
+    }
+
+    def pairs(client: ServerClient, q: str, tid: str) -> tuple[dict, list]:
+        data = client.search(q, top=TOP, tenant=tid)
+        assert data["tenant"] == tid, data
+        return data, [(int(j), float(s)) for j, s, _ in data["results"]]
+
+    # --- Cluster 1: lazy attach, interleaved parity, quotas, isolation.
+    proc, port = _start_cluster(
+        None, "--tenants", tenants_path, "--workers", str(fleet_shards),
+        "--queue-depth", "16",
+        env_extra={"REPRO_WORKER_INJECT_DELAY_MS": "80"},
+    )
+    try:
+        client = ServerClient(port=port)
+        info = client.tenants()
+        assert set(info["tenants"]) == set(dirs), info
+        assert not any(
+            row["resident"] for row in info["tenants"].values()
+        ), info
+
+        # An unhosted tenant is a typed 404 carrying the request id...
+        try:
+            client.search("w1", top=1, tenant="nobody",
+                          request_id="smoke-mt-404")
+            raise AssertionError("unknown tenant must 404")
+        except UnknownTenantError as exc:
+            assert exc.tenant == "nobody", exc
+            assert exc.request_id == "smoke-mt-404", exc
+        # ...and so is naming no tenant at all on a 2-tenant server.
+        try:
+            client.search("w1", top=1)
+            raise AssertionError("ambiguous request must 404")
+        except UnknownTenantError:
+            pass
+
+        # The first query cold-attaches exactly the tenant it names:
+        # alpha's fleet spawns, beta stays a registry entry on disk.
+        a_q = tenant_queries["alpha"][0]
+        data, got = pairs(client, a_q, "alpha")
+        assert data["partial"] is False, data
+        assert got == expected["alpha"][a_q], (got, expected["alpha"][a_q])
+        resident = {
+            tid: row["resident"]
+            for tid, row in client.tenants()["tenants"].items()
+        }
+        assert resident == {"alpha": True, "beta": False}, resident
+        print("tenancy: first query attached only its own tenant "
+              f"(resident={resident})")
+
+        # Interleaved queries: each response element-identical to its
+        # own store's reference (beta's fleet spawns on its first one).
+        for i in range(6):
+            tid = ("alpha", "beta")[i % 2]
+            q = tenant_queries[tid][(i // 2) % len(tenant_queries[tid])]
+            data, got = pairs(client, q, tid)
+            assert data["partial"] is False, data
+            assert got == expected[tid][q], (tid, q, got)
+        print("tenancy: 6 interleaved responses element-identical to "
+              "each tenant's own in-process reference")
+
+        # Federated observability: every fleet's workers land under
+        # tenant-prefixed names / tenant-labeled Prometheus series.
+        prom = client.metrics_prom()
+        _validate_prometheus(prom)
+        assert 'tenant="alpha"' in prom and 'tenant="beta"' in prom, prom
+        metrics = client.metrics()
+        for tid in dirs:
+            assert any(
+                key.startswith(f"tenant.{tid}.shard.")
+                for key in metrics["histograms"]
+            ), (tid, sorted(metrics["histograms"]))
+
+        # Quota isolation: flood alpha far past its share; the rejects
+        # must be per-tenant 429s and beta must still complete.
+        share = client.tenants()["quotas"]["share"]
+        rejected: list[Exception] = []
+        completed: list[int] = []
+
+        def hammer() -> None:
+            with ServerClient(port=port, timeout=60) as c:
+                try:
+                    c.search(a_q, top=TOP, tenant="alpha")
+                    completed.append(1)
+                except ServerOverloadError as exc:
+                    rejected.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer) for _ in range(3 * share)
+        ]
+        t0 = time.monotonic()
+        for t in threads:
+            t.start()
+        b_q = tenant_queries["beta"][0]
+        data, got = pairs(client, b_q, "beta")
+        beta_ms = 1000.0 * (time.monotonic() - t0)
+        assert data["partial"] is False, data
+        assert got == expected["beta"][b_q], got
+        for t in threads:
+            t.join()
+        assert rejected, f"no 429 from a {3 * share}-deep alpha flood"
+        assert all(
+            getattr(e, "reason", None) == "tenant_quota" for e in rejected
+        ), [getattr(e, "reason", None) for e in rejected]
+        assert beta_ms < 10_000.0, beta_ms
+        print(
+            f"tenancy: alpha flood (3x share={share}) -> "
+            f"{len(rejected)} per-tenant 429(s) "
+            f"(reason=tenant_quota, {len(completed)} served); beta "
+            f"answered exactly in {beta_ms:.0f}ms meanwhile"
+        )
+
+        # Fault isolation: SIGKILL one of alpha's workers — alpha
+        # degrades to partial, beta stays complete and exact.
+        fleet = client.healthz()["fleets"]["alpha"]
+        row = fleet["workers"][0]
+        lo, hi = row["lo"], row["hi"]
+        os.kill(row["pid"], signal.SIGKILL)
+        degraded = None
+        deadline = time.monotonic() + 20
+        while time.monotonic() < deadline:
+            data = client.search(a_q, top=TOP, tenant="alpha")
+            if data["partial"]:
+                degraded = data
+                break
+            time.sleep(0.05)
+        assert degraded is not None, "alpha never degraded"
+        assert degraded["missing"] == [[lo, hi]], degraded["missing"]
+        data, got = pairs(client, b_q, "beta")
+        assert data["partial"] is False, data
+        assert got == expected["beta"][b_q], got
+        print(
+            f"tenancy: SIGKILL'd an alpha worker -> alpha partial "
+            f"(missing=[[{lo},{hi})]), beta complete and exact"
+        )
+
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=60)
+        assert proc.returncode == 0, (proc.returncode, out)
+        assert "drained cleanly" in out, out
+    finally:
+        _reap(proc)
+
+    # --- Cluster 2: a resident-set cap of one — attach, LRU detach,
+    # re-attach, all with exact parity.
+    proc, port = _start_cluster(
+        None, "--tenants", tenants_path, "--workers", str(fleet_shards),
+        "--max-resident", "1",
+    )
+    try:
+        client = ServerClient(port=port)
+        a_q = tenant_queries["alpha"][0]
+        b_q = tenant_queries["beta"][0]
+        data, got = pairs(client, a_q, "alpha")
+        assert data["partial"] is False, data
+        assert got == expected["alpha"][a_q], got
+        rows = client.tenants()["tenants"]
+        assert rows["alpha"]["resident"] and not rows["beta"]["resident"]
+
+        # Attaching beta pushes the resident set over the cap: alpha —
+        # the LRU tenant — detaches once its in-flight queries drain,
+        # and its fleet is reaped off the serving path.
+        data, got = pairs(client, b_q, "beta")
+        assert data["partial"] is False, data
+        assert got == expected["beta"][b_q], got
+        deadline = time.monotonic() + 30
+        while True:
+            rows = client.tenants()["tenants"]
+            if rows["beta"]["resident"] and not rows["alpha"]["resident"]:
+                break
+            assert time.monotonic() < deadline, rows
+            time.sleep(0.1)
+
+        # Coming back re-attaches alpha (a fresh fleet) with parity.
+        data, got = pairs(client, a_q, "alpha")
+        assert data["partial"] is False, data
+        assert got == expected["alpha"][a_q], got
+        rows = client.tenants()["tenants"]
+        assert rows["alpha"]["attaches"] >= 2, rows
+
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=60)
+        assert proc.returncode == 0, (proc.returncode, out)
+        print(
+            "tenancy: max-resident=1 LRU-detached alpha behind beta's "
+            f"attach, then re-attached it exactly "
+            f"(alpha attaches={rows['alpha']['attaches']})"
+        )
+    finally:
+        _reap(proc)
+
+
 def _reap(proc: subprocess.Popen | None) -> None:
     """Failure-path cleanup: kill the front end, tolerate a held pipe.
 
@@ -598,6 +840,10 @@ def main() -> None:
 
         # Phase 7: primary SIGKILL → standby adoption, zero acked loss.
         _promotion_phase(tmp, texts)
+
+        # Phase 8: two tenants behind one front end — routed parity,
+        # lazy attach, quota + fault isolation, LRU detach.
+        _multitenant_phase(tmp, texts)
 
     print("cluster smoke: OK")
 

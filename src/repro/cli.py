@@ -26,6 +26,11 @@ terms or documents").  This CLI is the same toolbox over this library:
     every ``/add`` is write-ahead-logged before acknowledgment, a
     background checkpointer snapshots on policy, and a warm restart
     recovers the exact pre-crash index from the same directory.
+    With repeated ``--tenant NAME=PATH`` flags the server hosts many
+    named indexes behind one port (:mod:`repro.tenancy`): requests
+    route by ``X-Tenant`` header or ``tenant`` body field, cold
+    tenants mmap-attach on first query, and ``--max-resident`` bounds
+    how many stay attached (LRU detach after in-flight queries drain).
 ``store``
     Maintain a durable data directory: ``inspect`` (checkpoints, WAL,
     recovery state), ``verify`` (checksum audit of every array and log
@@ -37,9 +42,14 @@ terms or documents").  This CLI is the same toolbox over this library:
     checkpoint and mounts a scatter-gather router behind the HTTP front
     end — with ``--writable`` it also embeds the primary writer, so
     ``/add`` WAL-logs through the store, checkpoints seal on policy,
-    and worker epochs bump live; ``status`` queries a running cluster's
-    health (per-worker epochs, writer lag); ``worker`` is the
+    and worker epochs bump live; with ``--tenants tenants.json`` it
+    serves N named stores behind one front end, spawning each tenant's
+    worker fleet lazily on first query; ``status`` queries a running
+    cluster's health (per-worker epochs, writer lag); ``worker`` is the
     per-shard process entry point the supervisor launches.
+``tenants``
+    List a multi-tenant server's tenants (``list``) or print their
+    residency, quota, and per-tenant index status (``status``).
 ``stats``
     Print the observability snapshot: counters, gauges, latency
     histograms, recent tracing spans, and (with ``--slowlog``) the
@@ -218,6 +228,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--retain", type=int, default=3,
         help="versioned checkpoints kept after pruning",
     )
+    p_serve.add_argument(
+        "--tenant", action="append", default=None, metavar="NAME=PATH",
+        dest="tenants",
+        help="host a named tenant from a saved .npz database or a "
+             "durable store directory (repeatable; cold tenants "
+             "mmap-attach on first query; excludes a positional "
+             "source and --data-dir)",
+    )
+    p_serve.add_argument(
+        "--max-resident", type=int, default=None,
+        help="multi-tenant: most tenants attached at once — past the "
+             "cap the least-recently-used detaches after its in-flight "
+             "queries drain (default unbounded)",
+    )
 
     p_store = sub.add_parser(
         "store", help="inspect/verify/compact a durable index store"
@@ -244,8 +268,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="spawn shard workers + scatter-gather router over HTTP",
     )
     pc_serve.add_argument(
-        "--data-dir", type=pathlib.Path, required=True,
-        help="durable store directory whose newest checkpoint to serve",
+        "--data-dir", type=pathlib.Path, default=None,
+        help="durable store directory whose newest checkpoint to serve "
+             "(exactly one of --data-dir / --tenants)",
+    )
+    pc_serve.add_argument(
+        "--tenants", type=pathlib.Path, default=None,
+        help="JSON file mapping tenant name -> durable store directory; "
+             "serves every tenant behind one front end, spawning each "
+             "fleet lazily on first query (read-only: excludes "
+             "--writable/--standby)",
+    )
+    pc_serve.add_argument(
+        "--max-resident", type=int, default=None,
+        help="multi-tenant: most tenant fleets resident at once — past "
+             "the cap the least-recently-used is drained after its "
+             "in-flight queries finish (default unbounded)",
+    )
+    pc_serve.add_argument(
+        "--queue-depth", type=int, default=256,
+        help="multi-tenant: bounded front-end admission queue, carved "
+             "into per-tenant shares (excess per tenant → 429)",
     )
     pc_serve.add_argument("--workers", type=int, default=4,
                           help="shard worker processes (workers // "
@@ -365,14 +408,35 @@ def build_parser() -> argparse.ArgumentParser:
     pc_worker.add_argument("--host", default="127.0.0.1")
     pc_worker.add_argument("--port", type=int, default=0,
                            help="worker port (0 picks ephemeral)")
+    pc_worker.add_argument("--tenant", default=None,
+                           help="tenant this worker serves (set by a "
+                                "multi-tenant supervisor; score frames "
+                                "naming another tenant are rejected)")
+
+    p_tenants = sub.add_parser(
+        "tenants", help="inspect a multi-tenant server's tenants"
+    )
+    tenants_sub = p_tenants.add_subparsers(dest="action", required=True)
+    pt_list = tenants_sub.add_parser(
+        "list", help="one line per registered tenant"
+    )
+    pt_status = tenants_sub.add_parser(
+        "status", help="residency, quotas, and per-tenant index status"
+    )
+    for pt in (pt_list, pt_status):
+        pt.add_argument("--host", default="127.0.0.1")
+        pt.add_argument("--port", type=int, default=8080)
+        pt.add_argument("--json", action="store_true",
+                        help="emit the raw /tenants JSON")
 
     p_stats = sub.add_parser(
         "stats", help="print the observability snapshot"
     )
     p_stats.add_argument(
-        "--data-dir", type=pathlib.Path, default=None,
+        "--data-dir", type=pathlib.Path, action="append", default=None,
         help="also publish store.* gauges from this durable store "
-             "directory (read-only scan; safe while a server is live)",
+             "directory (read-only scan; safe while a server is live); "
+             "repeat the flag for a per-tenant table over many stores",
     )
     p_stats.add_argument("--json", action="store_true",
                          help="emit the raw JSON blob instead of text")
@@ -527,6 +591,21 @@ def _durable_state(args, out):
     return DurableServingState(store)
 
 
+def _parse_tenant_specs(specs: list[str]) -> dict[str, pathlib.Path]:
+    """``NAME=PATH`` flags → an ordered ``{name: path}`` map."""
+    tenants: dict[str, pathlib.Path] = {}
+    for spec in specs:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            raise ReproError(
+                f"--tenant expects NAME=PATH, got {spec!r}"
+            )
+        if name in tenants:
+            raise ReproError(f"duplicate tenant {name!r}")
+        tenants[name] = pathlib.Path(path)
+    return tenants
+
+
 def _cmd_serve(args, out) -> int:
     """Build the serving state and run the async server until SIGINT."""
     import asyncio
@@ -541,11 +620,31 @@ def _cmd_serve(args, out) -> int:
     )
 
     store = None
-    if args.data_dir is not None:
+    state = None
+    tenant_registry = None
+    if args.tenants:
+        if args.source is not None or args.data_dir is not None:
+            raise ReproError(
+                "--tenant excludes a positional source and --data-dir; "
+                "every index comes from a NAME=PATH flag"
+            )
+        from repro.tenancy import IndexRegistry
+
+        tenant_names = _parse_tenant_specs(args.tenants)
+        tenant_registry = IndexRegistry(max_resident=args.max_resident)
+        for name, path in tenant_names.items():
+            if not path.exists():
+                raise ReproError(
+                    f"tenant {name!r}: {path} does not exist"
+                )
+            tenant_registry.register(name, data_dir=path)
+    elif args.data_dir is not None:
         state = _durable_state(args, out)
         store = state.store
     elif args.source is None:
-        raise ReproError("serve needs a document source or --data-dir")
+        raise ReproError(
+            "serve needs a document source, --data-dir, or --tenant flags"
+        )
     elif args.source.suffix == ".npz":
         state = ServingState.for_model(load_model(args.source))
     else:
@@ -557,11 +656,10 @@ def _cmd_serve(args, out) -> int:
             min_doc_freq=args.min_doc_freq,
             distortion_budget=args.distortion_budget,
         )
-    if args.data_dir is None and args.ann_clusters != 0:
+    if state is not None and args.data_dir is None and args.ann_clusters != 0:
         # In-memory serving trains its quantizer at startup (the durable
         # path gets one from the checkpoint, trained by the writer).
         state.train_ann(n_clusters=args.ann_clusters)
-    snapshot = state.current()
     config = ServerConfig(
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
@@ -577,17 +675,32 @@ def _cmd_serve(args, out) -> int:
     )
 
     async def run() -> None:
-        service = QueryService(state, config)
+        service = QueryService(tenant_registry or state, config)
         server = await start_http_server(service, args.host, args.port)
         port = server.sockets[0].getsockname()[1]
-        print(
-            f"serving {snapshot.n_documents} documents (k={snapshot.k}, "
-            f"{'live-updatable' if state.writable else 'read-only'}"
-            + (", durable" if store is not None else "")
-            + (", ann" if snapshot.ann is not None else "")
-            + f") on http://{args.host}:{port}",
-            file=out, flush=True,
-        )
+        if tenant_registry is not None:
+            names = ", ".join(tenant_registry.tenant_ids)
+            print(
+                f"serving {len(tenant_registry.tenant_ids)} tenants "
+                f"({names}) lazily"
+                + (
+                    f", max {args.max_resident} resident"
+                    if args.max_resident is not None else ""
+                )
+                + f" on http://{args.host}:{port}",
+                file=out, flush=True,
+            )
+        else:
+            snapshot = state.current()
+            print(
+                f"serving {snapshot.n_documents} documents "
+                f"(k={snapshot.k}, "
+                f"{'live-updatable' if state.writable else 'read-only'}"
+                + (", durable" if store is not None else "")
+                + (", ann" if snapshot.ann is not None else "")
+                + f") on http://{args.host}:{port}",
+                file=out, flush=True,
+            )
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGINT, signal.SIGTERM):
@@ -618,7 +731,8 @@ def _cmd_cluster(args, out) -> int:
 
         return run_worker(
             args.data_dir, args.plan, args.shard,
-            replica=args.replica, host=args.host, port=args.port, out=out,
+            replica=args.replica, host=args.host, port=args.port,
+            tenant=args.tenant, out=out,
         )
 
     if args.action == "status":
@@ -693,6 +807,12 @@ def _cmd_cluster(args, out) -> int:
     from repro.cluster import ClusterConfig, ClusterService
     from repro.server import start_http_server
 
+    if (args.data_dir is None) == (args.tenants is None):
+        raise ReproError(
+            "cluster serve needs exactly one of --data-dir (single "
+            "tenant) or --tenants (a name -> store-directory JSON map)"
+        )
+
     config = ClusterConfig(
         writable=args.writable,
         seal_every_records=(
@@ -728,29 +848,77 @@ def _cmd_cluster(args, out) -> int:
         ),
     )
 
+    tenant_map: dict[str, pathlib.Path] | None = None
+    if args.tenants is not None:
+        try:
+            raw = json.loads(args.tenants.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise ReproError(f"cannot read {args.tenants}: {exc}")
+        except ValueError as exc:
+            raise ReproError(f"{args.tenants} is not valid JSON: {exc}")
+        if not isinstance(raw, dict) or not raw or not all(
+            isinstance(k, str) and isinstance(v, str)
+            for k, v in raw.items()
+        ):
+            raise ReproError(
+                f"{args.tenants} must be a non-empty JSON object "
+                "mapping tenant name -> store directory"
+            )
+        tenant_map = {name: pathlib.Path(path) for name, path in raw.items()}
+        for name, path in tenant_map.items():
+            if not path.is_dir():
+                raise ReproError(
+                    f"tenant {name!r}: {path} is not a directory"
+                )
+
+    announce = lambda line: print(
+        f"[supervisor] {line}", file=out, flush=True
+    )
+
     async def run() -> None:
-        service = ClusterService(
-            args.data_dir, config,
-            announce=lambda line: print(
-                f"[supervisor] {line}", file=out, flush=True
-            ),
-        )
+        if tenant_map is not None:
+            from repro.tenancy import TenantClusterService
+
+            service = TenantClusterService(
+                tenant_map, config,
+                max_resident=args.max_resident,
+                queue_depth=args.queue_depth,
+                host=args.host,
+                announce=announce,
+            )
+        else:
+            service = ClusterService(
+                args.data_dir, config, announce=announce,
+            )
         server = await start_http_server(service, args.host, args.port)
         port = server.sockets[0].getsockname()[1]
-        print(
-            f"cluster serving {service.model.n_documents} documents "
-            f"across {service.plan.n_shards} shards "
-            f"(epoch {service.epoch}, checkpoint {service.checkpoint}"
-            + (
-                f", replication={service.plan.replication}"
-                if service.plan.replication > 1 else ""
+        if tenant_map is not None:
+            names = ", ".join(tenant_map)
+            print(
+                f"cluster serving {len(tenant_map)} tenants ({names}) "
+                "lazily"
+                + (
+                    f", max {args.max_resident} resident"
+                    if args.max_resident is not None else ""
+                )
+                + f" on http://{args.host}:{port}",
+                file=out, flush=True,
             )
-            + (", ann" if service.ann else "")
-            + (", writable" if service.primary is not None else "")
-            + (", standby" if service.standby is not None else "")
-            + f") on http://{args.host}:{port}",
-            file=out, flush=True,
-        )
+        else:
+            print(
+                f"cluster serving {service.model.n_documents} documents "
+                f"across {service.plan.n_shards} shards "
+                f"(epoch {service.epoch}, checkpoint {service.checkpoint}"
+                + (
+                    f", replication={service.plan.replication}"
+                    if service.plan.replication > 1 else ""
+                )
+                + (", ann" if service.ann else "")
+                + (", writable" if service.primary is not None else "")
+                + (", standby" if service.standby is not None else "")
+                + f") on http://{args.host}:{port}",
+                file=out, flush=True,
+            )
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGINT, signal.SIGTERM):
@@ -862,12 +1030,109 @@ def _cmd_store(args, out) -> int:
     return 0
 
 
+def _cmd_tenants(args, out) -> int:
+    """Inspect a multi-tenant server through its ``/tenants`` route."""
+    from repro.server.client import ServerClient
+
+    with ServerClient(args.host, args.port) as client:
+        info = client.tenants()
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True), file=out)
+        return 0
+    tenants = info.get("tenants", {})
+    if args.action == "list":
+        for tid in tenants:
+            print(tid, file=out)
+        return 0
+    # status
+    quotas = info.get("quotas", {})
+    pending = quotas.get("pending", {})
+    max_resident = info.get("max_resident")
+    print(
+        f"tenants    : {len(tenants)}"
+        + (
+            f" (max {max_resident} resident)"
+            if max_resident is not None else ""
+        ),
+        file=out,
+    )
+    if quotas:
+        print(
+            f"quota share: {quotas.get('share')} admission slot(s) per "
+            "tenant",
+            file=out,
+        )
+    for tid, row in tenants.items():
+        if row.get("resident"):
+            docs = row.get("n_documents")
+            detail = (
+                f"resident   docs={docs if docs is not None else '?'} "
+                f"epoch={row.get('epoch', '?')} "
+                f"pins={row.get('pins', 0)}"
+            )
+            if row.get("evict_pending"):
+                detail += " evict-pending"
+        else:
+            detail = "cold      "
+        detail += (
+            f" attaches={row.get('attaches', 0)}"
+            f" pending={pending.get(tid, 0)}"
+        )
+        if row.get("data_dir"):
+            detail += f"  {row['data_dir']}"
+        print(f"{tid:<12}: {detail}", file=out)
+    return 0
+
+
 def _state_path(args) -> pathlib.Path:
     return args.obs_state if args.obs_state is not None else obs.export.default_state_path()
 
 
+def _stats_tenant_table(dirs: list[pathlib.Path], args, out) -> int:
+    """Repeated ``--data-dir`` flags: one status row per tenant store.
+
+    Lock-free read-only scan (:func:`~repro.store.read_store_status`
+    never opens the store), so it is safe against the data directories
+    of a live multi-tenant server.  Tenant names are the directory
+    basenames.
+    """
+    from repro.store import DurableIndexStore, read_store_status
+
+    rows: dict[str, dict] = {}
+    for path in dirs:
+        if not DurableIndexStore.exists(path):
+            raise ReproError(f"{path} is not a durable store")
+        name = path.name or str(path)
+        if name in rows:
+            raise ReproError(f"duplicate tenant directory name {name!r}")
+        rows[name] = read_store_status(path)
+    if args.json:
+        print(json.dumps({"tenants": rows}, indent=2, sort_keys=True),
+              file=out)
+        return 0
+    header = (
+        f"{'tenant':<16} {'docs':>8} {'pending':>8} {'ckpts':>6} "
+        f"{'wal':>6} {'dirty':>6} {'replay':>7}"
+    )
+    print(header, file=out)
+    for name in sorted(rows):
+        status = rows[name]
+        print(
+            f"{name:<16} {status['n_documents']:>8} "
+            f"{status['pending']:>8} {len(status['checkpoints']):>6} "
+            f"{status['wal']['records']:>6} {status['dirty_records']:>6} "
+            f"{status['last_recovery_replayed']:>7}",
+            file=out,
+        )
+        for problem in status["problems"]:
+            print(f"  PROBLEM: {problem}", file=out)
+    return 0
+
+
 def _cmd_stats(args, out) -> int:
     """Render the persisted + live observability state."""
+    if args.data_dir is not None and len(args.data_dir) > 1:
+        return _stats_tenant_table(args.data_dir, args, out)
     if args.data_dir is not None:
         # Publish store.* gauges (wal_records, checkpoint_age_seconds,
         # last_recovery_replayed, ...) into this process's registry so they
@@ -876,9 +1141,10 @@ def _cmd_stats(args, out) -> int:
         # this is safe to run against a live server's data directory.
         from repro.store import DurableIndexStore, publish_store_gauges
 
-        if not DurableIndexStore.exists(args.data_dir):
-            raise ReproError(f"{args.data_dir} is not a durable store")
-        publish_store_gauges(args.data_dir)
+        data_dir = args.data_dir[0]
+        if not DurableIndexStore.exists(data_dir):
+            raise ReproError(f"{data_dir} is not a durable store")
+        publish_store_gauges(data_dir)
     path = _state_path(args)
     state = obs.load_state(path) or {"metrics": {}, "spans": []}
     # Merge in anything recorded by this process (in-process callers see
@@ -922,6 +1188,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "cluster": _cmd_cluster,
     "store": _cmd_store,
+    "tenants": _cmd_tenants,
     "stats": _cmd_stats,
 }
 

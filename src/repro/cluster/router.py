@@ -221,10 +221,14 @@ class ClusterRouter:
         config: RouterConfig | None = None,
         *,
         on_worker_dead: Callable[[int], None] | None = None,
+        tenant: str | None = None,
     ):
         self.plan = as_replica_plan(plan)
         self.config = config or RouterConfig()
         self.on_worker_dead = on_worker_dead
+        #: Tenant id stamped into every score frame (``None`` omits it);
+        #: workers of another tenant reject the frame outright.
+        self.tenant = tenant
         #: Channels and endpoints are keyed by worker *slot* id (== shard
         #: id at replication 1).
         self._channels: dict[int, WorkerChannel] = {}
@@ -563,6 +567,8 @@ class ClusterRouter:
             "queries": Q.tolist(),
             "epoch": plan.epoch,
         }
+        if self.tenant is not None:
+            message["tenant"] = self.tenant
         if top is not None:
             message["top"] = int(top)
         if threshold is not None:

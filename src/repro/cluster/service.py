@@ -40,6 +40,7 @@ from repro.errors import (
     ClusterConfigError,
     ClusterReadOnlyError,
     StoreError,
+    UnknownTenantError,
 )
 from repro.obs.aggregate import label_snapshots
 from repro.obs.export import SCHEMA
@@ -112,9 +113,14 @@ class ClusterService:
         *,
         host: str = "127.0.0.1",
         announce: Callable[[str], None] | None = None,
+        tenant: str | None = None,
     ):
         self.data_dir = pathlib.Path(data_dir)
         self.config = config or ClusterConfig()
+        #: The tenant this fleet serves (``None`` for single-tenant).
+        #: Rides every scatter frame and the worker spawn command, so a
+        #: worker of tenant A structurally cannot answer tenant B.
+        self.tenant = tenant
 
         from repro.store.durable import STORE_LAYOUT
 
@@ -187,6 +193,7 @@ class ClusterService:
                 hedge_quantile=self.config.hedge_quantile,
                 hedge=self.config.hedge,
             ),
+            tenant=tenant,
         )
         self.supervisor = ClusterSupervisor(
             self.data_dir,
@@ -200,6 +207,7 @@ class ClusterService:
             ),
             host=host,
             announce=announce,
+            tenant=tenant,
         )
         self.router.on_worker_dead = self.supervisor.notify_worker_dead
 
@@ -334,6 +342,24 @@ class ClusterService:
         s = (model if model is not None else self.model).s
         return np.atleast_2d(np.asarray(Q, dtype=np.float64)) * s
 
+    def _check_tenant(self, tenant: str | None) -> None:
+        """Refuse a tenant this fleet does not serve (typed 404).
+
+        A standalone cluster (``self.tenant is None``) accepts only
+        untargeted requests; a tenant-bound fleet accepts ``None`` (the
+        front end already routed) or its own id.
+        """
+        if tenant is None or tenant == self.tenant:
+            return
+        if self.tenant is not None:
+            message = (
+                f"this cluster serves tenant {self.tenant!r}, "
+                f"not {tenant!r}"
+            )
+        else:
+            message = f"this cluster is single-tenant; unknown tenant {tenant!r}"
+        raise UnknownTenantError(message, tenant=tenant)
+
     async def search(
         self,
         query,
@@ -343,15 +369,19 @@ class ClusterService:
         timeout_ms: float | None = None,
         probes: int | None = None,
         exact: bool = False,
+        tenant: str | None = None,
     ) -> dict:
         """One ranked search, scattered over the shard workers.
 
         ``probes`` bounds every shard's scan to the same coarse cells
         (falling back to ``config.default_probes``, then to the exact
-        scatter); ``exact=True`` overrides any default.  Never raises on
-        worker death — degraded answers come back with ``partial=True``
-        and the unscored ``[lo, hi)`` ranges listed.
+        scatter); ``exact=True`` overrides any default.  ``tenant`` must
+        name this fleet's tenant (or be ``None``) — anything else is a
+        typed 404.  Never raises on worker death — degraded answers come
+        back with ``partial=True`` and the unscored ``[lo, hi)`` ranges
+        listed.
         """
+        self._check_tenant(tenant)
         t0 = time.perf_counter()
         # One epoch per request: project, scatter, and label against the
         # same handle even if the writer publishes a bump mid-flight.
@@ -376,7 +406,7 @@ class ClusterService:
             time.perf_counter() - t0, result, top=top, probes=probes
         )
         doc_ids = handle.model.doc_ids
-        return {
+        payload = {
             "epoch": result.epoch,
             "n_documents": handle.n_documents,
             "partial": result.partial,
@@ -385,6 +415,9 @@ class ClusterService:
                 [i, score, doc_ids[i]] for i, score in result.results[0]
             ],
         }
+        if self.tenant is not None:
+            payload["tenant"] = self.tenant
+        return payload
 
     def _record_slow(
         self,
@@ -407,6 +440,7 @@ class ClusterService:
             "top": top,
             "probes": probes,
             "partial": result.partial,
+            **({"tenant": self.tenant} if self.tenant is not None else {}),
             "missing": [list(pair) for pair in result.missing],
             "shard_timings": {
                 str(sid): ms for sid, ms in sorted(result.shard_timings.items())
@@ -432,6 +466,7 @@ class ClusterService:
         timeout_ms: float | None = None,
         probes: int | None = None,
         exact: bool = False,
+        tenant: str | None = None,
     ) -> ClusterResult:
         """A whole batch through one scatter (bench/parity entry point).
 
@@ -439,6 +474,7 @@ class ClusterService:
         array — the same convention as ``sharded_batch_search``, whose
         output this is element-identical to when all workers are live.
         """
+        self._check_tenant(tenant)
         handle = self._handle
         if isinstance(queries, np.ndarray):
             Q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
@@ -462,7 +498,7 @@ class ClusterService:
             exact=exact,
         )
 
-    async def add(self, texts, doc_ids=None) -> dict:
+    async def add(self, texts, doc_ids=None, *, tenant: str | None = None) -> dict:
         """Ingest through the primary writer, or refuse read-only.
 
         Writable: returns once the batch is WAL-fsynced (``durable``);
@@ -472,6 +508,7 @@ class ClusterService:
         raises the typed :class:`ClusterReadOnlyError` the HTTP layer
         maps to 403, request id attached server-side.
         """
+        self._check_tenant(tenant)
         if self.primary is None:
             if self.standby is not None:
                 raise ClusterReadOnlyError(
@@ -529,6 +566,8 @@ class ClusterService:
             "default_probes": self.config.default_probes,
             "slowlog": self.slowlog.describe(),
         }
+        if self.tenant is not None:
+            payload["tenant"] = self.tenant
         if self.standby is not None:
             payload["standby"] = self.standby.describe()
         return payload

@@ -95,12 +95,16 @@ class ClusterSupervisor:
         *,
         host: str = "127.0.0.1",
         announce: Callable[[str], None] | None = None,
+        tenant: str | None = None,
     ):
         self.data_dir = pathlib.Path(data_dir)
         self.plan = as_replica_plan(plan)
         self.router = router
         self.config = config or SupervisorConfig()
         self.host = host
+        #: Tenant id handed to every spawned worker (``--tenant``), so a
+        #: restarted worker keeps refusing foreign tenants' frames.
+        self.tenant = tenant
         self._announce = announce or (lambda line: None)
         self._records: dict[int, _WorkerRecord] = {
             wid: _WorkerRecord(
@@ -158,6 +162,11 @@ class ClusterSupervisor:
             "--plan", self.plan.base.to_json(),
             "--host", self.host,
             "--port", "0",
+            *(
+                ["--tenant", self.tenant]
+                if self.tenant is not None
+                else []
+            ),
         ]
 
     def _worker_env(self) -> dict[str, str]:

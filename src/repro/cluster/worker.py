@@ -116,9 +116,15 @@ class ShardWorker:
         ann: CoarseQuantizer | None = None,
         data_dir: pathlib.Path | None = None,
         replica: int = 0,
+        tenant: str | None = None,
     ):
         self._state = _EpochState(model, shard, epoch=epoch, ann=ann)
         self._previous: _EpochState | None = None
+        #: The tenant this worker's rows belong to.  ``None`` accepts
+        #: any frame (single-tenant cluster); set, the worker refuses
+        #: frames stamped for a different tenant — a misrouted scatter
+        #: must fail loudly rather than silently score foreign rows.
+        self.tenant = tenant
         #: Replica index within this shard range's replica set —
         #: identity only; every replica scores identical bytes.
         self.replica = int(replica)
@@ -189,6 +195,7 @@ class ShardWorker:
             "requests_served": self.requests_served,
             "bumps_applied": self.bumps_applied,
             "ann": state.ann is not None,
+            "tenant": self.tenant,
         }
 
     # ------------------------------------------------------------------ #
@@ -342,6 +349,20 @@ class ShardWorker:
             except Exception as exc:  # noqa: BLE001 — keep serving
                 return {"error": f"bump failed: {exc!r}"}
         if op == "score":
+            frame_tenant = message.get("tenant")
+            if (
+                self.tenant is not None
+                and frame_tenant is not None
+                and frame_tenant != self.tenant
+            ):
+                registry.inc("cluster.worker.tenant_mismatch_total")
+                return {
+                    "error": (
+                        f"worker serves tenant {self.tenant!r}; frame is "
+                        f"for {frame_tenant!r}"
+                    ),
+                    "tenant": self.tenant,
+                }
             # Pin the epoch the frame asks for (absent = current) before
             # anything else: every read below must come from one state.
             state = self._state_for_epoch(message.get("epoch"))
@@ -496,6 +517,7 @@ def run_worker(
     replica: int = 0,
     host: str = "127.0.0.1",
     port: int = 0,
+    tenant: str | None = None,
     out=None,
 ) -> int:
     """Open the checkpoint, verify the plan, serve until SIGTERM.
@@ -568,7 +590,7 @@ def run_worker(
     ann = open_checkpoint_ann(info.path, mmap=True)
     worker = ShardWorker(
         model, plan.shard(shard_id), epoch=epoch, ann=ann,
-        data_dir=pathlib.Path(data_dir), replica=replica,
+        data_dir=pathlib.Path(data_dir), replica=replica, tenant=tenant,
     )
     server = serve_shard(worker, host, port)
     bound_port = server.server_address[1]
@@ -580,11 +602,12 @@ def run_worker(
     signal.signal(signal.SIGTERM, _stop)
     signal.signal(signal.SIGINT, _stop)
     # The supervisor's banner parse requires pid= to stay the last token.
+    tenant_token = f"tenant={tenant} " if tenant is not None else ""
     print(
         f"cluster worker {shard_id} ready on {host}:{bound_port} "
         f"rows=[{worker.shard.lo},{worker.shard.hi}) epoch={epoch} "
         f"ann={'yes' if ann is not None else 'no'} replica={replica} "
-        f"pid={os.getpid()}",
+        f"{tenant_token}pid={os.getpid()}",
         file=out, flush=True,
     )
     server.serve_forever()

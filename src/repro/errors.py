@@ -26,6 +26,7 @@ __all__ = [
     "ClusterConfigError",
     "ClusterReadOnlyError",
     "EpochSkewError",
+    "UnknownTenantError",
 ]
 
 
@@ -167,6 +168,24 @@ class EpochSkewError(ClusterError):
     a newer checkpoint) answers with a skew marker; the router degrades
     that shard to a ``partial=True`` miss instead of failing the query.
     """
+
+
+class UnknownTenantError(ReproError, LookupError):
+    """A request named a tenant the index registry does not host.
+
+    Multi-tenant serving resolves every request through the
+    :class:`~repro.tenancy.registry.IndexRegistry`; a tenant id that was
+    never registered (or an ambiguous request that names no tenant on a
+    multi-tenant server) is a routing failure, not an overload or a
+    malformed body.  Maps to HTTP 404 with ``unknown_tenant: true`` in
+    the payload so clients can distinguish it from an unknown route;
+    carries ``request_id`` (see :class:`ReproError`) when raised
+    client-side, plus the offending id on ``tenant``.
+    """
+
+    def __init__(self, message: str, *, tenant: str | None = None):
+        super().__init__(message)
+        self.tenant = tenant
 
 
 class StoreLockedError(StoreError):

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import threading
 import urllib.parse
 from typing import Sequence
 
@@ -35,6 +36,7 @@ from repro.errors import (
     DeadlineExceededError,
     ReproError,
     ServerOverloadError,
+    UnknownTenantError,
 )
 
 __all__ = ["ServerClient"]
@@ -57,31 +59,53 @@ class ServerClient:
     """Blocking JSON client for one server address, keep-alive reused."""
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 30.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        timeout: float = 30.0,
+        *,
+        tenant: str | None = None,
     ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: Default tenant id sent as ``X-Tenant`` with every request;
+        #: per-call ``tenant=`` arguments override it.
+        self.tenant = tenant
         #: The server-assigned id of the most recent response (its
-        #: ``X-Request-Id`` header), successful or not.
+        #: ``X-Request-Id`` header), successful or not.  Under
+        #: concurrent use, "most recent" is whichever thread's response
+        #: landed last.
         self.last_request_id: str | None = None
-        self._conn: http.client.HTTPConnection | None = None
+        # One pooled connection *per thread*: http.client connections
+        # are single-request state machines, so sharing one across
+        # threads interleaves sends and reads.  Thread-local pooling
+        # keeps the keep-alive win while making a shared client safe
+        # to call from a thread pool.
+        self._local = threading.local()
 
     # ------------------------------------------------------------------ #
     def _connection(self) -> tuple[http.client.HTTPConnection, bool]:
-        """The pooled connection plus whether it is fresh this call."""
-        if self._conn is None:
-            self._conn = http.client.HTTPConnection(
+        """This thread's pooled connection plus whether it is fresh."""
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(
                 self.host, self.port, timeout=self.timeout
             )
-            return self._conn, True
-        return self._conn, False
+            self._local.conn = conn
+            return conn, True
+        return conn, False
 
     def close(self) -> None:
-        """Drop the pooled connection (safe to call repeatedly)."""
-        if self._conn is not None:
-            self._conn.close()
-            self._conn = None
+        """Drop this thread's pooled connection (safe to call repeatedly).
+
+        Other threads' connections close when their threads (and the
+        thread-local storage holding them) are collected.
+        """
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
 
     def __enter__(self) -> "ServerClient":
         return self
@@ -97,6 +121,7 @@ class ServerClient:
         payload: dict | None = None,
         *,
         request_id: str | None = None,
+        tenant: str | None = None,
     ) -> dict:
         body = None
         headers = {}
@@ -105,6 +130,9 @@ class ServerClient:
             headers["Content-Type"] = "application/json"
         if request_id is not None:
             headers["X-Request-Id"] = request_id
+        effective_tenant = tenant if tenant is not None else self.tenant
+        if effective_tenant is not None:
+            headers["X-Tenant"] = effective_tenant
         while True:
             conn, fresh = self._connection()
             try:
@@ -138,10 +166,15 @@ class ServerClient:
             data = {"error": raw.decode("utf-8", "replace")}
         if response.status >= 400:
             suffix = f" [request_id={served_id}]" if served_id else ""
-            if response.status == 429:
-                exc: ReproError = ServerOverloadError(
+            if response.status == 404 and data.get("unknown_tenant"):
+                exc: ReproError = UnknownTenantError(
+                    data.get("error", "unknown tenant") + suffix,
+                    tenant=data.get("tenant"),
+                )
+            elif response.status == 429:
+                exc = ServerOverloadError(
                     data.get("error", "overloaded") + suffix,
-                    reason="queue_full",
+                    reason=data.get("reason", "queue_full"),
                 )
             elif response.status == 503:
                 exc = ServerOverloadError(
@@ -175,15 +208,20 @@ class ServerClient:
         probes: int | None = None,
         exact: bool = False,
         request_id: str | None = None,
+        tenant: str | None = None,
     ) -> dict:
         """Ranked search; ``results`` rows are ``[index, score, doc_id]``.
 
         ``probes`` asks the server for a probe-bounded ANN scan over
         that many coarse cells; ``exact=True`` forces the exhaustive
         scan even when the server has a default probe count.
-        ``request_id`` rides as ``X-Request-Id`` and becomes the
-        request's trace id when well-formed; either way the server's
-        echo lands in :attr:`last_request_id`.
+        ``tenant`` routes the query on a multi-tenant server (falling
+        back to the client's default tenant); an unhosted id raises
+        :class:`~repro.errors.UnknownTenantError` (HTTP 404) with the
+        server-assigned id on ``.request_id``.  ``request_id`` rides as
+        ``X-Request-Id`` and becomes the request's trace id when
+        well-formed; either way the server's echo lands in
+        :attr:`last_request_id`.
         """
         payload: dict = {"query": query}
         if top is not None:
@@ -197,7 +235,7 @@ class ServerClient:
         if exact:
             payload["exact"] = True
         return self._request(
-            "POST", "/search", payload, request_id=request_id
+            "POST", "/search", payload, request_id=request_id, tenant=tenant
         )
 
     def search_pairs(
@@ -208,15 +246,25 @@ class ServerClient:
         threshold: float | None = None,
         probes: int | None = None,
         exact: bool = False,
+        tenant: str | None = None,
     ) -> list[tuple[int, float]]:
         """Engine-shaped ``(doc_index, score)`` pairs, for parity checks."""
         data = self.search(
-            query, top=top, threshold=threshold, probes=probes, exact=exact
+            query,
+            top=top,
+            threshold=threshold,
+            probes=probes,
+            exact=exact,
+            tenant=tenant,
         )
         return [(int(j), float(score)) for j, score, _ in data["results"]]
 
     def add(
-        self, texts: Sequence[str], doc_ids: Sequence[str] | None = None
+        self,
+        texts: Sequence[str],
+        doc_ids: Sequence[str] | None = None,
+        *,
+        tenant: str | None = None,
     ) -> dict:
         """Live-add documents; returns the new epoch description.
 
@@ -228,11 +276,15 @@ class ServerClient:
         payload: dict = {"texts": list(texts)}
         if doc_ids is not None:
             payload["doc_ids"] = list(doc_ids)
-        return self._request("POST", "/add", payload)
+        return self._request("POST", "/add", payload, tenant=tenant)
 
     def healthz(self) -> dict:
         """The server's liveness/readiness summary."""
         return self._request("GET", "/healthz")
+
+    def tenants(self) -> dict:
+        """The tenant registry + quota status (``GET /tenants``)."""
+        return self._request("GET", "/tenants")
 
     def stats(self) -> dict:
         """The server's observability snapshot."""

@@ -25,6 +25,15 @@ Routes
 ``GET /trace?id=<trace_id>``  the assembled trace for one request id —
     on a cluster front end this pulls each worker's spans over the
     ``trace`` wire op and merges them with the router's
+``GET /tenants``  the tenant registry + quota status on a multi-tenant
+    service (registered/resident tenants, pins, admission shares)
+
+Multi-tenant routing: ``/search`` and ``/add`` take the tenant id from
+a ``tenant`` body field (preferred) or an ``X-Tenant`` header; omitting
+both targets the default/sole tenant.  An id the registry does not host
+maps to a typed **404** with ``unknown_tenant: true`` and the offending
+``tenant`` in the body; a tenant over its admission share maps to
+**429** with ``reason: "tenant_quota"``.
 
 Every request gets a trace id: the value of an ``X-Request-Id`` header
 when it looks like an id, a freshly minted one otherwise.  The id is
@@ -60,6 +69,7 @@ from repro.errors import (
     DeadlineExceededError,
     ReproError,
     ServerOverloadError,
+    UnknownTenantError,
 )
 from repro.obs.trace_context import TraceContext, coerce_trace_id, trace_scope
 from repro.obs.tracing import span
@@ -166,7 +176,19 @@ async def _maybe_await(value):
     return value
 
 
-async def _dispatch(service: QueryService, method: str, path: str, body: dict):
+def _tenant_from(headers: dict, body: dict) -> str | None:
+    """The request's tenant id: ``tenant`` body field over ``X-Tenant``."""
+    tenant = body.get("tenant", headers.get("x-tenant"))
+    if tenant is None:
+        return None
+    if not isinstance(tenant, str) or not tenant.strip():
+        raise ReproError("'tenant' must be a non-empty string")
+    return tenant.strip()
+
+
+async def _dispatch(
+    service: QueryService, method: str, path: str, headers: dict, body: dict
+):
     """Route one parsed request; returns (status, payload)."""
     path, _, query_string = path.partition("?")
     params = urllib.parse.parse_qs(query_string)
@@ -174,6 +196,11 @@ async def _dispatch(service: QueryService, method: str, path: str, body: dict):
         return 200, service.healthz()
     if method == "GET" and path == "/stats":
         return 200, service.stats()
+    if method == "GET" and path == "/tenants":
+        tenants = getattr(service, "tenants", None)
+        if tenants is None:
+            return 400, {"error": "this service has no tenant registry"}
+        return 200, await _maybe_await(tenants())
     if method == "GET" and path == "/metrics":
         if params.get("format", ["json"])[-1] == "prom":
             prom = getattr(service, "metrics_prom", None)
@@ -211,13 +238,16 @@ async def _dispatch(service: QueryService, method: str, path: str, body: dict):
             timeout_ms=body.get("timeout_ms"),
             probes=probes,
             exact=exact,
+            tenant=_tenant_from(headers, body),
         )
         return 200, result
     if method == "POST" and path == "/add":
         texts = body.get("texts")
         if not isinstance(texts, list) or not texts:
             return 400, {"error": "'texts' must be a non-empty list"}
-        result = await service.add(texts, body.get("doc_ids"))
+        result = await service.add(
+            texts, body.get("doc_ids"), tenant=_tenant_from(headers, body)
+        )
         return 200, result
     return 404, {"error": f"no route for {method} {path}"}
 
@@ -247,8 +277,16 @@ async def _handle(
                     ) as request_span:
                         request_span.set_attr("request_id", request_id)
                         status, payload = await _dispatch(
-                            service, method, path, body
+                            service, method, path, headers, body
                         )
+            except UnknownTenantError as exc:
+                # Before ReproError: a tenant the registry does not host
+                # is a routing miss (404), not a malformed request.
+                status, payload = 404, {
+                    "error": str(exc),
+                    "unknown_tenant": True,
+                    "tenant": exc.tenant,
+                }
             except ServerOverloadError as exc:
                 status = 503 if exc.reason == "draining" else 429
                 payload = {"error": str(exc), "reason": exc.reason}

@@ -1,24 +1,32 @@
-"""The query service: admission → micro-batching → epoch state, wired.
+"""The query service: admission → quotas → micro-batching → epoch state.
 
 :class:`QueryService` is the transport-independent core of the server —
 the HTTP front end (:mod:`repro.server.http`), the benchmarks, and the
-integration tests all drive this one object:
+integration tests all drive this one object.  Since the multi-tenant
+refactor it serves N named tenants, each resolved through an
+:class:`~repro.tenancy.registry.IndexRegistry`; constructing it from a
+bare :class:`~repro.server.state.ServingState` wraps the state in a
+one-tenant registry, so single-tenant serving is the ``tenant=None``
+special case of the same code path:
 
-* :meth:`search` admits a request (bounded queue, fast 429-style
-  rejection on overload), enqueues it with the micro-batcher, and
-  awaits its row of the batched GEMM — results element-identical to
+* :meth:`search` pins the request's tenant (lazily attaching a cold
+  one), admits it against the global bounded queue *and* the tenant's
+  quota share (fast 429-style rejection on overload — per-tenant
+  ``reason="tenant_quota"`` when one hot tenant is over budget),
+  enqueues it with that tenant's micro-batcher, and awaits its row of
+  the batched GEMM — results element-identical to
   ``LSIRetrieval.search``;
-* :meth:`add` serializes document additions through the epoch-swapped
-  :class:`~repro.server.state.ServingState` (fold-in → §4.3-policy
-  consolidation via the index manager) on an executor thread, so the
-  event loop keeps serving while the SVD machinery runs;
+* :meth:`add` serializes document additions through the tenant's
+  epoch-swapped :class:`~repro.server.state.ServingState` (fold-in →
+  §4.3-policy consolidation via the index manager) on an executor
+  thread, so the event loop keeps serving while the SVD machinery runs;
 * :meth:`drain` is graceful shutdown: flip the admission latch (new
-  work → 503), flush every queued request, stop the scheduler.
+  work → 503), flush every tenant's queued requests, stop the
+  schedulers.
 
 Every stage reports through :data:`repro.obs.metrics.registry` under
-``server.*`` — request/rejection counters, queue-wait and batch-GEMM
-latency histograms, the batch-size distribution, and epoch gauges —
-all visible via ``/stats`` or ``python -m repro stats``.
+``server.*`` plus per-tenant ``tenant.<id>.*`` counters/gauges — all
+visible via ``/stats`` or ``python -m repro stats``.
 """
 
 from __future__ import annotations
@@ -37,6 +45,8 @@ from repro.obs.tracing import recent_spans, spans_for_trace
 from repro.server.admission import AdmissionController
 from repro.server.batching import MicroBatcher, SearchRequest
 from repro.server.state import ServingState
+from repro.tenancy.quotas import TenantQuotas
+from repro.tenancy.registry import IndexRegistry
 
 __all__ = ["ServerConfig", "QueryService"]
 
@@ -71,40 +81,93 @@ class ServerConfig:
 
 
 class QueryService:
-    """Admission-controlled, micro-batched query service over one state."""
+    """Admission-controlled, micro-batched query service over N tenants."""
 
-    def __init__(self, state: ServingState, config: ServerConfig | None = None):
-        self.state = state
+    def __init__(
+        self,
+        state: ServingState | IndexRegistry,
+        config: ServerConfig | None = None,
+    ):
+        if isinstance(state, IndexRegistry):
+            self.registry = state
+        else:
+            self.registry = IndexRegistry.single(state)
         self.config = config or ServerConfig()
         self.admission = AdmissionController(self.config.queue_depth)
-        self.batcher = MicroBatcher(
-            state,
-            max_batch=self.config.max_batch,
-            max_wait_ms=self.config.max_wait_ms,
-            shards=self.config.shards,
-            workers=self.config.workers,
-        )
+        self.quotas = TenantQuotas(self.config.queue_depth)
+        self.quotas.ensure(self.registry.tenant_ids)
         self.slowlog = SlowQueryLog(
             self.config.slowlog_path,
             threshold_ms=self.config.slow_ms,
             max_records=self.config.slowlog_max_records,
         )
+        #: One scheduler per resident tenant, created on first query.
+        self._batchers: dict[str, MicroBatcher] = {}
         self._add_lock = asyncio.Lock()
         self._started = False
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self.registry.add_detach_hook(self._on_detach)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> ServingState:
+        """The default tenant's state (single-tenant back-compat)."""
+        return self.registry.resolve(None)[1]
+
+    @property
+    def multi_tenant(self) -> bool:
+        """Whether the registry hosts more than one tenant."""
+        return len(self.registry.tenant_ids) > 1
+
+    def _batcher_for(self, tenant_id: str, state: ServingState) -> MicroBatcher:
+        """The tenant's scheduler, created (and started) on demand."""
+        batcher = self._batchers.get(tenant_id)
+        if batcher is None or batcher.state is not state:
+            # New tenant, or the tenant was detached and re-attached with
+            # a fresh state (the old batcher died with the old state).
+            batcher = MicroBatcher(
+                state,
+                max_batch=self.config.max_batch,
+                max_wait_ms=self.config.max_wait_ms,
+                shards=self.config.shards,
+                workers=self.config.workers,
+            )
+            self._batchers[tenant_id] = batcher
+            if self._started:
+                batcher.start()
+        return batcher
+
+    def _on_detach(self, tenant_id: str, state: ServingState) -> None:
+        """Registry detach hook: retire the tenant's scheduler.
+
+        Detach only happens with zero pins, and every queued request
+        holds a pin until its future resolves — so the batcher's queue
+        is empty here and cancelling its task drops no work.
+        """
+        batcher = self._batchers.pop(tenant_id, None)
+        if batcher is None or self._loop is None or self._loop.is_closed():
+            return
+        self._loop.call_soon_threadsafe(
+            lambda: self._loop.create_task(batcher.stop())
+        )
 
     # ------------------------------------------------------------------ #
     async def start(self) -> None:
-        """Start the batching scheduler (idempotent)."""
+        """Start the batching schedulers (idempotent)."""
         if not self._started:
-            self.batcher.start()
+            self._loop = asyncio.get_running_loop()
+            for batcher in self._batchers.values():
+                batcher.start()
             self._started = True
             registry.set_gauge("server.draining", 0.0)
 
     async def drain(self) -> None:
         """Graceful shutdown: reject new work, finish queued work, stop."""
         self.admission.begin_drain()
-        await self.batcher.drain()
-        await self.batcher.stop()
+        for batcher in list(self._batchers.values()):
+            await batcher.drain()
+        for batcher in list(self._batchers.values()):
+            await batcher.stop()
         self._started = False
 
     @property
@@ -122,52 +185,78 @@ class QueryService:
         timeout_ms: float | None = None,
         probes: int | None = None,
         exact: bool = False,
+        tenant: str | None = None,
     ) -> dict:
         """One ranked search, answered from a coalesced batch.
 
-        ``probes`` bounds the scan to that many coarse cells (falling
-        back to ``config.default_probes``, then to the exact scan);
+        ``tenant`` routes the query (``None`` means the default/sole
+        tenant); an unknown id raises
+        :class:`~repro.errors.UnknownTenantError` before any admission
+        work.  The tenant stays pinned until the response resolves, so
+        an LRU eviction decided mid-flight detaches only after this (and
+        every other in-flight) query drains.  ``probes`` bounds the scan
+        to that many coarse cells (falling back to
+        ``config.default_probes``, then to the exact scan);
         ``exact=True`` overrides any default.  Raises
         :class:`~repro.errors.ServerOverloadError` when the bounded
-        queue is full or the service is draining, and
+        queue is full, the tenant is over its quota share
+        (``reason="tenant_quota"``), or the service is draining, and
         :class:`~repro.errors.DeadlineExceededError` when the request's
         deadline expires before its batch is scored.
         """
         registry.inc("server.requests_total")
-        self.admission.admit()
-        t0 = time.perf_counter()
-        try:
-            request = SearchRequest(
-                query=query,
-                top=top,
-                threshold=threshold,
-                probes=(
-                    probes if probes is not None
-                    else self.config.default_probes
-                ),
-                exact=exact,
-                deadline=AdmissionController.deadline_from(
-                    timeout_ms
-                    if timeout_ms is not None
-                    else self.config.default_timeout_ms
-                ),
-                trace=current_trace(),
-                future=asyncio.get_running_loop().create_future(),
-            )
-            self.batcher.submit(request)
-            result = await request.future
-            self._record_slow(
-                time.perf_counter() - t0, top=top, probes=probes
-            )
-            return result
-        finally:
-            self.admission.release()
-            registry.observe(
-                "server.request_seconds", time.perf_counter() - t0
-            )
+        with self.registry.pin(tenant) as (tid, state):
+            self.quotas.ensure(self.registry.tenant_ids)
+            self.admission.admit()
+            try:
+                self.quotas.admit(tid)
+            except BaseException:
+                self.admission.release()
+                raise
+            t0 = time.perf_counter()
+            try:
+                request = SearchRequest(
+                    query=query,
+                    top=top,
+                    threshold=threshold,
+                    probes=(
+                        probes if probes is not None
+                        else self.config.default_probes
+                    ),
+                    exact=exact,
+                    deadline=AdmissionController.deadline_from(
+                        timeout_ms
+                        if timeout_ms is not None
+                        else self.config.default_timeout_ms
+                    ),
+                    trace=current_trace(),
+                    future=asyncio.get_running_loop().create_future(),
+                )
+                self._batcher_for(tid, state).submit(request)
+                result = await request.future
+                if tenant is not None or self.multi_tenant:
+                    result["tenant"] = tid
+                self._record_slow(
+                    time.perf_counter() - t0,
+                    top=top,
+                    probes=probes,
+                    tenant=tid,
+                )
+                return result
+            finally:
+                self.quotas.release(tid)
+                self.admission.release()
+                registry.observe(
+                    "server.request_seconds", time.perf_counter() - t0
+                )
 
     def _record_slow(
-        self, elapsed_s: float, *, top: int | None, probes: int | None
+        self,
+        elapsed_s: float,
+        *,
+        top: int | None,
+        probes: int | None,
+        tenant: str | None = None,
     ) -> None:
         """Dump an over-threshold request's trace evidence to the slow log."""
         if not self.slowlog.is_slow(elapsed_s):
@@ -183,6 +272,8 @@ class QueryService:
             "probes": probes,
             "queue_depth": self.admission.pending,
         }
+        if tenant is not None:
+            entry["tenant"] = tenant
         if trace_id is not None:
             entry["spans"] = [
                 s.to_dict() for s in spans_for_trace(trace_id)
@@ -190,39 +281,63 @@ class QueryService:
         self.slowlog.record(entry)
 
     async def add(
-        self, texts: Sequence[str], doc_ids: Sequence[str] | None = None
+        self,
+        texts: Sequence[str],
+        doc_ids: Sequence[str] | None = None,
+        *,
+        tenant: str | None = None,
     ) -> dict:
         """Add documents live; returns the new epoch description.
 
         Updates are serialized (one writer at a time) and run on an
         executor thread; readers never wait — in-flight batches finish
         against their pinned epoch, later batches see the new one.
+        Lazily attached tenants are read-only mmap opens, so ``/add``
+        against one raises (HTTP 400) like any saved-model server.
         """
         registry.inc("server.adds_total")
         t0 = time.perf_counter()
-        async with self._add_lock:
-            loop = asyncio.get_running_loop()
-            result = await loop.run_in_executor(
-                None, self.state.add_texts, list(texts), doc_ids
-            )
+        with self.registry.pin(tenant) as (_tid, state):
+            async with self._add_lock:
+                loop = asyncio.get_running_loop()
+                result = await loop.run_in_executor(
+                    None, state.add_texts, list(texts), doc_ids
+                )
         registry.observe("server.add_seconds", time.perf_counter() - t0)
         return result
 
     # ------------------------------------------------------------------ #
     def healthz(self) -> dict:
         """Liveness/readiness summary for ``/healthz``."""
-        snapshot = self.state.current()
-        return {
+        base = {
             "status": "draining" if self.admission.draining else "ok",
             "draining": self.admission.draining,
-            "epoch": snapshot.epoch,
-            "n_documents": snapshot.n_documents,
             "queue_depth": self.admission.pending,
             "queue_capacity": self.admission.queue_depth,
-            "writable": self.state.writable,
-            "ann": snapshot.ann is not None,
             "default_probes": self.config.default_probes,
             "slowlog": self.slowlog.describe(),
+        }
+        if self.multi_tenant:
+            base["tenants"] = self.registry.describe()
+            base["max_resident"] = self.registry.max_resident
+            return base
+        snapshot = self.state.current()
+        base.update(
+            {
+                "epoch": snapshot.epoch,
+                "n_documents": snapshot.n_documents,
+                "writable": self.state.writable,
+                "ann": snapshot.ann is not None,
+            }
+        )
+        return base
+
+    def tenants(self) -> dict:
+        """Registry + quota status for ``/tenants``."""
+        return {
+            "tenants": self.registry.describe(),
+            "max_resident": self.registry.max_resident,
+            "quotas": self.quotas.describe(),
         }
 
     def stats(self) -> dict:

@@ -1,0 +1,307 @@
+"""Multi-tenant cluster front end: N per-tenant fleets, one registry.
+
+:class:`TenantClusterService` presents the same duck-typed surface the
+HTTP front end expects from a :class:`~repro.server.service.QueryService`
+(``start`` / ``drain`` / ``search`` / ``healthz`` / ``stats`` /
+``metrics`` / ``trace`` / ``tenants``), but routes every request to one
+of N named :class:`~repro.cluster.service.ClusterService` fleets — each
+a data directory with its own checkpoints, shard plan, and worker
+processes.  Fleets attach lazily through the same
+:class:`~repro.tenancy.registry.IndexRegistry` discipline the
+single-process server uses: the first query to a cold tenant constructs
+its service and spawns its workers; past ``max_resident``, the
+least-recently-used fleet is drained (SIGTERM, in-flight queries
+finished first — the registry defers detach until the tenant's pin
+count reaches zero) and its processes reaped.
+
+Isolation mirrors the single-process service: a global admission queue
+bounds the front end, :class:`~repro.tenancy.quotas.TenantQuotas`
+carves it into per-tenant shares (429 ``reason="tenant_quota"``), each
+fleet's slow-query log lands in its own ``<path>.<tenant>`` file, and
+``/metrics`` federates every fleet's workers under
+``tenant.<id>.shard.<sid>.`` prefixes.
+
+Multi-tenant clusters are read-only serving tiers: ``writable`` and
+``standby`` configs are refused up front — a primary writer owns one
+store lock and one WAL, which is exactly the per-index assumption this
+layer exists to lift; run writers per tenant behind their own
+single-tenant front ends instead.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import pathlib
+from typing import Callable, Mapping
+
+from repro.cluster.service import ClusterConfig, ClusterService
+from repro.errors import ClusterConfigError
+from repro.obs.aggregate import label_snapshots
+from repro.obs.export import SCHEMA
+from repro.obs.metrics import registry
+from repro.obs.prom import render_prometheus
+from repro.obs.tracing import recent_spans, spans_for_trace
+from repro.server.admission import AdmissionController
+from repro.tenancy.quotas import TenantQuotas
+from repro.tenancy.registry import IndexRegistry
+
+__all__ = ["TenantClusterService"]
+
+
+class TenantClusterService:
+    """Tenant-routed scatter-gather serving over per-tenant worker fleets."""
+
+    def __init__(
+        self,
+        tenants: Mapping[str, str | pathlib.Path],
+        config: ClusterConfig | None = None,
+        *,
+        max_resident: int | None = None,
+        queue_depth: int = 256,
+        host: str = "127.0.0.1",
+        announce: Callable[[str], None] | None = None,
+    ):
+        if not tenants:
+            raise ClusterConfigError("a tenant cluster needs >= 1 tenant")
+        self.config = config or ClusterConfig()
+        if self.config.writable or self.config.standby:
+            raise ClusterConfigError(
+                "multi-tenant cluster serving is read-only: --writable/"
+                "--standby own one store lock and one WAL each — run the "
+                "writer per tenant behind its own front end"
+            )
+        self._host = host
+        self._announce = announce or (lambda line: None)
+        self.registry = IndexRegistry(max_resident=max_resident)
+        for tid, data_dir in tenants.items():
+            path = pathlib.Path(data_dir)
+            self.registry.register(
+                tid, data_dir=path, loader=self._fleet_loader(tid, path)
+            )
+        self.admission = AdmissionController(queue_depth)
+        self.quotas = TenantQuotas(queue_depth)
+        self.quotas.ensure(self.registry.tenant_ids)
+        self.registry.add_detach_hook(self._on_detach)
+        self._start_locks: dict[str, asyncio.Lock] = {}
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    def _fleet_loader(
+        self, tenant_id: str, data_dir: pathlib.Path
+    ) -> Callable[[], ClusterService]:
+        def build() -> ClusterService:
+            slowlog = self.config.slowlog_path
+            per_tenant = dataclasses.replace(
+                self.config,
+                # Two SlowQueryLog instances over one file would clobber
+                # each other's compaction; suffix per tenant.
+                slowlog_path=(
+                    f"{slowlog}.{tenant_id}" if slowlog else None
+                ),
+            )
+            self._announce(f"tenant {tenant_id}: attaching {data_dir}")
+            return ClusterService(
+                data_dir,
+                per_tenant,
+                host=self._host,
+                announce=self._announce,
+                tenant=tenant_id,
+            )
+
+        return build
+
+    def _on_detach(self, tenant_id: str, service: ClusterService) -> None:
+        """Registry detach hook: drain the evicted tenant's fleet.
+
+        Fires only at pin count zero, so no in-flight query loses its
+        workers; the drain (SIGTERM + reap) runs as a task off the
+        serving path.
+        """
+        self._announce(f"tenant {tenant_id}: detaching (LRU)")
+        if self._loop is None or self._loop.is_closed():
+            return
+        self._loop.call_soon_threadsafe(
+            lambda: self._loop.create_task(service.drain())
+        )
+
+    async def _ensure_started(
+        self, tenant_id: str, service: ClusterService
+    ) -> None:
+        """Spawn the fleet's workers on first use (serialized per tenant)."""
+        if service._started:
+            return
+        lock = self._start_locks.setdefault(tenant_id, asyncio.Lock())
+        async with lock:
+            if not service._started:
+                await service.start()
+
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Ready the front end; fleets spawn lazily on first query."""
+        self._loop = asyncio.get_running_loop()
+        self._started = True
+        registry.set_gauge("cluster.tenants", float(len(self.registry.tenant_ids)))
+
+    async def drain(self) -> None:
+        """Reject new work, then drain every resident fleet."""
+        self.admission.begin_drain()
+        for tid, service in self.registry.resident_states().items():
+            self._announce(f"tenant {tid}: draining")
+            await service.drain()
+        self._started = False
+
+    @property
+    def draining(self) -> bool:
+        """Whether shutdown has begun."""
+        return self.admission.draining
+
+    # ------------------------------------------------------------------ #
+    async def search(
+        self,
+        query,
+        *,
+        top: int | None = None,
+        threshold: float | None = None,
+        timeout_ms: float | None = None,
+        probes: int | None = None,
+        exact: bool = False,
+        tenant: str | None = None,
+    ) -> dict:
+        """One tenant-routed scatter-gather search.
+
+        Resolves (attaching a cold fleet — workers spawn on this first
+        query), admits against the global queue and the tenant's quota
+        share, and scatters through the tenant's own router.  The
+        tenant stays pinned until the response lands, so an LRU
+        eviction decided mid-flight drains this fleet only afterwards.
+        """
+        registry.inc("server.requests_total")
+        with self.registry.pin(tenant) as (tid, service):
+            self.quotas.ensure(self.registry.tenant_ids)
+            self.admission.admit()
+            try:
+                self.quotas.admit(tid)
+            except BaseException:
+                self.admission.release()
+                raise
+            try:
+                await self._ensure_started(tid, service)
+                result = await service.search(
+                    query,
+                    top=top,
+                    threshold=threshold,
+                    timeout_ms=timeout_ms,
+                    probes=probes,
+                    exact=exact,
+                    tenant=tid,
+                )
+                result["tenant"] = tid
+                return result
+            finally:
+                self.quotas.release(tid)
+                self.admission.release()
+
+    async def add(self, texts, doc_ids=None, *, tenant: str | None = None):
+        """Refused per tenant: these fleets are read-only serving tiers."""
+        with self.registry.pin(tenant) as (tid, service):
+            await self._ensure_started(tid, service)
+            # Raises ClusterReadOnlyError (the config refuses writable).
+            return await service.add(texts, doc_ids, tenant=tid)
+
+    # ------------------------------------------------------------------ #
+    def healthz(self) -> dict:
+        """Front-end liveness plus a per-tenant block for resident fleets.
+
+        Sync (like :meth:`QueryService.healthz`): reads each resident
+        fleet's supervisor tables without touching worker sockets.
+        """
+        resident = self.registry.resident_states()
+        per_tenant = {tid: svc.healthz() for tid, svc in resident.items()}
+        if self.draining:
+            status = "draining"
+        elif any(h["status"] == "degraded" for h in per_tenant.values()):
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "draining": self.draining,
+            "queue_depth": self.admission.pending,
+            "queue_capacity": self.admission.queue_depth,
+            "max_resident": self.registry.max_resident,
+            "tenants": self.registry.describe(),
+            "fleets": per_tenant,
+        }
+
+    def tenants(self) -> dict:
+        """Registry + quota status for ``/tenants``."""
+        return {
+            "tenants": self.registry.describe(),
+            "max_resident": self.registry.max_resident,
+            "quotas": self.quotas.describe(),
+        }
+
+    def stats(self) -> dict:
+        """The observability snapshot for ``/stats`` (obs-export schema)."""
+        slow: list[dict] = []
+        for svc in self.registry.resident_states().values():
+            slow.extend(svc.slowlog.recent(20))
+        slow.sort(key=lambda e: e.get("ts", 0.0))
+        return {
+            "schema": SCHEMA,
+            "server": self.healthz(),
+            "metrics": registry.snapshot(),
+            "spans": [s.to_dict() for s in recent_spans(50)],
+            "slow_queries": slow[-20:],
+        }
+
+    async def metrics(self) -> dict:
+        """Fleet-federated metrics: every tenant's workers, prefixed.
+
+        The front-end process's registry lands verbatim; each resident
+        tenant's worker registries merge in under
+        ``tenant.<id>.shard.<sid>.`` — one flat JSON dump, same shape as
+        the single-tenant cluster's.
+        """
+        merged = registry.snapshot()
+        for tid, svc in sorted(self.registry.resident_states().items()):
+            worker_snaps = await svc.router.fetch_stats()
+            merged = label_snapshots(
+                merged,
+                {sid: snap for sid, snap in worker_snaps.items()},
+                prefix=f"tenant.{tid}.shard.",
+            )
+        return merged
+
+    async def metrics_prom(self) -> str:
+        """Prometheus exposition with ``worker`` + ``tenant`` labels."""
+        series = [({"worker": "router"}, registry.snapshot())]
+        for tid, svc in sorted(self.registry.resident_states().items()):
+            worker_snaps = await svc.router.fetch_stats()
+            for sid in sorted(worker_snaps):
+                series.append(
+                    (
+                        {"worker": str(sid), "tenant": tid},
+                        worker_snaps[sid],
+                    )
+                )
+        return render_prometheus(series)
+
+    async def trace(self, trace_id: str) -> dict:
+        """One request's spans across the front end and every fleet."""
+        local = [s.to_dict() for s in spans_for_trace(trace_id)]
+        for record in local:
+            record["worker"] = "router"
+        workers: list[str] = []
+        for tid, svc in sorted(self.registry.resident_states().items()):
+            remote = await svc.router.fetch_trace(trace_id)
+            for sid, spans in sorted(remote.items()):
+                label = f"{tid}:{sid}"
+                workers.append(label)
+                for record in spans:
+                    record["worker"] = label
+                local.extend(spans)
+        local.sort(key=lambda r: float(r.get("start", 0.0)))
+        return {"trace_id": trace_id, "workers": workers, "spans": local}

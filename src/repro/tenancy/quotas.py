@@ -1,0 +1,89 @@
+"""Per-tenant admission quotas carved from the global budget.
+
+The global :class:`~repro.server.admission.AdmissionController` bounds
+the *process*; it cannot stop one hot tenant from filling the whole
+queue and starving the rest.  :class:`TenantQuotas` layers a per-tenant
+share on top: each tenant may hold at most
+``max(min_share, global_depth // n_tenants)`` queue slots, so a
+saturated tenant is rejected with a per-tenant 429
+(``ServerOverloadError(reason="tenant_quota")``) while the others'
+shares stay free.  A single-tenant service's share equals the global
+depth — the quota layer is then behaviourally invisible.
+
+Shares recompute only when the tenant set changes; admit/release are a
+dict lookup and an integer under one lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+from repro.errors import ServerOverloadError
+from repro.obs.metrics import registry as metrics
+
+__all__ = ["TenantQuotas"]
+
+
+class TenantQuotas:
+    """Bounded per-tenant admission on top of the global queue."""
+
+    def __init__(self, global_depth: int, *, min_share: int = 1):
+        self._global_depth = max(1, int(global_depth))
+        self._min_share = max(1, int(min_share))
+        self._share = self._global_depth
+        self._pending: dict[str, int] = {}
+        self._ids: tuple[str, ...] = ()
+        self._lock = threading.Lock()
+
+    @property
+    def share(self) -> int:
+        """Queue slots each tenant may hold at once."""
+        return self._share
+
+    def ensure(self, tenant_ids: Iterable[str]) -> None:
+        """Recompute shares if the tenant set changed (cheap no-op else)."""
+        ids = tuple(tenant_ids)
+        with self._lock:
+            if ids == self._ids:
+                return
+            self._ids = ids
+            self._share = max(
+                self._min_share, self._global_depth // max(1, len(ids))
+            )
+            for tid in ids:
+                self._pending.setdefault(tid, 0)
+
+    def admit(self, tenant_id: str) -> None:
+        """Claim one slot of the tenant's share or raise a per-tenant 429."""
+        with self._lock:
+            pending = self._pending.get(tenant_id, 0)
+            if pending >= self._share:
+                metrics.inc(f"tenant.{tenant_id}.rejected_quota")
+                raise ServerOverloadError(
+                    f"tenant {tenant_id!r} is over its admission quota "
+                    f"({pending}/{self._share} slots)",
+                    reason="tenant_quota",
+                )
+            self._pending[tenant_id] = pending + 1
+        metrics.inc(f"tenant.{tenant_id}.requests_total")
+        metrics.set_gauge(
+            f"tenant.{tenant_id}.queue_depth", float(pending + 1)
+        )
+
+    def release(self, tenant_id: str) -> None:
+        """Return one slot; exactly one release per successful admit."""
+        with self._lock:
+            pending = max(0, self._pending.get(tenant_id, 0) - 1)
+            self._pending[tenant_id] = pending
+        metrics.set_gauge(
+            f"tenant.{tenant_id}.queue_depth", float(pending)
+        )
+
+    def describe(self) -> dict:
+        """Share size and per-tenant pending counts."""
+        with self._lock:
+            return {
+                "share": self._share,
+                "pending": dict(self._pending),
+            }

@@ -489,12 +489,13 @@ def test_http_client_reuses_keep_alive_connection():
     with _ServerThread(state, ServerConfig(max_wait_ms=1.0)) as server:
         with ServerClient(port=server.port) as client:
             client.healthz()
-            conn = client._conn
+            conn = client._local.conn
             assert conn is not None
             client.healthz()
             client.search(QUERIES[0], top=3)
-            # Same pooled connection object served all three calls.
-            assert client._conn is conn
+            # Same pooled connection object served all three calls
+            # (pooling is per thread; this is the only thread).
+            assert client._local.conn is conn
 
 
 def test_http_client_metrics_and_draining_flag():
